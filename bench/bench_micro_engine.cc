@@ -1,0 +1,147 @@
+// Micro-benchmarks of the storage-engine building blocks (real wall time,
+// google-benchmark): dictionary encode/lookup, bit-packed access, B+-tree,
+// MRC scan/probe, buffer-manager fetch, and the selection solvers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "selection/selectors.h"
+#include "storage/bit_packed_vector.h"
+#include "storage/bplus_tree.h"
+#include "storage/dictionary_column.h"
+#include "tiering/buffer_manager.h"
+#include "workload/example1.h"
+
+namespace hytap {
+namespace {
+
+void BM_DictionaryBuild(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int32_t> values;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    values.push_back(int32_t(rng.NextBounded(100000)));
+  }
+  for (auto _ : state) {
+    auto dict = OrderPreservingDictionary<int32_t>::Build(values);
+    benchmark::DoNotOptimize(dict.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DictionaryBuild)->Arg(10000)->Arg(100000);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int32_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(int32_t(rng.NextBounded(100000)));
+  }
+  auto dict = OrderPreservingDictionary<int32_t>::Build(values);
+  int32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.CodeFor(probe));
+    probe = (probe + 7919) % 100000;
+  }
+}
+BENCHMARK(BM_DictionaryLookup);
+
+void BM_BitPackedGet(benchmark::State& state) {
+  BitPackedVector v(uint32_t(state.range(0)));
+  const uint64_t mask = (1ULL << state.range(0)) - 1;
+  for (uint64_t i = 0; i < 100000; ++i) v.Append(i & mask);
+  size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Get(idx));
+    idx = (idx + 7919) % 100000;
+  }
+}
+BENCHMARK(BM_BitPackedGet)->Arg(7)->Arg(13)->Arg(31);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree<int64_t, uint64_t> tree;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(int64_t(rng.NextBounded(1u << 20)), uint64_t(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(10000);
+
+void BM_BPlusTreeLookup(benchmark::State& state) {
+  Rng rng(1);
+  BPlusTree<int64_t, uint64_t> tree;
+  for (int64_t i = 0; i < 100000; ++i) {
+    tree.Insert(int64_t(rng.NextBounded(1u << 20)), uint64_t(i));
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(probe));
+    probe = (probe + 7919) % (1 << 20);
+  }
+}
+BENCHMARK(BM_BPlusTreeLookup);
+
+void BM_MrcScan(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int32_t> values;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    values.push_back(int32_t(rng.NextBounded(1000)));
+  }
+  auto column = DictionaryColumn<int32_t>::Build(values);
+  Value v(int32_t{5});
+  for (auto _ : state) {
+    PositionList out;
+    column->ScanBetween(&v, &v, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MrcScan)->Arg(100000)->Arg(1000000);
+
+void BM_BufferManagerHit(benchmark::State& state) {
+  SecondaryStore store(DeviceKind::kXpoint);
+  for (int i = 0; i < 64; ++i) store.AllocatePage();
+  BufferManager buffers(&store, 64);
+  for (PageId id = 0; id < 64; ++id) {
+    buffers.FetchPage(id, AccessPattern::kRandom);
+  }
+  PageId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffers.FetchPage(id, AccessPattern::kRandom));
+    id = (id + 17) % 64;
+  }
+}
+BENCHMARK(BM_BufferManagerHit);
+
+void BM_ExplicitSelection(benchmark::State& state) {
+  Workload workload = GenerateScalabilityWorkload(size_t(state.range(0)),
+                                                  size_t(state.range(0)) * 10,
+                                                  7);
+  auto problem = SelectionProblem::FromRelativeBudget(
+      workload, ScanCostParams{1.0, 100.0}, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectExplicit(problem).dram_bytes);
+  }
+}
+BENCHMARK(BM_ExplicitSelection)->Arg(1000)->Arg(10000);
+
+void BM_IntegerSelection(benchmark::State& state) {
+  Workload workload = GenerateScalabilityWorkload(size_t(state.range(0)),
+                                                  size_t(state.range(0)) * 10,
+                                                  7);
+  auto problem = SelectionProblem::FromRelativeBudget(
+      workload, ScanCostParams{1.0, 100.0}, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectIntegerOptimal(problem).dram_bytes);
+  }
+}
+BENCHMARK(BM_IntegerSelection)->Arg(1000);
+
+}  // namespace
+}  // namespace hytap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+#ifndef HYTAP_COMMON_ASSERT_H_
+#define HYTAP_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Always-on invariant check. Unlike assert(), these fire in release builds:
+/// a storage engine that silently corrupts data is worse than one that stops.
+#define HYTAP_ASSERT(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HYTAP_ASSERT failed at %s:%d: %s\n  %s\n",      \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Marks states that are unreachable if internal invariants hold.
+#define HYTAP_UNREACHABLE(msg)                                              \
+  do {                                                                      \
+    std::fprintf(stderr, "HYTAP_UNREACHABLE at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, msg);                                            \
+    std::abort();                                                           \
+  } while (0)
+
+#endif  // HYTAP_COMMON_ASSERT_H_

@@ -1,0 +1,98 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to seed the xoshiro state from a single word.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  HYTAP_ASSERT(bound > 0, "NextBounded requires bound > 0");
+  // Lemire's nearly-divisionless bounded generation.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  HYTAP_ASSERT(lo <= hi, "NextInt requires lo <= hi");
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  HYTAP_ASSERT(n > 0, "ZipfGenerator requires n > 0");
+  HYTAP_ASSERT(alpha > 0, "ZipfGenerator requires alpha > 0");
+  h_integral_x1_ = H(1.5) - 1.0;
+  h_integral_num_elements_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of x^-alpha: handles the alpha == 1 (log) case.
+  const double log_x = std::log(x);
+  if (std::abs(alpha_ - 1.0) < 1e-9) return log_x;
+  return std::expm1((1.0 - alpha_) * log_x) / (1.0 - alpha_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (std::abs(alpha_ - 1.0) < 1e-9) return std::exp(x);
+  return std::exp(std::log1p(x * (1.0 - alpha_)) / (1.0 - alpha_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng.NextDouble() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -alpha_)) {
+      return static_cast<uint64_t>(k) - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+}  // namespace hytap

@@ -1,0 +1,75 @@
+#ifndef HYTAP_COMMON_RANDOM_H_
+#define HYTAP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hytap {
+
+/// Deterministic, fast PRNG (xoshiro256**). All experiments seed explicitly so
+/// every table/figure in EXPERIMENTS.md is exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound), bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipfian generator over [0, n) with exponent alpha (paper uses alpha = 1 for
+/// the skewed tuple-reconstruction experiments). Uses the rejection-inversion
+/// method of Hörmann & Derflinger, O(1) per sample after O(1) setup.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double alpha);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular.
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_COMMON_RANDOM_H_

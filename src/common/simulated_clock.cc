@@ -1,0 +1,4 @@
+#include "common/simulated_clock.h"
+
+// Header-only; this translation unit anchors the header in the library so that
+// include-what-you-use checks compile it standalone.

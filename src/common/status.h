@@ -1,0 +1,99 @@
+#ifndef HYTAP_COMMON_STATUS_H_
+#define HYTAP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+/// Error taxonomy for recoverable failures. Invariant violations use
+/// HYTAP_ASSERT instead and abort.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight status object for recoverable errors (no exceptions).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. value() aborts on error; callers must
+/// check ok() first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    HYTAP_ASSERT(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HYTAP_ASSERT(ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() & {
+    HYTAP_ASSERT(ok(), status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    HYTAP_ASSERT(ok(), status_.message().c_str());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_COMMON_STATUS_H_

@@ -1,0 +1,98 @@
+#include "core/database.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  store_ = std::make_unique<SecondaryStore>(options.device,
+                                            options.timing_seed);
+  buffers_ = std::make_unique<BufferManager>(store_.get(),
+                                             options.buffer_frames);
+}
+
+Table* Database::CreateTable(const std::string& name, Schema schema) {
+  HYTAP_ASSERT(tables_.find(name) == tables_.end(),
+               "table name already exists");
+  TableEntry entry;
+  entry.table = std::make_unique<Table>(name, std::move(schema), &txns_,
+                                        store_.get(), buffers_.get());
+  entry.executor = std::make_unique<QueryExecutor>(
+      entry.table.get(), options_.probe_threshold);
+  Table* raw = entry.table.get();
+  tables_.emplace(name, std::move(entry));
+  return raw;
+}
+
+Database::TableEntry& Database::Entry(const std::string& name) {
+  auto it = tables_.find(name);
+  HYTAP_ASSERT(it != tables_.end(), "unknown table");
+  return it->second;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+std::vector<Table*> Database::tables() {
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (auto& [name, entry] : tables_) out.push_back(entry.table.get());
+  return out;
+}
+
+QueryResult Database::Execute(const Transaction& txn,
+                              const std::string& table, const Query& query,
+                              uint32_t threads) {
+  TableEntry& entry = Entry(table);
+  entry.plan_cache.Record(query);
+  return entry.executor->Execute(txn, query, threads);
+}
+
+JoinResult Database::ExecuteJoin(const Transaction& txn,
+                                 const std::string& left,
+                                 const Query& left_query,
+                                 const std::string& right,
+                                 const Query& right_query,
+                                 const JoinSpec& spec, uint32_t threads) {
+  TableEntry& left_entry = Entry(left);
+  TableEntry& right_entry = Entry(right);
+  // Record the single-table access patterns (including the join keys) so the
+  // selection model sees join columns as accessed (paper §III-A: joins are
+  // modeled as scans with a selectivity).
+  Query left_recorded = left_query;
+  left_recorded.predicates.push_back(
+      Predicate{spec.left_column, std::nullopt, std::nullopt});
+  Query right_recorded = right_query;
+  right_recorded.predicates.push_back(
+      Predicate{spec.right_column, std::nullopt, std::nullopt});
+  left_entry.plan_cache.Record(left_recorded);
+  right_entry.plan_cache.Record(right_recorded);
+  HashJoin join(left_entry.table.get(), right_entry.table.get());
+  return join.Execute(txn, left_query, right_query, spec, threads);
+}
+
+bool Database::MaybeMerge(const std::string& table) {
+  TableEntry& entry = Entry(table);
+  const size_t main_rows = entry.table->main_row_count();
+  const size_t delta_rows = entry.table->delta_row_count();
+  if (delta_rows == 0) return false;
+  if (main_rows > 0 &&
+      double(delta_rows) < options_.merge_threshold * double(main_rows)) {
+    return false;
+  }
+  entry.table->MergeDelta();
+  return true;
+}
+
+PlanCache& Database::plan_cache(const std::string& table) {
+  return Entry(table).plan_cache;
+}
+
+}  // namespace hytap

@@ -1,0 +1,92 @@
+#ifndef HYTAP_CORE_DATABASE_H_
+#define HYTAP_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+#include "query/join.h"
+#include "query/plan_cache.h"
+#include "storage/table.h"
+#include "tiering/buffer_manager.h"
+#include "tiering/secondary_store.h"
+#include "txn/transaction_manager.h"
+
+namespace hytap {
+
+/// Options shared by all tables of a database.
+struct DatabaseOptions {
+  DeviceKind device = DeviceKind::kXpoint;
+  size_t buffer_frames = 1024;
+  double probe_threshold = 1e-4;
+  uint64_t timing_seed = 42;
+  /// MaybeMerge() merges a table once its delta exceeds this share of the
+  /// main partition (paper §II: the delta is merged periodically).
+  double merge_threshold = 0.1;
+};
+
+/// A multi-table database: one transaction manager (cross-table snapshot
+/// consistency), one secondary-storage volume, and one shared page cache.
+/// Enterprise systems have thousands of tables (paper §III-G); the
+/// GlobalAdvisor places all their columns against a single DRAM budget.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table; the name must be unique.
+  Table* CreateTable(const std::string& name, Schema schema);
+
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  std::vector<Table*> tables();
+  size_t table_count() const { return tables_.size(); }
+
+  Transaction Begin() { return txns_.Begin(); }
+  void Commit(Transaction* txn) { txns_.Commit(txn); }
+  void Abort(Transaction* txn) { txns_.Abort(txn); }
+
+  /// Executes a single-table query, recording it in the table's plan cache.
+  QueryResult Execute(const Transaction& txn, const std::string& table,
+                      const Query& query, uint32_t threads = 1);
+
+  /// Executes an equi-join between two tables (placement-aware).
+  JoinResult ExecuteJoin(const Transaction& txn, const std::string& left,
+                         const Query& left_query, const std::string& right,
+                         const Query& right_query, const JoinSpec& spec,
+                         uint32_t threads = 1);
+
+  /// Merges `table`'s delta if it exceeds the merge threshold; returns true
+  /// if a merge ran.
+  bool MaybeMerge(const std::string& table);
+
+  PlanCache& plan_cache(const std::string& table);
+
+  TransactionManager& txns() { return txns_; }
+  SecondaryStore& store() { return *store_; }
+  BufferManager& buffers() { return *buffers_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  struct TableEntry {
+    std::unique_ptr<Table> table;
+    std::unique_ptr<QueryExecutor> executor;
+    PlanCache plan_cache;
+  };
+
+  TableEntry& Entry(const std::string& name);
+
+  DatabaseOptions options_;
+  TransactionManager txns_;
+  std::unique_ptr<SecondaryStore> store_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::map<std::string, TableEntry> tables_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_CORE_DATABASE_H_

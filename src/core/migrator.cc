@@ -1,0 +1,42 @@
+#include "core/migrator.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+MigrationReport Migrator::Estimate(const TieredTable& table,
+                                   const std::vector<bool>& in_dram) const {
+  MigrationReport report;
+  const Table& t = table.table();
+  HYTAP_ASSERT(in_dram.size() == t.column_count(),
+               "placement arity mismatch");
+  for (ColumnId c = 0; c < t.column_count(); ++c) {
+    const bool was_dram = t.placement()[c];
+    if (was_dram == in_dram[c]) continue;
+    report.moved_bytes += t.ColumnDramBytes(c);
+    if (was_dram) {
+      ++report.evicted_columns;
+    } else {
+      ++report.loaded_columns;
+    }
+  }
+  const uint64_t pages = (report.moved_bytes + kPageSize - 1) / kPageSize;
+  report.duration_ns =
+      table.store().device().SequentialWriteNs(pages, /*threads=*/1);
+  return report;
+}
+
+StatusOr<MigrationReport> Migrator::Apply(
+    TieredTable* table, const std::vector<bool>& in_dram) const {
+  MigrationReport report = Estimate(*table, in_dram);
+  if (max_window_ns_ != 0 && report.duration_ns > max_window_ns_) {
+    return report;  // too expensive for the maintenance window
+  }
+  StatusOr<uint64_t> moved = table->ApplyPlacement(in_dram);
+  if (!moved.ok()) return moved.status();
+  report.moved_bytes = *moved;
+  report.applied = true;
+  return report;
+}
+
+}  // namespace hytap

@@ -1,0 +1,47 @@
+#ifndef HYTAP_CORE_MIGRATOR_H_
+#define HYTAP_CORE_MIGRATOR_H_
+
+#include <cstdint>
+
+#include "core/tiered_table.h"
+
+namespace hytap {
+
+/// Outcome of one reallocation round (paper §III-D).
+struct MigrationReport {
+  uint64_t moved_bytes = 0;
+  uint64_t evicted_columns = 0;
+  uint64_t loaded_columns = 0;
+  /// Simulated duration of the physical move, bounded by the secondary
+  /// device's sequential bandwidth (the paper sizes beta from the allowed
+  /// maintenance window and this bandwidth).
+  uint64_t duration_ns = 0;
+  bool applied = false;
+};
+
+/// Applies a placement to a table and accounts the physical reallocation
+/// cost. Optionally refuses moves that exceed a maintenance-window budget,
+/// mirroring how beta is chosen in practice (§III-D).
+class Migrator {
+ public:
+  /// `max_window_ns` = 0 means unbounded.
+  explicit Migrator(uint64_t max_window_ns = 0)
+      : max_window_ns_(max_window_ns) {}
+
+  /// Estimates the migration cost of switching `table` to `in_dram` without
+  /// applying it.
+  MigrationReport Estimate(const TieredTable& table,
+                           const std::vector<bool>& in_dram) const;
+
+  /// Applies the placement if the estimated duration fits the window;
+  /// otherwise returns the estimate with applied = false.
+  StatusOr<MigrationReport> Apply(TieredTable* table,
+                                  const std::vector<bool>& in_dram) const;
+
+ private:
+  uint64_t max_window_ns_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_CORE_MIGRATOR_H_

@@ -1,0 +1,41 @@
+#include "core/tiered_table.h"
+
+#include <algorithm>
+
+namespace hytap {
+
+TieredTable::TieredTable(std::string name, Schema schema,
+                         TieredTableOptions options)
+    : options_(options) {
+  store_ = std::make_unique<SecondaryStore>(options.device,
+                                            options.timing_seed);
+  buffers_ = std::make_unique<BufferManager>(store_.get(),
+                                             options.min_frames);
+  table_ = std::make_unique<Table>(std::move(name), std::move(schema), &txns_,
+                                   store_.get(), buffers_.get());
+  executor_ =
+      std::make_unique<QueryExecutor>(table_.get(), options.probe_threshold);
+}
+
+QueryResult TieredTable::Execute(const Transaction& txn, const Query& query,
+                                 uint32_t threads) {
+  plan_cache_.Record(query);
+  return executor_->Execute(txn, query, threads);
+}
+
+StatusOr<uint64_t> TieredTable::ApplyPlacement(
+    const std::vector<bool>& in_dram) {
+  uint64_t migrated_bytes = 0;
+  Status status = table_->SetPlacement(in_dram, &migrated_bytes);
+  if (!status.ok()) return status;
+  // Size the page cache relative to the evicted footprint (Fig. 7: 2 %).
+  const Sscg* sscg = table_->sscg();
+  const size_t evicted_pages = sscg == nullptr ? 0 : sscg->page_count();
+  const size_t frames = std::max(
+      options_.min_frames,
+      static_cast<size_t>(double(evicted_pages) * options_.cache_share));
+  buffers_->Resize(frames);
+  return migrated_bytes;
+}
+
+}  // namespace hytap

@@ -1,0 +1,91 @@
+#ifndef HYTAP_CORE_TIERED_TABLE_H_
+#define HYTAP_CORE_TIERED_TABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "query/executor.h"
+#include "query/plan_cache.h"
+#include "storage/table.h"
+#include "tiering/buffer_manager.h"
+#include "tiering/secondary_store.h"
+#include "txn/transaction_manager.h"
+
+namespace hytap {
+
+/// Configuration for a tiered table instance.
+struct TieredTableOptions {
+  DeviceKind device = DeviceKind::kXpoint;
+  /// Buffer-manager capacity as a share of the table's secondary-storage
+  /// footprint once evicted (paper Fig. 7 uses 2 %). Frame count is derived
+  /// lazily from the first placement; `min_frames` is the floor.
+  double cache_share = 0.02;
+  size_t min_frames = 64;
+  double probe_threshold = 1e-4;
+  uint64_t timing_seed = 42;
+};
+
+/// Owning facade that wires a Table to its transaction manager, secondary
+/// store, buffer manager, executor, and plan cache. The main entry point of
+/// the library for applications (see examples/).
+class TieredTable {
+ public:
+  TieredTable(std::string name, Schema schema, TieredTableOptions options);
+
+  TieredTable(const TieredTable&) = delete;
+  TieredTable& operator=(const TieredTable&) = delete;
+
+  /// Bulk-loads initial data (before any transactions).
+  void Load(const std::vector<Row>& rows) { table_->BulkLoad(rows); }
+
+  Transaction Begin() { return txns_.Begin(); }
+  void Commit(Transaction* txn) { txns_.Commit(txn); }
+  void Abort(Transaction* txn) { txns_.Abort(txn); }
+
+  Status Insert(const Transaction& txn, const Row& row) {
+    return table_->Insert(txn, row);
+  }
+  Status Delete(const Transaction& txn, RowId row) {
+    return table_->Delete(txn, row);
+  }
+
+  /// Executes a query, recording it in the plan cache.
+  QueryResult Execute(const Transaction& txn, const Query& query,
+                      uint32_t threads = 1);
+
+  /// Executes without recording (benchmark warmups).
+  QueryResult ExecuteUnrecorded(const Transaction& txn, const Query& query,
+                                uint32_t threads = 1) const {
+    return executor_->Execute(txn, query, threads);
+  }
+
+  void MergeDelta() { table_->MergeDelta(); }
+
+  /// Applies a placement (true = DRAM) and resizes the page cache to
+  /// `cache_share` of the evicted footprint. Returns migrated bytes.
+  StatusOr<uint64_t> ApplyPlacement(const std::vector<bool>& in_dram);
+
+  Table& table() { return *table_; }
+  const Table& table() const { return *table_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  SecondaryStore& store() { return *store_; }
+  const SecondaryStore& store() const { return *store_; }
+  BufferManager& buffers() { return *buffers_; }
+  const BufferManager& buffers() const { return *buffers_; }
+  TransactionManager& txns() { return txns_; }
+  const TieredTableOptions& options() const { return options_; }
+
+ private:
+  TieredTableOptions options_;
+  TransactionManager txns_;
+  std::unique_ptr<SecondaryStore> store_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<QueryExecutor> executor_;
+  PlanCache plan_cache_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_CORE_TIERED_TABLE_H_

@@ -1,0 +1,337 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/assert.h"
+#include "query/scan.h"
+
+namespace hytap {
+
+QueryExecutor::QueryExecutor(const Table* table, double probe_threshold)
+    : table_(table), probe_threshold_(probe_threshold) {
+  HYTAP_ASSERT(table != nullptr, "executor requires a table");
+}
+
+double QueryExecutor::EstimateSelectivity(const Predicate& pred) const {
+  // Histogram-backed estimate when statistics exist (range-aware); otherwise
+  // the 1/distinct default (paper §II-B footnote).
+  if (const TableStatistics* stats = table_->statistics()) {
+    return stats->EstimateSelectivity(pred.column, pred.LoPtr(),
+                                      pred.HiPtr());
+  }
+  return table_->SelectivityEstimate(pred.column);
+}
+
+std::vector<size_t> QueryExecutor::PredicateOrder(const Query& query) const {
+  std::vector<size_t> order(query.predicates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const ColumnId ca = query.predicates[a].column;
+    const ColumnId cb = query.predicates[b].column;
+    const bool dram_a = table_->location(ca) == ColumnLocation::kDram;
+    const bool dram_b = table_->location(cb) == ColumnLocation::kDram;
+    if (dram_a != dram_b) return dram_a;  // DRAM-resident first
+    const double sa = EstimateSelectivity(query.predicates[a]);
+    const double sb = EstimateSelectivity(query.predicates[b]);
+    if (sa != sb) return sa < sb;  // most restrictive first
+    return ca < cb;
+  });
+  return order;
+}
+
+namespace {
+
+bool IsEquality(const Predicate& pred) {
+  return pred.lo.has_value() && pred.hi.has_value() && *pred.lo == *pred.hi;
+}
+
+/// Simulated DRAM cost of one B+-tree index traversal plus materializing
+/// `matches` row ids.
+uint64_t IndexLookupCostNs(size_t indexed_rows, size_t matches) {
+  size_t height = 1;
+  for (size_t n = indexed_rows; n > 64; n /= 64) ++height;
+  return (height * 2 + matches) * kDramTouchNs;
+}
+
+}  // namespace
+
+// Index selection (paper §II-B: "filters are executed using indices if
+// existing; afterwards, the remaining filters are sorted ..."): prefer a
+// composite index covered by equality predicates, then a single-column index
+// on the most selective indexed predicate. Returns the indices of the
+// consumed predicates via `used`.
+const MainIndex* QueryExecutor::PickIndex(const Query& query,
+                                          std::vector<size_t>* used) const {
+  // Composite: all key parts present as equalities.
+  std::vector<ColumnId> equality_columns;
+  for (const Predicate& pred : query.predicates) {
+    if (IsEquality(pred)) equality_columns.push_back(pred.column);
+  }
+  if (const MainIndex* composite =
+          table_->FindCompositeIndex(equality_columns)) {
+    for (ColumnId key_part : composite->columns()) {
+      for (size_t i = 0; i < query.predicates.size(); ++i) {
+        if (query.predicates[i].column == key_part &&
+            IsEquality(query.predicates[i])) {
+          used->push_back(i);
+          break;
+        }
+      }
+    }
+    return composite;
+  }
+  // Single-column: most selective indexed predicate first.
+  const MainIndex* best = nullptr;
+  double best_selectivity = 2.0;
+  size_t best_predicate = 0;
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    const MainIndex* index = table_->FindIndex(query.predicates[i].column);
+    if (index == nullptr) continue;
+    const double s = table_->SelectivityEstimate(query.predicates[i].column);
+    if (s < best_selectivity) {
+      best_selectivity = s;
+      best = index;
+      best_predicate = i;
+    }
+  }
+  if (best != nullptr) used->push_back(best_predicate);
+  return best;
+}
+
+void QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
+                                const std::vector<size_t>& order,
+                                uint32_t threads, QueryResult* result) const {
+  const size_t main_rows = table_->main_row_count();
+  if (main_rows == 0) return;
+  PositionList positions;
+  bool first = true;
+  // Index access path.
+  std::vector<size_t> used_predicates;
+  if (!query.predicates.empty()) {
+    if (const MainIndex* index = PickIndex(query, &used_predicates)) {
+      if (index->columns().size() > 1) {
+        Row key(index->columns().size());
+        for (size_t k = 0; k < index->columns().size(); ++k) {
+          key[k] = *query.predicates[used_predicates[k]].lo;
+        }
+        positions = index->Lookup(key);
+      } else {
+        const Predicate& pred = query.predicates[used_predicates[0]];
+        if (IsEquality(pred)) {
+          positions = index->Lookup({*pred.lo});
+        } else {
+          index->RangeLookup(pred.LoPtr(), pred.HiPtr(), &positions);
+        }
+      }
+      result->io.dram_ns += IndexLookupCostNs(index->size(),
+                                              positions.size());
+      result->candidate_trace.push_back(positions.size());
+      first = false;
+    }
+  }
+  for (size_t idx : order) {
+    if (std::find(used_predicates.begin(), used_predicates.end(), idx) !=
+        used_predicates.end()) {
+      continue;  // already answered by the index
+    }
+    const Predicate& pred = query.predicates[idx];
+    if (first) {
+      ScanMainColumn(*table_, pred.column, pred, threads, &positions,
+                     &result->io);
+      first = false;
+    } else if (positions.empty()) {
+      result->candidate_trace.push_back(0);
+      continue;
+    } else {
+      const double fraction =
+          static_cast<double>(positions.size()) / double(main_rows);
+      PositionList next;
+      if (fraction >= probe_threshold_ &&
+          table_->location(pred.column) == ColumnLocation::kSecondary) {
+        // Too many candidates for random page probes: sequentially scan the
+        // tiered group and intersect (paper §II-B scan-vs-probe switch).
+        PositionList scanned;
+        ScanMainColumn(*table_, pred.column, pred, threads, &scanned,
+                       &result->io);
+        std::set_intersection(positions.begin(), positions.end(),
+                              scanned.begin(), scanned.end(),
+                              std::back_inserter(next));
+      } else {
+        ProbeMainColumn(*table_, pred.column, pred, positions, threads,
+                        &next, &result->io);
+      }
+      positions = std::move(next);
+    }
+    result->candidate_trace.push_back(positions.size());
+  }
+  if (query.predicates.empty()) {
+    positions.resize(main_rows);
+    for (RowId r = 0; r < main_rows; ++r) positions[r] = r;
+  }
+  // MVCC: filter invalidated main rows.
+  for (RowId row : positions) {
+    if (table_->IsVisible(row, txn)) result->positions.push_back(row);
+  }
+}
+
+void QueryExecutor::ExecuteDelta(const Transaction& txn, const Query& query,
+                                 const std::vector<size_t>& order,
+                                 QueryResult* result) const {
+  const size_t delta_rows = table_->delta_row_count();
+  if (delta_rows == 0) return;
+  PositionList positions;
+  bool first = true;
+  for (size_t idx : order) {
+    const Predicate& pred = query.predicates[idx];
+    if (first) {
+      ScanDeltaColumn(*table_, pred.column, pred, &positions, &result->io);
+      first = false;
+    } else if (positions.empty()) {
+      break;
+    } else {
+      PositionList next;
+      ProbeDeltaColumn(*table_, pred.column, pred, positions, &next,
+                       &result->io);
+      positions = std::move(next);
+    }
+  }
+  if (query.predicates.empty()) {
+    positions.resize(delta_rows);
+    for (RowId r = 0; r < delta_rows; ++r) positions[r] = r;
+  }
+  const size_t main_rows = table_->main_row_count();
+  for (RowId local : positions) {
+    const RowId global = main_rows + local;
+    if (table_->IsVisible(global, txn)) result->positions.push_back(global);
+  }
+}
+
+namespace {
+
+double NumericAsDouble(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt32:
+      return double(v.AsInt32());
+    case DataType::kInt64:
+      return double(v.AsInt64());
+    case DataType::kFloat:
+      return double(v.AsFloat());
+    case DataType::kDouble:
+      return v.AsDouble();
+    case DataType::kString:
+      HYTAP_UNREACHABLE("SUM over a string column");
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+}  // namespace
+
+void QueryExecutor::Materialize(const Query& query, uint32_t threads,
+                                QueryResult* result) const {
+  if (query.projections.empty() && query.aggregates.empty()) return;
+  const size_t main_rows = table_->main_row_count();
+  // Fetch set: projections first, then any extra aggregate inputs, so
+  // SSCG attributes of one row still share a single page access
+  // (paper §II-A: tuple-centric SSCG locality).
+  std::vector<ColumnId> fetch_cols = query.projections;
+  std::vector<size_t> aggregate_slot(query.aggregates.size(), SIZE_MAX);
+  for (size_t a = 0; a < query.aggregates.size(); ++a) {
+    const Aggregate& agg = query.aggregates[a];
+    if (agg.kind == Aggregate::Kind::kCount) continue;
+    auto it = std::find(fetch_cols.begin(), fetch_cols.end(), agg.column);
+    if (it == fetch_cols.end()) {
+      aggregate_slot[a] = fetch_cols.size();
+      fetch_cols.push_back(agg.column);
+    } else {
+      aggregate_slot[a] = size_t(it - fetch_cols.begin());
+    }
+  }
+
+  bool any_sscg = false;
+  for (ColumnId c : fetch_cols) {
+    any_sscg |= table_->location(c) == ColumnLocation::kSecondary;
+  }
+
+  // Aggregate accumulators.
+  std::vector<double> sums(query.aggregates.size(), 0.0);
+  std::vector<Row> minmax(1);  // scratch; per-aggregate best values
+  std::vector<std::optional<Value>> best(query.aggregates.size());
+
+  const bool keep_rows = !query.projections.empty();
+  if (keep_rows) result->rows.reserve(result->positions.size());
+  for (RowId row : result->positions) {
+    Row fetched(fetch_cols.size());
+    if (row < main_rows && any_sscg) {
+      const Sscg* sscg = table_->sscg();
+      HYTAP_ASSERT(sscg != nullptr, "SSCG projection without SSCG");
+      Row group = sscg->ReconstructTuple(row, table_->buffers(), threads,
+                                         &result->io);
+      for (size_t p = 0; p < fetch_cols.size(); ++p) {
+        const int slot = sscg->layout().SlotOf(fetch_cols[p]);
+        if (slot >= 0) fetched[p] = group[static_cast<size_t>(slot)];
+      }
+    }
+    for (size_t p = 0; p < fetch_cols.size(); ++p) {
+      const ColumnId c = fetch_cols[p];
+      if (row < main_rows &&
+          table_->location(c) == ColumnLocation::kSecondary) {
+        continue;  // already materialized from the group page
+      }
+      fetched[p] = table_->GetValue(c, row, threads, &result->io);
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const Aggregate& agg = query.aggregates[a];
+      switch (agg.kind) {
+        case Aggregate::Kind::kCount:
+          break;  // computed from positions below
+        case Aggregate::Kind::kSum:
+          sums[a] += NumericAsDouble(fetched[aggregate_slot[a]]);
+          break;
+        case Aggregate::Kind::kMin: {
+          const Value& v = fetched[aggregate_slot[a]];
+          if (!best[a].has_value() || v < *best[a]) best[a] = v;
+          break;
+        }
+        case Aggregate::Kind::kMax: {
+          const Value& v = fetched[aggregate_slot[a]];
+          if (!best[a].has_value() || *best[a] < v) best[a] = v;
+          break;
+        }
+      }
+    }
+    if (keep_rows) {
+      fetched.resize(query.projections.size());
+      result->rows.push_back(std::move(fetched));
+    }
+  }
+  result->aggregate_values.resize(query.aggregates.size());
+  for (size_t a = 0; a < query.aggregates.size(); ++a) {
+    switch (query.aggregates[a].kind) {
+      case Aggregate::Kind::kCount:
+        result->aggregate_values[a] =
+            Value(int64_t(result->positions.size()));
+        break;
+      case Aggregate::Kind::kSum:
+        result->aggregate_values[a] = Value(sums[a]);
+        break;
+      case Aggregate::Kind::kMin:
+      case Aggregate::Kind::kMax:
+        result->aggregate_values[a] = best[a].value_or(Value());
+        break;
+    }
+  }
+}
+
+QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
+                                   uint32_t threads) const {
+  HYTAP_ASSERT(threads >= 1, "thread count must be >= 1");
+  QueryResult result;
+  const std::vector<size_t> order = PredicateOrder(query);
+  ExecuteMain(txn, query, order, threads, &result);
+  ExecuteDelta(txn, query, order, &result);
+  Materialize(query, threads, &result);
+  return result;
+}
+
+}  // namespace hytap

@@ -1,0 +1,75 @@
+#ifndef HYTAP_QUERY_EXECUTOR_H_
+#define HYTAP_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/table.h"
+#include "txn/transaction_manager.h"
+
+namespace hytap {
+
+/// Result of a query execution.
+struct QueryResult {
+  /// Qualifying global row ids (main rows then delta rows, ascending within
+  /// each partition).
+  PositionList positions;
+  /// Materialized projections (one row per position), if requested.
+  std::vector<Row> rows;
+  /// Aggregate results, aligned with Query::aggregates. Count results are
+  /// int64 values; sums are doubles; min/max carry the column type.
+  std::vector<Value> aggregate_values;
+  /// Simulated IO/DRAM cost of the execution.
+  IoStats io;
+  /// Candidate count after each executed predicate (execution order), for
+  /// diagnostics and tests of the predicate-ordering logic.
+  std::vector<size_t> candidate_trace;
+};
+
+/// Placement-aware query executor (paper §II-B).
+///
+/// Non-indexed filters execute in an order determined first by column
+/// location (DRAM-resident before secondary storage) and second by ascending
+/// selectivity (1/distinct-count). Each predicate after the first consumes
+/// the previous position list; the executor switches from scanning to probing
+/// once the fraction of remaining candidates drops below `probe_threshold`
+/// (paper default: 0.01 % of the table's tuples).
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const Table* table, double probe_threshold = 1e-4);
+
+  /// Executes a conjunctive query under `txn`'s snapshot with `threads`
+  /// simulated workers.
+  QueryResult Execute(const Transaction& txn, const Query& query,
+                      uint32_t threads = 1) const;
+
+  /// The predicate execution order for `query` (indices into
+  /// query.predicates). Exposed for tests and the plan cache.
+  std::vector<size_t> PredicateOrder(const Query& query) const;
+
+ private:
+  /// Histogram-aware selectivity estimate for one predicate (falls back to
+  /// 1/distinct when the table has no statistics).
+  double EstimateSelectivity(const Predicate& pred) const;
+
+  /// Chooses an index access path if one applies (paper §II-B); appends the
+  /// predicate indices it answers to `used`.
+  const MainIndex* PickIndex(const Query& query,
+                             std::vector<size_t>* used) const;
+
+  void ExecuteMain(const Transaction& txn, const Query& query,
+                   const std::vector<size_t>& order, uint32_t threads,
+                   QueryResult* result) const;
+  void ExecuteDelta(const Transaction& txn, const Query& query,
+                    const std::vector<size_t>& order,
+                    QueryResult* result) const;
+  void Materialize(const Query& query, uint32_t threads,
+                   QueryResult* result) const;
+
+  const Table* table_;
+  double probe_threshold_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_QUERY_EXECUTOR_H_

@@ -1,0 +1,52 @@
+#ifndef HYTAP_QUERY_JOIN_H_
+#define HYTAP_QUERY_JOIN_H_
+
+#include <vector>
+
+#include "query/executor.h"
+#include "storage/table.h"
+
+namespace hytap {
+
+/// An equi-join between the qualifying rows of two single-table queries.
+///
+/// The paper's workload model treats OLAP joins as large sequential accesses
+/// on the join columns (§III-A); this operator supplies the corresponding
+/// execution path: a hash join whose build and probe inputs are produced by
+/// the placement-aware single-table executor, so join columns that were
+/// evicted into an SSCG pay the appropriate page-access costs.
+struct JoinSpec {
+  ColumnId left_column = 0;   // equi-join key in the left table
+  ColumnId right_column = 0;  // equi-join key in the right table
+  /// Columns materialized into the join result.
+  std::vector<ColumnId> left_projections;
+  std::vector<ColumnId> right_projections;
+};
+
+struct JoinResult {
+  /// One row per join match: left projections then right projections.
+  std::vector<Row> rows;
+  /// Matching (left, right) global row-id pairs.
+  std::vector<std::pair<RowId, RowId>> matches;
+  IoStats io;
+};
+
+/// Hash-joins the rows qualifying under `left_query` on `left` with the rows
+/// qualifying under `right_query` on `right`. The smaller qualifying side is
+/// used as the build side. Key columns may live in DRAM or an SSCG.
+class HashJoin {
+ public:
+  HashJoin(const Table* left, const Table* right);
+
+  JoinResult Execute(const Transaction& txn, const Query& left_query,
+                     const Query& right_query, const JoinSpec& spec,
+                     uint32_t threads = 1) const;
+
+ private:
+  const Table* left_;
+  const Table* right_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_QUERY_JOIN_H_

@@ -1,0 +1,54 @@
+#include "query/plan_cache.h"
+
+#include <algorithm>
+
+namespace hytap {
+
+void PlanCache::Record(const Query& query) {
+  std::vector<ColumnId> key;
+  key.reserve(query.predicates.size());
+  for (const Predicate& pred : query.predicates) key.push_back(pred.column);
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+  ++counts_[key];
+  ++total_;
+}
+
+std::vector<double> PlanCache::ColumnFrequencies(const Table& table) const {
+  std::vector<double> g(table.column_count(), 0.0);
+  for (const auto& [columns, count] : counts_) {
+    for (ColumnId c : columns) g[c] += static_cast<double>(count);
+  }
+  return g;
+}
+
+Workload PlanCache::ToWorkload(const Table& table) const {
+  Workload workload;
+  const size_t n = table.column_count();
+  workload.column_sizes.reserve(n);
+  workload.selectivities.reserve(n);
+  workload.column_names.reserve(n);
+  for (ColumnId c = 0; c < n; ++c) {
+    // Guard against zero-sized columns (empty tables) for model stability.
+    workload.column_sizes.push_back(
+        std::max<double>(1.0, double(table.ColumnDramBytes(c))));
+    workload.selectivities.push_back(table.SelectivityEstimate(c));
+    workload.column_names.push_back(table.schema()[c].name);
+  }
+  workload.queries.reserve(counts_.size());
+  for (const auto& [columns, count] : counts_) {
+    QueryTemplate tmpl;
+    tmpl.columns.assign(columns.begin(), columns.end());
+    tmpl.frequency = static_cast<double>(count);
+    workload.queries.push_back(std::move(tmpl));
+  }
+  workload.Check();
+  return workload;
+}
+
+void PlanCache::Clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+}  // namespace hytap

@@ -1,0 +1,53 @@
+#ifndef HYTAP_QUERY_PLAN_CACHE_H_
+#define HYTAP_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/table.h"
+#include "workload/workload.h"
+
+namespace hytap {
+
+/// Records executed query templates for workload-driven column selection
+/// (paper §I-B: "We separate attributes ... by analyzing the database's plan
+/// cache"). A template is identified by the set of filtered columns; the
+/// cache counts occurrences (b_j).
+class PlanCache {
+ public:
+  PlanCache() = default;
+
+  /// Records one execution of `query`.
+  void Record(const Query& query);
+
+  /// Number of distinct templates.
+  size_t template_count() const { return counts_.size(); }
+  /// Total recorded executions.
+  uint64_t total_executions() const { return total_; }
+
+  /// Weighted occurrence count g_i per column of `table`.
+  std::vector<double> ColumnFrequencies(const Table& table) const;
+
+  /// Exports the recorded workload for the selection model, taking column
+  /// sizes a_i and selectivities s_i from `table`.
+  Workload ToWorkload(const Table& table) const;
+
+  /// Raw per-template counts (key = sorted filtered-column set). Used by the
+  /// workload-history / forecasting layer.
+  const std::map<std::vector<ColumnId>, uint64_t>& templates() const {
+    return counts_;
+  }
+
+  void Clear();
+
+ private:
+  // Key: sorted, deduplicated filtered-column set.
+  std::map<std::vector<ColumnId>, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_QUERY_PLAN_CACHE_H_

@@ -1,0 +1,41 @@
+#include "query/predicate.h"
+
+namespace hytap {
+
+Predicate Predicate::Equals(ColumnId column, Value value) {
+  Predicate p;
+  p.column = column;
+  p.lo = value;
+  p.hi = std::move(value);
+  return p;
+}
+
+Predicate Predicate::Between(ColumnId column, Value lo, Value hi) {
+  Predicate p;
+  p.column = column;
+  p.lo = std::move(lo);
+  p.hi = std::move(hi);
+  return p;
+}
+
+Predicate Predicate::AtLeast(ColumnId column, Value lo) {
+  Predicate p;
+  p.column = column;
+  p.lo = std::move(lo);
+  return p;
+}
+
+Predicate Predicate::AtMost(ColumnId column, Value hi) {
+  Predicate p;
+  p.column = column;
+  p.hi = std::move(hi);
+  return p;
+}
+
+bool Predicate::Matches(const Value& v) const {
+  if (lo.has_value() && v < *lo) return false;
+  if (hi.has_value() && *hi < v) return false;
+  return true;
+}
+
+}  // namespace hytap

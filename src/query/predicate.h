@@ -1,0 +1,55 @@
+#ifndef HYTAP_QUERY_PREDICATE_H_
+#define HYTAP_QUERY_PREDICATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/value.h"
+
+namespace hytap {
+
+/// A conjunctive filter on one column: closed interval [lo, hi] with optional
+/// bounds. Equality is lo == hi; a missing bound is unbounded.
+struct Predicate {
+  ColumnId column = 0;
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+
+  static Predicate Equals(ColumnId column, Value value);
+  static Predicate Between(ColumnId column, Value lo, Value hi);
+  static Predicate AtLeast(ColumnId column, Value lo);
+  static Predicate AtMost(ColumnId column, Value hi);
+
+  const Value* LoPtr() const { return lo.has_value() ? &*lo : nullptr; }
+  const Value* HiPtr() const { return hi.has_value() ? &*hi : nullptr; }
+
+  /// True iff `v` satisfies the predicate.
+  bool Matches(const Value& v) const;
+};
+
+/// An aggregate over the qualifying rows of a query.
+struct Aggregate {
+  enum class Kind { kCount, kSum, kMin, kMax };
+  Kind kind = Kind::kCount;
+  /// Aggregated column (ignored for kCount).
+  ColumnId column = 0;
+
+  static Aggregate Count() { return {Kind::kCount, 0}; }
+  static Aggregate Sum(ColumnId column) { return {Kind::kSum, column}; }
+  static Aggregate Min(ColumnId column) { return {Kind::kMin, column}; }
+  static Aggregate Max(ColumnId column) { return {Kind::kMax, column}; }
+};
+
+/// A conjunctive query: all predicates must hold; `projections` lists the
+/// columns to materialize for qualifying rows (empty = positions only);
+/// `aggregates` are computed over the qualifying rows.
+struct Query {
+  std::vector<Predicate> predicates;
+  std::vector<ColumnId> projections;
+  std::vector<Aggregate> aggregates;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_QUERY_PREDICATE_H_

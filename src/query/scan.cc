@@ -1,0 +1,76 @@
+#include "query/scan.h"
+
+#include "common/assert.h"
+#include "storage/dictionary_column.h"
+
+namespace hytap {
+
+namespace {
+
+/// Simulated cost of a vectorized scan over a dictionary-encoded column:
+/// the bit-packed code vector streams through at DRAM bandwidth.
+uint64_t MrcScanCostNs(const AbstractColumn* column) {
+  const uint64_t bytes = column->MemoryUsage();
+  return bytes / kDramScanBytesPerNs + 1;
+}
+
+}  // namespace
+
+void ScanMainColumn(const Table& table, ColumnId column,
+                    const Predicate& pred, uint32_t threads,
+                    PositionList* out, IoStats* io) {
+  if (table.main_row_count() == 0) return;
+  if (table.location(column) == ColumnLocation::kDram) {
+    const AbstractColumn* mrc = table.mrc(column);
+    HYTAP_ASSERT(mrc != nullptr, "DRAM column without MRC");
+    mrc->ScanBetween(pred.LoPtr(), pred.HiPtr(), out);
+    if (io != nullptr) io->dram_ns += MrcScanCostNs(mrc);
+    return;
+  }
+  const Sscg* sscg = table.sscg();
+  HYTAP_ASSERT(sscg != nullptr, "SSCG column without SSCG");
+  const int slot = sscg->layout().SlotOf(column);
+  HYTAP_ASSERT(slot >= 0, "column not in SSCG");
+  sscg->ScanSlot(static_cast<size_t>(slot), pred.LoPtr(), pred.HiPtr(),
+                 table.buffers(), threads, out, io);
+}
+
+void ProbeMainColumn(const Table& table, ColumnId column,
+                     const Predicate& pred, const PositionList& in,
+                     uint32_t queue_depth, PositionList* out, IoStats* io) {
+  if (in.empty()) return;
+  if (table.location(column) == ColumnLocation::kDram) {
+    const AbstractColumn* mrc = table.mrc(column);
+    HYTAP_ASSERT(mrc != nullptr, "DRAM column without MRC");
+    mrc->Probe(pred.LoPtr(), pred.HiPtr(), in, out);
+    if (io != nullptr) io->dram_ns += 2 * kDramTouchNs * in.size();
+    return;
+  }
+  const Sscg* sscg = table.sscg();
+  HYTAP_ASSERT(sscg != nullptr, "SSCG column without SSCG");
+  const int slot = sscg->layout().SlotOf(column);
+  HYTAP_ASSERT(slot >= 0, "column not in SSCG");
+  sscg->ProbeSlot(static_cast<size_t>(slot), pred.LoPtr(), pred.HiPtr(), in,
+                  table.buffers(), queue_depth, out, io);
+}
+
+void ScanDeltaColumn(const Table& table, ColumnId column,
+                     const Predicate& pred, PositionList* out, IoStats* io) {
+  const AbstractColumn* delta = table.delta(column);
+  if (delta->size() == 0) return;
+  delta->ScanBetween(pred.LoPtr(), pred.HiPtr(), out);
+  if (io != nullptr) {
+    io->dram_ns += 2 * kDramTouchNs * delta->size() / 8 + 1;
+  }
+}
+
+void ProbeDeltaColumn(const Table& table, ColumnId column,
+                      const Predicate& pred, const PositionList& in,
+                      PositionList* out, IoStats* io) {
+  if (in.empty()) return;
+  const AbstractColumn* delta = table.delta(column);
+  delta->Probe(pred.LoPtr(), pred.HiPtr(), in, out);
+  if (io != nullptr) io->dram_ns += 2 * kDramTouchNs * in.size();
+}
+
+}  // namespace hytap

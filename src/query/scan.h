@@ -1,0 +1,34 @@
+#ifndef HYTAP_QUERY_SCAN_H_
+#define HYTAP_QUERY_SCAN_H_
+
+#include "query/predicate.h"
+#include "storage/sscg.h"
+#include "storage/table.h"
+
+namespace hytap {
+
+/// Low-level scan/probe primitives over a table's main and delta partitions,
+/// with simulated cost accounting. Positions are partition-local.
+
+/// Full scan of a main-partition column (MRC vectorized scan or SSCG
+/// sequential page scan, depending on placement).
+void ScanMainColumn(const Table& table, ColumnId column, const Predicate& pred,
+                    uint32_t threads, PositionList* out, IoStats* io);
+
+/// Probes main-partition candidate positions (ascending) against a column.
+void ProbeMainColumn(const Table& table, ColumnId column,
+                     const Predicate& pred, const PositionList& in,
+                     uint32_t queue_depth, PositionList* out, IoStats* io);
+
+/// Full scan of a delta-partition column (always DRAM).
+void ScanDeltaColumn(const Table& table, ColumnId column,
+                     const Predicate& pred, PositionList* out, IoStats* io);
+
+/// Probes delta-partition candidates.
+void ProbeDeltaColumn(const Table& table, ColumnId column,
+                      const Predicate& pred, const PositionList& in,
+                      PositionList* out, IoStats* io);
+
+}  // namespace hytap
+
+#endif  // HYTAP_QUERY_SCAN_H_

@@ -1,0 +1,140 @@
+#include "query/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+double Histogram::ToDouble(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt32:
+      return double(v.AsInt32());
+    case DataType::kInt64:
+      return double(v.AsInt64());
+    case DataType::kFloat:
+      return double(v.AsFloat());
+    case DataType::kDouble:
+      return v.AsDouble();
+    case DataType::kString:
+      HYTAP_UNREACHABLE("no histogram over strings");
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+Histogram Histogram::Build(const std::vector<Value>& values,
+                           size_t bucket_count) {
+  Histogram h;
+  if (values.empty() || values[0].type() == DataType::kString) return h;
+  HYTAP_ASSERT(bucket_count >= 1, "need at least one bucket");
+  h.row_count_ = values.size();
+  h.min_ = h.max_ = ToDouble(values[0]);
+  for (const Value& v : values) {
+    const double x = ToDouble(v);
+    h.min_ = std::min(h.min_, x);
+    h.max_ = std::max(h.max_, x);
+  }
+  if (h.max_ == h.min_) bucket_count = 1;
+  h.bucket_width_ = (h.max_ - h.min_) / double(bucket_count);
+  if (h.bucket_width_ == 0.0) h.bucket_width_ = 1.0;
+  h.buckets_.assign(bucket_count, 0);
+  std::vector<std::set<double>> distinct(bucket_count);
+  for (const Value& v : values) {
+    const double x = ToDouble(v);
+    size_t b = size_t((x - h.min_) / h.bucket_width_);
+    if (b >= bucket_count) b = bucket_count - 1;
+    ++h.buckets_[b];
+    // Exact per-bucket distinct sets are fine at our statistics sample
+    // sizes; production systems would use sketches here.
+    distinct[b].insert(x);
+  }
+  h.bucket_distincts_.resize(bucket_count);
+  for (size_t b = 0; b < bucket_count; ++b) {
+    h.bucket_distincts_[b] = std::max<uint64_t>(1, distinct[b].size());
+  }
+  return h;
+}
+
+double Histogram::EstimateRangeSelectivity(const Value* lo,
+                                           const Value* hi) const {
+  if (empty() || row_count_ == 0) return 1.0;
+  const double lo_x = lo == nullptr ? min_ : ToDouble(*lo);
+  const double hi_x = hi == nullptr ? max_ : ToDouble(*hi);
+  if (hi_x < lo_x) return 0.0;
+  double rows = 0.0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const double b_lo = min_ + double(b) * bucket_width_;
+    const double b_hi = b_lo + bucket_width_;
+    const double overlap_lo = std::max(lo_x, b_lo);
+    const double overlap_hi = std::min(hi_x, b_hi);
+    if (overlap_hi <= overlap_lo) {
+      // Point overlap at a closed boundary still counts for equality-like
+      // ranges.
+      if (overlap_hi == overlap_lo && lo_x == hi_x && lo_x >= b_lo &&
+          lo_x <= b_hi) {
+        rows += double(buckets_[b]) / double(bucket_distincts_[b]);
+        break;
+      }
+      continue;
+    }
+    const double fraction = (overlap_hi - overlap_lo) / bucket_width_;
+    rows += double(buckets_[b]) * std::min(1.0, fraction);
+  }
+  return std::min(1.0, rows / double(row_count_));
+}
+
+double Histogram::EstimateEqualitySelectivity(const Value& value) const {
+  if (empty() || row_count_ == 0) return 1.0;
+  const double x = ToDouble(value);
+  if (x < min_ || x > max_) return 0.0;
+  size_t b = size_t((x - min_) / bucket_width_);
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  const double rows =
+      double(buckets_[b]) / double(bucket_distincts_[b]);
+  return std::min(1.0, rows / double(row_count_));
+}
+
+TableStatistics TableStatistics::Build(
+    const Schema& schema,
+    const std::vector<std::vector<Value>>& column_values,
+    size_t bucket_count) {
+  HYTAP_ASSERT(column_values.size() == schema.size(),
+               "column arity mismatch");
+  TableStatistics stats;
+  stats.histograms_.resize(schema.size());
+  stats.distinct_fractions_.assign(schema.size(), 1.0);
+  for (ColumnId c = 0; c < schema.size(); ++c) {
+    if (schema[c].type != DataType::kString) {
+      stats.histograms_[c] = Histogram::Build(column_values[c], bucket_count);
+    }
+    // Distinct estimate for the fallback path.
+    std::set<std::string> distinct;
+    for (const Value& v : column_values[c]) distinct.insert(v.ToString());
+    if (!distinct.empty()) {
+      stats.distinct_fractions_[c] = 1.0 / double(distinct.size());
+    }
+  }
+  return stats;
+}
+
+double TableStatistics::EstimateSelectivity(ColumnId column, const Value* lo,
+                                            const Value* hi) const {
+  HYTAP_ASSERT(column < histograms_.size(), "column out of range");
+  const Histogram& h = histograms_[column];
+  if (h.empty()) {
+    // String / unsupported column: equality uses 1/distinct; open ranges are
+    // assumed unselective.
+    if (lo != nullptr && hi != nullptr && *lo == *hi) {
+      return distinct_fractions_[column];
+    }
+    return 0.5;
+  }
+  if (lo != nullptr && hi != nullptr && *lo == *hi) {
+    return h.EstimateEqualitySelectivity(*lo);
+  }
+  return h.EstimateRangeSelectivity(lo, hi);
+}
+
+}  // namespace hytap

@@ -1,0 +1,70 @@
+#include "query/tuple_reconstructor.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+LatencyStats LatencyStats::FromSamples(std::vector<uint64_t>& samples_ns) {
+  LatencyStats stats;
+  stats.samples = samples_ns.size();
+  if (samples_ns.empty()) return stats;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  double sum = 0.0;
+  for (uint64_t s : samples_ns) sum += double(s);
+  stats.mean_ns = sum / double(samples_ns.size());
+  auto quantile = [&](double q) {
+    const size_t idx = std::min(
+        samples_ns.size() - 1,
+        static_cast<size_t>(q * double(samples_ns.size())));
+    return samples_ns[idx];
+  };
+  stats.p50_ns = quantile(0.50);
+  stats.p95_ns = quantile(0.95);
+  stats.p99_ns = quantile(0.99);
+  stats.max_ns = samples_ns.back();
+  return stats;
+}
+
+TupleReconstructor::TupleReconstructor(const Table* table) : table_(table) {
+  HYTAP_ASSERT(table != nullptr, "TupleReconstructor requires a table");
+}
+
+uint64_t TupleReconstructor::ReconstructOne(RowId row, uint32_t queue_depth,
+                                            Row* out) const {
+  IoStats io;
+  Row tuple = table_->ReconstructRow(row, queue_depth, &io);
+  if (out != nullptr) *out = std::move(tuple);
+  return io.TotalNs();
+}
+
+LatencyStats TupleReconstructor::RunBatch(size_t count,
+                                          AccessDistribution distribution,
+                                          uint32_t queue_depth, uint64_t seed,
+                                          double zipf_alpha) const {
+  const size_t rows = table_->main_row_count();
+  HYTAP_ASSERT(rows > 0, "RunBatch requires a non-empty main partition");
+  Rng rng(seed);
+  std::vector<uint64_t> samples;
+  samples.reserve(count);
+  if (distribution == AccessDistribution::kZipfian) {
+    ZipfGenerator zipf(rows, zipf_alpha);
+    // The zipf rank maps through a pseudo-random permutation so popular rows
+    // are spread over pages (ranks are not physically clustered).
+    const uint64_t mix = 0x9e3779b97f4a7c15ULL;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t rank = zipf.Next(rng);
+      const RowId row = (rank * mix) % rows;
+      samples.push_back(ReconstructOne(row, queue_depth, nullptr));
+    }
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      const RowId row = rng.NextBounded(rows);
+      samples.push_back(ReconstructOne(row, queue_depth, nullptr));
+    }
+  }
+  return LatencyStats::FromSamples(samples);
+}
+
+}  // namespace hytap

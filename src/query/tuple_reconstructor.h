@@ -1,0 +1,53 @@
+#ifndef HYTAP_QUERY_TUPLE_RECONSTRUCTOR_H_
+#define HYTAP_QUERY_TUPLE_RECONSTRUCTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace hytap {
+
+/// Latency distribution summary (nanoseconds).
+struct LatencyStats {
+  double mean_ns = 0.0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+  size_t samples = 0;
+
+  /// Computes the summary from raw samples (consumes/sorts the vector).
+  static LatencyStats FromSamples(std::vector<uint64_t>& samples_ns);
+};
+
+/// Access distribution for reconstruction batches.
+enum class AccessDistribution {
+  kUniform,
+  kZipfian,  // alpha = 1 unless overridden (paper Fig. 8)
+};
+
+/// Drives batched full-width tuple reconstructions against a table and
+/// collects per-tuple latency samples (paper §IV-B, Figs. 7 and 8).
+class TupleReconstructor {
+ public:
+  explicit TupleReconstructor(const Table* table);
+
+  /// Reconstructs one tuple; returns its simulated latency in ns.
+  uint64_t ReconstructOne(RowId row, uint32_t queue_depth, Row* out) const;
+
+  /// Runs `count` full-width reconstructions over main-partition rows drawn
+  /// from `distribution` and returns the latency summary. `queue_depth`
+  /// models concurrent requesters; `seed` fixes the access sequence.
+  LatencyStats RunBatch(size_t count, AccessDistribution distribution,
+                        uint32_t queue_depth, uint64_t seed,
+                        double zipf_alpha = 1.0) const;
+
+ private:
+  const Table* table_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_QUERY_TUPLE_RECONSTRUCTOR_H_

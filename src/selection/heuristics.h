@@ -1,0 +1,28 @@
+#ifndef HYTAP_SELECTION_HEURISTICS_H_
+#define HYTAP_SELECTION_HEURISTICS_H_
+
+#include "selection/selectors.h"
+
+namespace hytap {
+
+/// The benchmark heuristics of Example 1 (paper §III-C). All three order the
+/// columns by a simple metric, skip columns never used by the workload
+/// (g_i = 0), and fill the budget in order — if a column no longer fits,
+/// later columns are still tried (the paper's filling rule).
+enum class HeuristicKind {
+  kH1Frequency,           // most used first (descending g_i), cf. AutoAdmin
+  kH2Selectivity,         // smallest selectivity s_i first
+  kH3SelectivityPerFreq,  // smallest ratio s_i / g_i first (reactive unload)
+};
+
+const char* HeuristicName(HeuristicKind kind);
+
+/// Runs one of the baseline heuristics for `problem`'s budget. Reallocation
+/// costs and pinning are honored (pinned columns first, moves are costed in
+/// the returned objective).
+SelectionResult SelectHeuristic(const SelectionProblem& problem,
+                                HeuristicKind kind);
+
+}  // namespace hytap
+
+#endif  // HYTAP_SELECTION_HEURISTICS_H_

@@ -1,0 +1,363 @@
+#include "selection/selectors.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.h"
+#include "solver/branch_and_bound.h"
+#include "solver/simplex.h"
+
+namespace hytap {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-byte linear coefficient theta_i = S_i + beta * (1 - 2 y_i):
+/// x_i = 1 improves the objective iff theta_i + alpha < 0 (paper eq. (9)).
+std::vector<double> ThetaCoefficients(const SelectionProblem& problem,
+                                      const CostModel& model) {
+  const size_t n = problem.workload->column_count();
+  std::vector<double> theta(model.S());
+  if (!problem.current.empty() && problem.beta != 0.0) {
+    HYTAP_ASSERT(problem.current.size() == n, "current allocation arity");
+    for (size_t i = 0; i < n; ++i) {
+      theta[i] += problem.beta * (1.0 - 2.0 * double(problem.current[i]));
+    }
+  }
+  return theta;
+}
+
+bool IsPinned(const SelectionProblem& problem, size_t i) {
+  return !problem.pinned.empty() && problem.pinned[i] != 0;
+}
+
+double PinnedBytes(const SelectionProblem& problem) {
+  if (problem.pinned.empty()) return 0.0;
+  double bytes = 0.0;
+  for (size_t i = 0; i < problem.pinned.size(); ++i) {
+    if (problem.pinned[i]) bytes += problem.workload->column_sizes[i];
+  }
+  return bytes;
+}
+
+}  // namespace
+
+SelectionProblem SelectionProblem::FromRelativeBudget(const Workload& workload,
+                                                      ScanCostParams params,
+                                                      double w) {
+  HYTAP_ASSERT(w >= 0.0 && w <= 1.0, "relative budget must be in [0, 1]");
+  SelectionProblem problem;
+  problem.workload = &workload;
+  problem.params = params;
+  problem.budget_bytes = w * workload.TotalBytes();
+  return problem;
+}
+
+SelectionResult FinishResult(const SelectionProblem& problem,
+                             const CostModel& model,
+                             std::vector<uint8_t> in_dram) {
+  const size_t n = problem.workload->column_count();
+  HYTAP_ASSERT(in_dram.size() == n, "allocation arity mismatch");
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPinned(problem, i)) in_dram[i] = 1;
+  }
+  SelectionResult result;
+  result.scan_cost = model.ScanCost(in_dram);
+  result.dram_bytes = model.MemoryUsed(in_dram);
+  result.objective = result.scan_cost;
+  if (!problem.current.empty() && problem.beta != 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (in_dram[i] != problem.current[i]) {
+        result.objective +=
+            problem.beta * problem.workload->column_sizes[i];
+      }
+    }
+  }
+  result.in_dram = std::move(in_dram);
+  return result;
+}
+
+SelectionResult SelectIntegerOptimal(const SelectionProblem& problem,
+                                     uint64_t max_nodes) {
+  const auto start = Clock::now();
+  CostModel model(*problem.workload, problem.params);
+  const double model_seconds = Seconds(start);
+  const std::vector<double> theta = ThetaCoefficients(problem, model);
+  const size_t n = problem.workload->column_count();
+
+  const double pinned_bytes = PinnedBytes(problem);
+  HYTAP_ASSERT(pinned_bytes <= problem.budget_bytes + 1e-9,
+               "pinned columns exceed the DRAM budget");
+
+  // Knapsack items: non-pinned columns whose selection strictly improves the
+  // objective (profit = -a_i * theta_i > 0).
+  std::vector<KnapsackItem> items;
+  std::vector<size_t> item_columns;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPinned(problem, i)) continue;
+    const double profit = -problem.workload->column_sizes[i] * theta[i];
+    if (profit > 0.0) {
+      items.push_back(
+          KnapsackItem{profit, problem.workload->column_sizes[i]});
+      item_columns.push_back(i);
+    }
+  }
+  KnapsackSolution knapsack =
+      SolveKnapsack(items, problem.budget_bytes - pinned_bytes, max_nodes);
+
+  std::vector<uint8_t> in_dram(n, 0);
+  for (size_t k = 0; k < items.size(); ++k) {
+    in_dram[item_columns[k]] = knapsack.take[k];
+  }
+  SelectionResult result = FinishResult(problem, model, std::move(in_dram));
+  result.solver_nodes = knapsack.nodes;
+  result.optimal = knapsack.optimal;
+  result.solve_seconds = Seconds(start);
+  result.model_seconds = model_seconds;
+  return result;
+}
+
+SelectionResult SelectContinuousPenalty(const SelectionProblem& problem,
+                                        double alpha) {
+  const auto start = Clock::now();
+  HYTAP_ASSERT(alpha >= 0.0, "penalty alpha must be non-negative");
+  CostModel model(*problem.workload, problem.params);
+  const std::vector<double> theta = ThetaCoefficients(problem, model);
+  const size_t n = problem.workload->column_count();
+  std::vector<uint8_t> in_dram(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (theta[i] + alpha < 0.0) in_dram[i] = 1;
+  }
+  SelectionResult result = FinishResult(problem, model, std::move(in_dram));
+  result.solve_seconds = Seconds(start);
+  return result;
+}
+
+std::vector<uint8_t> ExplicitFrontier::AllocationFor(
+    double budget_bytes, size_t n, bool filling,
+    const std::vector<double>& sizes) const {
+  std::vector<uint8_t> in_dram(n, 0);
+  double used = 0.0;
+  for (const FrontierPoint& point : points) {
+    const double size = sizes[point.column];
+    if (used + size <= budget_bytes + 1e-9) {
+      in_dram[point.column] = 1;
+      used += size;
+    } else if (!filling) {
+      break;  // strict prefix of the performance order
+    }
+    // With filling (Remark 2), later (smaller) columns may still fit.
+  }
+  return in_dram;
+}
+
+ExplicitFrontier ComputeExplicitFrontier(const SelectionProblem& problem) {
+  CostModel model(*problem.workload, problem.params);
+  const std::vector<double> theta = ThetaCoefficients(problem, model);
+  const size_t n = problem.workload->column_count();
+
+  // Performance order o_i: pinned columns first (alpha = +inf), then columns
+  // by descending critical alpha_i = -theta_i, keeping only those whose
+  // selection can ever improve the objective (alpha_i > 0).
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPinned(problem, i) || theta[i] < 0.0) {
+      order.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const bool pa = IsPinned(problem, a);
+    const bool pb = IsPinned(problem, b);
+    if (pa != pb) return pa;
+    return theta[a] < theta[b];
+  });
+
+  ExplicitFrontier frontier;
+  frontier.points.reserve(order.size());
+  double used = 0.0;
+  double cost = model.AllSecondaryCost();
+  // Baseline objective: with nothing in DRAM every currently-DRAM column
+  // (y_i = 1) pays the eviction move cost.
+  double moves = 0.0;
+  if (!problem.current.empty() && problem.beta != 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (problem.current[i]) {
+        moves += problem.beta * problem.workload->column_sizes[i];
+      }
+    }
+  }
+  for (uint32_t c : order) {
+    const double a = problem.workload->column_sizes[c];
+    used += a;
+    cost += a * model.S()[c];
+    if (!problem.current.empty() && problem.beta != 0.0) {
+      // Selecting c either avoids its eviction cost (y=1) or adds a load
+      // cost (y=0).
+      moves += problem.beta * a * (problem.current[c] ? -1.0 : 1.0);
+    }
+    frontier.points.push_back(FrontierPoint{
+        c, IsPinned(problem, c) ? std::numeric_limits<double>::infinity()
+                                : -theta[c],
+        used, cost, cost + moves});
+  }
+  return frontier;
+}
+
+SelectionResult SelectExplicit(const SelectionProblem& problem,
+                               bool filling) {
+  const auto start = Clock::now();
+  CostModel model(*problem.workload, problem.params);
+  const double model_seconds = Seconds(start);
+  ExplicitFrontier frontier = ComputeExplicitFrontier(problem);
+  std::vector<uint8_t> in_dram = frontier.AllocationFor(
+      problem.budget_bytes, problem.workload->column_count(), filling,
+      problem.workload->column_sizes);
+  SelectionResult result = FinishResult(problem, model, std::move(in_dram));
+  result.solve_seconds = Seconds(start);
+  result.model_seconds = model_seconds;
+  return result;
+}
+
+SelectionResult SelectGreedyMarginal(const SelectionProblem& problem) {
+  const auto start = Clock::now();
+  CostModel model(*problem.workload, problem.params);
+  const size_t n = problem.workload->column_count();
+  std::vector<uint8_t> in_dram(n, 0);
+  double used = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPinned(problem, i)) {
+      in_dram[i] = 1;
+      used += problem.workload->column_sizes[i];
+    }
+  }
+  // Remark 3: repeatedly add the column with the best additional performance
+  // per additional DRAM byte. The cost model is evaluated generically
+  // (ScanCost difference), so the loop also works for nonlinear extensions.
+  double current_cost = model.ScanCost(in_dram);
+  double current_moves = 0.0;
+  if (!problem.current.empty() && problem.beta != 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (in_dram[i] != problem.current[i]) {
+        current_moves += problem.beta * problem.workload->column_sizes[i];
+      }
+    }
+  }
+  while (true) {
+    double best_ratio = 0.0;
+    size_t best_column = n;
+    double best_cost = 0.0;
+    double best_moves = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (in_dram[i]) continue;
+      const double a = problem.workload->column_sizes[i];
+      if (used + a > problem.budget_bytes + 1e-9) continue;
+      in_dram[i] = 1;
+      const double cost = model.ScanCost(in_dram);
+      double moves = current_moves;
+      if (!problem.current.empty() && problem.beta != 0.0) {
+        // Toggling x_i flips whether column i moves.
+        moves += problem.beta * a *
+                 (in_dram[i] != problem.current[i] ? 1.0 : -1.0);
+      }
+      in_dram[i] = 0;
+      const double gain = (current_cost + current_moves) - (cost + moves);
+      const double ratio = gain / a;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_column = i;
+        best_cost = cost;
+        best_moves = moves;
+      }
+    }
+    if (best_column == n) break;
+    in_dram[best_column] = 1;
+    used += problem.workload->column_sizes[best_column];
+    current_cost = best_cost;
+    current_moves = best_moves;
+  }
+  SelectionResult result = FinishResult(problem, model, std::move(in_dram));
+  result.solve_seconds = Seconds(start);
+  return result;
+}
+
+SelectionResult SelectContinuousSimplex(const SelectionProblem& problem,
+                                        double alpha) {
+  const auto start = Clock::now();
+  CostModel model(*problem.workload, problem.params);
+  const std::vector<double> theta = ThetaCoefficients(problem, model);
+  const size_t n = problem.workload->column_count();
+  // Problem (5)/(6) over x in [0,1]^N. For binary y the reallocation term is
+  // linear in x (|x-0| = x, |x-1| = 1-x), so no auxiliary z variables are
+  // needed; the objective coefficient of x_i is a_i * (theta_i + alpha).
+  LpProblem lp;
+  lp.objective.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    lp.objective[i] = problem.workload->column_sizes[i] * (theta[i] + alpha);
+    if (IsPinned(problem, i)) {
+      // Pinning: make selection arbitrarily attractive.
+      lp.objective[i] = -1e18;
+    }
+  }
+  lp.constraints.assign(n, std::vector<double>(n, 0.0));
+  lp.rhs.assign(n, 1.0);
+  for (size_t i = 0; i < n; ++i) lp.constraints[i][i] = 1.0;  // x_i <= 1
+  LpSolution lp_solution = SolveLp(lp);
+  HYTAP_ASSERT(lp_solution.feasible && lp_solution.bounded,
+               "penalty LP must be feasible and bounded");
+  std::vector<uint8_t> in_dram(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // Lemma 1 guarantees integrality; tolerate float fuzz.
+    in_dram[i] = lp_solution.x[i] > 0.5 ? 1 : 0;
+  }
+  SelectionResult result = FinishResult(problem, model, std::move(in_dram));
+  result.solve_seconds = Seconds(start);
+  return result;
+}
+
+RelaxationResult SolveRelaxationSimplex(const SelectionProblem& problem) {
+  CostModel model(*problem.workload, problem.params);
+  const size_t n = problem.workload->column_count();
+  // LP (4) s.t. (3): pinned columns are substituted out (x = 1 fixed).
+  double budget = problem.budget_bytes - PinnedBytes(problem);
+  HYTAP_ASSERT(budget >= -1e-9, "pinned columns exceed the DRAM budget");
+  std::vector<size_t> free_columns;
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsPinned(problem, i)) free_columns.push_back(i);
+  }
+  LpProblem lp;
+  const size_t k = free_columns.size();
+  lp.objective.resize(k);
+  lp.constraints.assign(k + 1, std::vector<double>(k, 0.0));
+  lp.rhs.assign(k + 1, 1.0);
+  for (size_t j = 0; j < k; ++j) {
+    const size_t i = free_columns[j];
+    lp.objective[j] = problem.workload->column_sizes[i] * model.S()[i];
+    lp.constraints[0][j] = problem.workload->column_sizes[i];
+    lp.constraints[j + 1][j] = 1.0;
+  }
+  lp.rhs[0] = std::max(0.0, budget);
+  LpSolution lp_solution = SolveLp(lp);
+  RelaxationResult result;
+  result.feasible = lp_solution.feasible && lp_solution.bounded;
+  if (!result.feasible) return result;
+  result.x.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPinned(problem, i)) result.x[i] = 1.0;
+  }
+  for (size_t j = 0; j < k; ++j) result.x[free_columns[j]] = lp_solution.x[j];
+  result.scan_cost = model.ScanCostContinuous(result.x);
+  for (size_t i = 0; i < n; ++i) {
+    result.dram_bytes += result.x[i] * problem.workload->column_sizes[i];
+  }
+  return result;
+}
+
+}  // namespace hytap

@@ -1,0 +1,110 @@
+#ifndef HYTAP_SELECTION_SELECTORS_H_
+#define HYTAP_SELECTION_SELECTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "selection/cost_model.h"
+#include "workload/workload.h"
+
+namespace hytap {
+
+/// A column selection problem instance (paper §III).
+struct SelectionProblem {
+  const Workload* workload = nullptr;
+  ScanCostParams params;
+  /// DRAM budget A in bytes. Helpers accept the relative budget w instead.
+  double budget_bytes = 0.0;
+  /// Current allocation y (for reallocation costs, §III-D). Empty = no
+  /// reallocation term (beta treated as 0).
+  std::vector<uint8_t> current;
+  /// Per-byte reallocation cost weight beta (>= 0).
+  double beta = 0.0;
+  /// Columns pinned in DRAM by the DBA (SLAs, primary keys; Fig. 2).
+  std::vector<uint8_t> pinned;
+
+  /// Budget from a relative share w of the total column bytes.
+  static SelectionProblem FromRelativeBudget(const Workload& workload,
+                                             ScanCostParams params, double w);
+};
+
+/// Result of a selection run.
+struct SelectionResult {
+  std::vector<uint8_t> in_dram;  // x
+  double scan_cost = 0.0;        // F(x)
+  double dram_bytes = 0.0;       // M(x)
+  double objective = 0.0;        // F(x) + beta * moved bytes
+  double solve_seconds = 0.0;    // wall time including cost-model build
+  double model_seconds = 0.0;    // share spent building the cost model
+  uint64_t solver_nodes = 0;     // B&B nodes (integer selector only)
+  bool optimal = true;
+};
+
+/// Exact integer optimum of problem (2)-(3) (with optional reallocation
+/// term), via branch-and-bound. This is the Pareto-efficient frontier point
+/// for budget A.
+SelectionResult SelectIntegerOptimal(const SelectionProblem& problem,
+                                     uint64_t max_nodes = 200'000'000);
+
+/// Optimal solution of the continuous penalty problem (5)/(6) for a fixed
+/// alpha, via the per-column threshold rule (Theorem 2 cases). Guaranteed
+/// integral (Lemma 1) and Pareto-efficient (Theorem 1). Ignores the budget.
+SelectionResult SelectContinuousPenalty(const SelectionProblem& problem,
+                                        double alpha);
+
+/// One point of the explicit (Schlosser) Pareto frontier.
+struct FrontierPoint {
+  uint32_t column;      // column added at this step (performance order o_i)
+  double alpha;         // critical penalty at which the column enters DRAM
+  double dram_bytes;    // cumulative M(x)
+  double scan_cost;     // cumulative F(x)
+  double objective;     // cumulative F(x) + beta * moves
+};
+
+/// The full explicit solution (Theorem 2): the performance order and the
+/// cumulative Pareto-optimal prefix allocations, computed in
+/// O(model build + N log N) without any solver.
+struct ExplicitFrontier {
+  std::vector<FrontierPoint> points;  // ascending DRAM usage
+  /// Allocation for a DRAM budget: the longest frontier prefix that fits,
+  /// optionally extended by the Remark-2 filling rule (columns of higher
+  /// order that still fit).
+  std::vector<uint8_t> AllocationFor(double budget_bytes, size_t n,
+                                     bool filling,
+                                     const std::vector<double>& sizes) const;
+};
+
+ExplicitFrontier ComputeExplicitFrontier(const SelectionProblem& problem);
+
+/// Explicit solution for a budget (Theorem 2 + optional Remark-2 filling).
+SelectionResult SelectExplicit(const SelectionProblem& problem,
+                               bool filling = true);
+
+/// Remark-3 greedy: recursively add the column maximizing additional
+/// performance per additional DRAM used, evaluating the cost model
+/// generically (works for arbitrary cost functions).
+SelectionResult SelectGreedyMarginal(const SelectionProblem& problem);
+
+/// Solves the continuous penalty problem (5) through the dense simplex
+/// (Lemma-1 validation path; small N only).
+SelectionResult SelectContinuousSimplex(const SelectionProblem& problem,
+                                        double alpha);
+
+/// Solves the plain LP relaxation (4) s.t. (3) through the simplex; the
+/// result may be fractional (at most one fractional column).
+struct RelaxationResult {
+  std::vector<double> x;
+  double scan_cost = 0.0;
+  double dram_bytes = 0.0;
+  bool feasible = false;
+};
+RelaxationResult SolveRelaxationSimplex(const SelectionProblem& problem);
+
+/// Finishes a raw allocation into a SelectionResult (cost bookkeeping).
+SelectionResult FinishResult(const SelectionProblem& problem,
+                             const CostModel& model,
+                             std::vector<uint8_t> in_dram);
+
+}  // namespace hytap
+
+#endif  // HYTAP_SELECTION_SELECTORS_H_

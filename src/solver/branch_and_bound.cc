@@ -1,0 +1,110 @@
+#include "solver/branch_and_bound.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct Searcher {
+  const std::vector<KnapsackItem>& items;  // density-sorted
+  double capacity;
+  uint64_t max_nodes;
+  /// Scale-aware weight tolerance: cumulative floating-point addition of
+  /// large weights can differ by far more than an absolute epsilon, and a
+  /// capacity derived from summing the very same items must stay feasible.
+  double weight_tol;
+
+  std::vector<uint8_t> current;
+  std::vector<uint8_t> best;
+  double best_profit = 0.0;
+  double best_weight = 0.0;
+  uint64_t nodes = 0;
+  bool exhausted = false;
+
+  /// Dantzig bound: greedy fractional fill from `level`.
+  double Bound(size_t level, double weight, double profit) const {
+    double remaining = capacity - weight;
+    double bound = profit;
+    for (size_t i = level; i < items.size(); ++i) {
+      if (items[i].weight <= remaining) {
+        remaining -= items[i].weight;
+        bound += items[i].profit;
+      } else {
+        bound += items[i].profit * (remaining / items[i].weight);
+        break;
+      }
+    }
+    return bound;
+  }
+
+  void Dfs(size_t level, double weight, double profit) {
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return;
+    }
+    if (profit > best_profit + kEps) {
+      best_profit = profit;
+      best_weight = weight;
+      best = current;
+    }
+    if (level == items.size()) return;
+    if (Bound(level, weight, profit) <= best_profit + kEps) return;
+    // Take first (density order makes "take" the promising branch).
+    if (weight + items[level].weight <= capacity + weight_tol) {
+      current[level] = 1;
+      Dfs(level + 1, weight + items[level].weight,
+          profit + items[level].profit);
+      current[level] = 0;
+      if (exhausted) return;
+    }
+    Dfs(level + 1, weight, profit);
+  }
+};
+
+}  // namespace
+
+KnapsackSolution SolveKnapsack(const std::vector<KnapsackItem>& items,
+                               double capacity, uint64_t max_nodes) {
+  KnapsackSolution solution;
+  solution.take.assign(items.size(), 0);
+  if (items.empty() || capacity <= 0.0) return solution;
+  for (const KnapsackItem& item : items) {
+    HYTAP_ASSERT(item.profit > 0.0 && item.weight > 0.0,
+                 "knapsack items need positive profit and weight");
+  }
+
+  // Sort by profit density, descending.
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return items[a].profit * items[b].weight >
+           items[b].profit * items[a].weight;
+  });
+  std::vector<KnapsackItem> sorted;
+  sorted.reserve(items.size());
+  for (size_t i : order) sorted.push_back(items[i]);
+
+  const double weight_tol = 1e-9 * std::max(1.0, capacity);
+  Searcher searcher{sorted,   capacity, max_nodes, weight_tol, {}, {},
+                    0.0,      0.0,      0,         false};
+  searcher.current.assign(items.size(), 0);
+  searcher.best.assign(items.size(), 0);
+  searcher.Dfs(0, 0.0, 0.0);
+
+  solution.profit = searcher.best_profit;
+  solution.weight = searcher.best_weight;
+  solution.nodes = searcher.nodes;
+  solution.optimal = !searcher.exhausted;
+  for (size_t i = 0; i < items.size(); ++i) {
+    solution.take[order[i]] = searcher.best[i];
+  }
+  return solution;
+}
+
+}  // namespace hytap

@@ -1,0 +1,37 @@
+#ifndef HYTAP_SOLVER_BRANCH_AND_BOUND_H_
+#define HYTAP_SOLVER_BRANCH_AND_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hytap {
+
+/// An item of the 0/1 knapsack: strictly positive profit and weight.
+struct KnapsackItem {
+  double profit;
+  double weight;
+};
+
+struct KnapsackSolution {
+  std::vector<uint8_t> take;  // per input item
+  double profit = 0.0;
+  double weight = 0.0;
+  uint64_t nodes = 0;   // explored branch-and-bound nodes
+  bool optimal = true;  // false if the node budget was exhausted
+};
+
+/// Exact 0/1 knapsack via depth-first branch-and-bound with the Dantzig
+/// (fractional-relaxation) upper bound.
+///
+/// The paper solves the column selection ILP (2)-(3) with MOSEK; because the
+/// scan-cost objective is separable once the per-query predicate order is
+/// fixed by selectivity, the ILP is exactly a 0/1 knapsack, and this solver
+/// plays the "standard integer solver" role (Table II). `max_nodes` bounds
+/// the search; if exhausted the incumbent is returned with optimal = false.
+KnapsackSolution SolveKnapsack(const std::vector<KnapsackItem>& items,
+                               double capacity,
+                               uint64_t max_nodes = 200'000'000);
+
+}  // namespace hytap
+
+#endif  // HYTAP_SOLVER_BRANCH_AND_BOUND_H_

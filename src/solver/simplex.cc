@@ -1,0 +1,116 @@
+#include "solver/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, size_t max_iterations) {
+  const size_t n = problem.objective.size();
+  const size_t m = problem.constraints.size();
+  HYTAP_ASSERT(problem.rhs.size() == m, "rhs arity mismatch");
+  for (double b : problem.rhs) {
+    HYTAP_ASSERT(b >= -kEps, "SolveLp requires b >= 0");
+  }
+  for (const auto& row : problem.constraints) {
+    HYTAP_ASSERT(row.size() == n, "constraint arity mismatch");
+  }
+
+  // Tableau: m rows x (n + m + 1) columns; slack basis is feasible.
+  std::vector<std::vector<double>> t(m + 1,
+                                     std::vector<double>(n + m + 1, 0.0));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) t[i][j] = problem.constraints[i][j];
+    t[i][n + i] = 1.0;
+    t[i][n + m] = problem.rhs[i];
+  }
+  // Objective row: minimize c^T x -> reduced costs start at c.
+  for (size_t j = 0; j < n; ++j) t[m][j] = problem.objective[j];
+
+  std::vector<size_t> basis(m);
+  for (size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  LpSolution solution;
+  size_t degenerate_steps = 0;
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Pricing: most negative reduced cost (Dantzig); Bland under degeneracy.
+    size_t pivot_col = n + m;
+    if (degenerate_steps < 20) {
+      double best = -kEps;
+      for (size_t j = 0; j < n + m; ++j) {
+        if (t[m][j] < best) {
+          best = t[m][j];
+          pivot_col = j;
+        }
+      }
+    } else {
+      for (size_t j = 0; j < n + m; ++j) {
+        if (t[m][j] < -kEps) {
+          pivot_col = j;
+          break;
+        }
+      }
+    }
+    if (pivot_col == n + m) {  // optimal
+      solution.feasible = true;
+      solution.iterations = iter;
+      break;
+    }
+    // Ratio test (Bland tie-break on basis index for anti-cycling).
+    size_t pivot_row = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps) {
+        const double ratio = t[i][n + m] / t[i][pivot_col];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (pivot_row == m || basis[i] < basis[pivot_row]))) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    if (pivot_row == m) {  // unbounded
+      solution.feasible = true;
+      solution.bounded = false;
+      solution.iterations = iter;
+      return solution;
+    }
+    if (best_ratio < kEps) {
+      ++degenerate_steps;
+    } else {
+      degenerate_steps = 0;
+    }
+    // Pivot.
+    const double pivot = t[pivot_row][pivot_col];
+    for (double& v : t[pivot_row]) v /= pivot;
+    for (size_t i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = t[i][pivot_col];
+      if (std::abs(factor) < kEps) continue;
+      for (size_t j = 0; j <= n + m; ++j) {
+        t[i][j] -= factor * t[pivot_row][j];
+      }
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  if (!solution.feasible) return solution;  // iteration limit hit
+
+  solution.x.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) solution.x[basis[i]] = t[i][n + m];
+  }
+  double obj = 0.0;
+  for (size_t j = 0; j < n; ++j) obj += problem.objective[j] * solution.x[j];
+  solution.objective = obj;
+  return solution;
+}
+
+}  // namespace hytap

@@ -1,0 +1,39 @@
+#ifndef HYTAP_SOLVER_SIMPLEX_H_
+#define HYTAP_SOLVER_SIMPLEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hytap {
+
+/// A linear program in inequality form:
+///   minimize    c^T x
+///   subject to  A x <= b,   x >= 0
+/// with b >= 0 (so the slack basis is feasible). This covers the paper's
+/// continuous problems (4)-(5): variable upper bounds x_i <= 1 are expressed
+/// as explicit constraint rows.
+struct LpProblem {
+  std::vector<double> objective;                 // c
+  std::vector<std::vector<double>> constraints;  // A (row major)
+  std::vector<double> rhs;                       // b, all >= 0
+};
+
+struct LpSolution {
+  bool feasible = false;
+  bool bounded = true;
+  std::vector<double> x;
+  double objective = 0.0;
+  size_t iterations = 0;
+};
+
+/// Dense primal simplex (standard tableau) with Dantzig pricing and Bland's
+/// rule as anti-cycling fallback. Stand-in for the paper's commercial solver
+/// (MOSEK) on the continuous models; adequate for the N <= a few hundred
+/// instances where the LP path is exercised (large instances use the
+/// explicit solution, §III-F).
+LpSolution SolveLp(const LpProblem& problem, size_t max_iterations = 100000);
+
+}  // namespace hytap
+
+#endif  // HYTAP_SOLVER_SIMPLEX_H_

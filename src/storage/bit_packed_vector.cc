@@ -1,0 +1,63 @@
+#include "storage/bit_packed_vector.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+BitPackedVector::BitPackedVector(uint32_t bits) : bits_(bits) {
+  HYTAP_ASSERT(bits >= 1 && bits <= 64, "bit width must be in [1, 64]");
+  mask_ = bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+uint32_t BitPackedVector::BitsFor(uint64_t max_value) {
+  uint32_t bits = 1;
+  while (bits < 64 && (max_value >> bits) != 0) ++bits;
+  return bits;
+}
+
+void BitPackedVector::Reserve(size_t count) {
+  words_.reserve((count * bits_ + 63) / 64 + 1);
+}
+
+void BitPackedVector::Append(uint64_t value) {
+  HYTAP_ASSERT((value & ~mask_) == 0, "value exceeds bit width");
+  const size_t bit_pos = size_ * bits_;
+  const size_t word = bit_pos / 64;
+  const uint32_t offset = bit_pos % 64;
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= value << offset;
+  if (offset + bits_ > 64) {
+    // Spills into the next word.
+    words_.push_back(value >> (64 - offset));
+  }
+  ++size_;
+}
+
+uint64_t BitPackedVector::Get(size_t index) const {
+  HYTAP_ASSERT(index < size_, "BitPackedVector index out of range");
+  const size_t bit_pos = index * bits_;
+  const size_t word = bit_pos / 64;
+  const uint32_t offset = bit_pos % 64;
+  uint64_t result = words_[word] >> offset;
+  if (offset + bits_ > 64) {
+    result |= words_[word + 1] << (64 - offset);
+  }
+  return result & mask_;
+}
+
+void BitPackedVector::Set(size_t index, uint64_t value) {
+  HYTAP_ASSERT(index < size_, "BitPackedVector index out of range");
+  HYTAP_ASSERT((value & ~mask_) == 0, "value exceeds bit width");
+  const size_t bit_pos = index * bits_;
+  const size_t word = bit_pos / 64;
+  const uint32_t offset = bit_pos % 64;
+  words_[word] = (words_[word] & ~(mask_ << offset)) | (value << offset);
+  if (offset + bits_ > 64) {
+    const uint32_t high_bits = offset + bits_ - 64;
+    const uint64_t high_mask = (1ULL << high_bits) - 1;
+    words_[word + 1] =
+        (words_[word + 1] & ~high_mask) | (value >> (64 - offset));
+  }
+}
+
+}  // namespace hytap

@@ -1,0 +1,44 @@
+#ifndef HYTAP_STORAGE_BIT_PACKED_VECTOR_H_
+#define HYTAP_STORAGE_BIT_PACKED_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hytap {
+
+/// Bit-packed vector of unsigned integers with a fixed bit width.
+///
+/// This is the attribute ("value id") vector of a dictionary-encoded MRC: with
+/// a dictionary of D entries each code occupies ceil(log2(D)) bits. Get() is
+/// branch-free (at most two word reads); Append() is amortized O(1).
+class BitPackedVector {
+ public:
+  /// `bits` must be in [1, 64].
+  explicit BitPackedVector(uint32_t bits);
+
+  /// Minimal bit width that can represent `max_value`.
+  static uint32_t BitsFor(uint64_t max_value);
+
+  void Append(uint64_t value);
+  uint64_t Get(size_t index) const;
+  void Set(size_t index, uint64_t value);
+
+  size_t size() const { return size_; }
+  uint32_t bits() const { return bits_; }
+
+  /// Heap bytes used by the packed payload.
+  size_t MemoryUsage() const { return words_.capacity() * sizeof(uint64_t); }
+
+  void Reserve(size_t count);
+
+ private:
+  uint32_t bits_;
+  uint64_t mask_;
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_BIT_PACKED_VECTOR_H_

@@ -1,0 +1,8 @@
+#include "storage/bplus_tree.h"
+
+// Header-only template; this translation unit anchors the header so the
+// library target compiles it standalone.
+
+namespace hytap {
+template class BPlusTree<int64_t, uint64_t>;
+}  // namespace hytap

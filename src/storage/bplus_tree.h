@@ -1,0 +1,196 @@
+#ifndef HYTAP_STORAGE_BPLUS_TREE_H_
+#define HYTAP_STORAGE_BPLUS_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+/// In-memory B+-tree used as the delta partition's secondary index
+/// (paper §II: "an unsorted dictionary with an additional B+-tree for fast
+/// value retrievals"). Multimap semantics: duplicate keys allowed.
+///
+/// Leaves are linked for range scans. Fan-out is chosen so nodes are roughly
+/// cache-line friendly for integer keys.
+template <typename K, typename V, size_t kFanout = 32>
+class BPlusTree {
+  static_assert(kFanout >= 4, "fan-out must be at least 4");
+
+ public:
+  BPlusTree() = default;
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  void Insert(const K& key, const V& value) {
+    if (!root_) {
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      leaf->keys.push_back(key);
+      leaf->values.push_back(value);
+      root_ = std::move(leaf);
+      ++size_;
+      return;
+    }
+    SplitResult split = InsertRecursive(root_.get(), key, value);
+    if (split.right) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(split.separator);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split.right));
+      root_ = std::move(new_root);
+    }
+    ++size_;
+  }
+
+  /// All values with exactly `key`, in insertion order per leaf.
+  std::vector<V> Lookup(const K& key) const {
+    std::vector<V> out;
+    RangeLookup(key, key, &out);
+    return out;
+  }
+
+  /// Appends all values with key in [lo, hi] to `out`.
+  void RangeLookup(const K& lo, const K& hi, std::vector<V>* out) const {
+    if (!root_ || hi < lo) return;
+    const Node* leaf = FindLeaf(lo);
+    while (leaf != nullptr) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (leaf->keys[i] < lo) continue;
+        if (hi < leaf->keys[i]) return;
+        out->push_back(leaf->values[i]);
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  bool Contains(const K& key) const {
+    const Node* leaf = FindLeaf(key);
+    while (leaf != nullptr) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (key < leaf->keys[i]) return false;
+        if (!(leaf->keys[i] < key)) return true;
+      }
+      leaf = leaf->next;
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (0 for empty, 1 for a single leaf).
+  size_t Height() const {
+    size_t h = 0;
+    const Node* node = root_.get();
+    while (node != nullptr) {
+      ++h;
+      node = node->leaf ? nullptr : node->children.front().get();
+    }
+    return h;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<K> keys;
+    // Internal nodes: children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaves only:
+    std::vector<V> values;
+    Node* next = nullptr;
+  };
+
+  struct SplitResult {
+    K separator{};
+    std::unique_ptr<Node> right;  // null if no split happened
+  };
+
+  static size_t LowerBoundIndex(const std::vector<K>& keys, const K& key) {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  const Node* FindLeaf(const K& key) const {
+    const Node* node = root_.get();
+    if (node == nullptr) return nullptr;
+    while (!node->leaf) {
+      size_t idx = LowerBoundIndex(node->keys, key);
+      // Descend left of the first separator >= key so that duplicates that
+      // equal the separator (stored in the left subtree) are not skipped.
+      node = node->children[idx].get();
+    }
+    return node;
+  }
+
+  SplitResult InsertRecursive(Node* node, const K& key, const V& value) {
+    if (node->leaf) {
+      size_t idx = LowerBoundIndex(node->keys, key);
+      node->keys.insert(node->keys.begin() + idx, key);
+      node->values.insert(node->values.begin() + idx, value);
+      if (node->keys.size() <= kFanout) return {};
+      return SplitLeaf(node);
+    }
+    size_t idx = LowerBoundIndex(node->keys, key);
+    SplitResult child_split =
+        InsertRecursive(node->children[idx].get(), key, value);
+    if (child_split.right) {
+      node->keys.insert(node->keys.begin() + idx, child_split.separator);
+      node->children.insert(node->children.begin() + idx + 1,
+                            std::move(child_split.right));
+      if (node->keys.size() > kFanout) return SplitInternal(node);
+    }
+    return {};
+  }
+
+  SplitResult SplitLeaf(Node* node) {
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    const size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->values.assign(node->values.begin() + mid, node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    SplitResult result;
+    result.separator = right->keys.front();
+    result.right = std::move(right);
+    return result;
+  }
+
+  SplitResult SplitInternal(Node* node) {
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    const size_t mid = node->keys.size() / 2;
+    SplitResult result;
+    result.separator = node->keys[mid];
+    right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    for (size_t i = mid + 1; i < node->children.size(); ++i) {
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    result.right = std::move(right);
+    return result;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_BPLUS_TREE_H_

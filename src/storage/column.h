@@ -1,0 +1,61 @@
+#ifndef HYTAP_STORAGE_COLUMN_H_
+#define HYTAP_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/value.h"
+
+namespace hytap {
+
+/// Schema entry for one attribute.
+struct ColumnDefinition {
+  std::string name;
+  DataType type = DataType::kInt32;
+  /// Fixed on-page width for strings in an SSCG (bytes); ignored otherwise.
+  size_t string_width = 16;
+
+  size_t FixedWidthBytes() const { return FixedWidth(type, string_width); }
+};
+
+using Schema = std::vector<ColumnDefinition>;
+
+/// Sorted list of qualifying row positions produced by scans and consumed by
+/// probes / tuple reconstruction (paper §I-A: operators pass position lists).
+using PositionList = std::vector<RowId>;
+
+/// Type-erased read interface shared by DRAM-resident column formats
+/// (dictionary-encoded MRC columns and delta value columns).
+///
+/// Range predicates are closed intervals with optional bounds: ScanBetween
+/// with lo == hi is an equality scan; a null bound is unbounded.
+class AbstractColumn {
+ public:
+  virtual ~AbstractColumn() = default;
+
+  virtual DataType type() const = 0;
+  virtual size_t size() const = 0;
+  virtual size_t distinct_count() const = 0;
+
+  /// Heap bytes used by the column (payload + encoding structures).
+  virtual size_t MemoryUsage() const = 0;
+
+  /// Materializes one cell.
+  virtual Value GetValue(RowId row) const = 0;
+
+  /// Appends rows in [0, size) with lo <= value <= hi to `out` (ascending).
+  virtual void ScanBetween(const Value* lo, const Value* hi,
+                           PositionList* out) const = 0;
+
+  /// Filters `in` (ascending positions), keeping rows whose value lies in
+  /// [lo, hi]; appends survivors to `out`. This is the "probe" path used
+  /// after earlier predicates reduced the candidate set (paper §II-B).
+  virtual void Probe(const Value* lo, const Value* hi, const PositionList& in,
+                     PositionList* out) const = 0;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_COLUMN_H_

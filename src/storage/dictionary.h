@@ -1,0 +1,85 @@
+#ifndef HYTAP_STORAGE_DICTIONARY_H_
+#define HYTAP_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hytap {
+
+/// Order-preserving dictionary for the read-optimized main partition.
+///
+/// Values are stored sorted and deduplicated, so value-id order equals value
+/// order: range predicates translate to code-range predicates and scans can
+/// run on compressed data with late materialization (paper §II-A).
+template <typename T>
+class OrderPreservingDictionary {
+ public:
+  OrderPreservingDictionary() = default;
+
+  /// Builds from arbitrary (unsorted, possibly duplicated) values.
+  static OrderPreservingDictionary Build(const std::vector<T>& values);
+
+  /// Exact-match code; nullopt if the value is not in the dictionary.
+  std::optional<ValueId> CodeFor(const T& value) const;
+
+  /// First code whose value is >= `value` (may be size() = past-the-end).
+  ValueId LowerBoundCode(const T& value) const;
+
+  /// First code whose value is > `value`.
+  ValueId UpperBoundCode(const T& value) const;
+
+  const T& ValueFor(ValueId code) const;
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Heap bytes used by the dictionary payload.
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<T> values_;  // sorted, unique
+};
+
+/// Unsorted dictionary for the write-optimized delta partition: codes are
+/// assigned in insertion order; a hash map gives O(1) value lookup
+/// (the B+-tree index on top gives ordered access, paper §II).
+template <typename T>
+class UnsortedDictionary {
+ public:
+  UnsortedDictionary() = default;
+
+  /// Returns the existing code for `value` or assigns the next one.
+  ValueId GetOrAdd(const T& value);
+
+  std::optional<ValueId> CodeFor(const T& value) const;
+  const T& ValueFor(ValueId code) const;
+
+  size_t size() const { return values_.size(); }
+
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<T> values_;                      // code -> value
+  std::unordered_map<T, ValueId> value_ids_;   // value -> code
+};
+
+extern template class OrderPreservingDictionary<int32_t>;
+extern template class OrderPreservingDictionary<int64_t>;
+extern template class OrderPreservingDictionary<float>;
+extern template class OrderPreservingDictionary<double>;
+extern template class OrderPreservingDictionary<std::string>;
+
+extern template class UnsortedDictionary<int32_t>;
+extern template class UnsortedDictionary<int64_t>;
+extern template class UnsortedDictionary<float>;
+extern template class UnsortedDictionary<double>;
+extern template class UnsortedDictionary<std::string>;
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_DICTIONARY_H_

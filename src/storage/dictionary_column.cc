@@ -1,0 +1,146 @@
+#include "storage/dictionary_column.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+namespace {
+
+template <typename T>
+T Unbox(const Value& v);
+
+template <>
+int32_t Unbox<int32_t>(const Value& v) { return v.AsInt32(); }
+template <>
+int64_t Unbox<int64_t>(const Value& v) { return v.AsInt64(); }
+template <>
+float Unbox<float>(const Value& v) { return v.AsFloat(); }
+template <>
+double Unbox<double>(const Value& v) { return v.AsDouble(); }
+template <>
+std::string Unbox<std::string>(const Value& v) { return v.AsString(); }
+
+template <typename T>
+constexpr DataType TypeOf() {
+  if constexpr (std::is_same_v<T, int32_t>) return DataType::kInt32;
+  if constexpr (std::is_same_v<T, int64_t>) return DataType::kInt64;
+  if constexpr (std::is_same_v<T, float>) return DataType::kFloat;
+  if constexpr (std::is_same_v<T, double>) return DataType::kDouble;
+  if constexpr (std::is_same_v<T, std::string>) return DataType::kString;
+}
+
+}  // namespace
+
+template <typename T>
+std::unique_ptr<DictionaryColumn<T>> DictionaryColumn<T>::Build(
+    const std::vector<T>& values) {
+  auto dictionary = OrderPreservingDictionary<T>::Build(values);
+  const uint64_t max_code = dictionary.empty() ? 0 : dictionary.size() - 1;
+  BitPackedVector codes(BitPackedVector::BitsFor(max_code));
+  codes.Reserve(values.size());
+  for (const T& value : values) {
+    auto code = dictionary.CodeFor(value);
+    HYTAP_ASSERT(code.has_value(), "value missing from its own dictionary");
+    codes.Append(*code);
+  }
+  return std::unique_ptr<DictionaryColumn<T>>(
+      new DictionaryColumn<T>(std::move(dictionary), std::move(codes)));
+}
+
+template <typename T>
+DataType DictionaryColumn<T>::type() const {
+  return TypeOf<T>();
+}
+
+template <typename T>
+Value DictionaryColumn<T>::GetValue(RowId row) const {
+  return Value(Get(row));
+}
+
+template <typename T>
+bool DictionaryColumn<T>::CodeRange(const Value* lo, const Value* hi,
+                                    ValueId* code_lo,
+                                    ValueId* code_hi) const {
+  *code_lo = 0;
+  *code_hi = static_cast<ValueId>(dictionary_.size());
+  if (lo != nullptr) *code_lo = dictionary_.LowerBoundCode(Unbox<T>(*lo));
+  if (hi != nullptr) *code_hi = dictionary_.UpperBoundCode(Unbox<T>(*hi));
+  return *code_lo < *code_hi;
+}
+
+template <typename T>
+void DictionaryColumn<T>::ScanBetween(const Value* lo, const Value* hi,
+                                      PositionList* out) const {
+  ValueId code_lo, code_hi;
+  if (!CodeRange(lo, hi, &code_lo, &code_hi)) return;
+  const size_t n = codes_.size();
+  if (code_lo + 1 == code_hi) {
+    // Equality on a single code: the common OLTP case.
+    const uint64_t target = code_lo;
+    for (size_t row = 0; row < n; ++row) {
+      if (codes_.Get(row) == target) out->push_back(row);
+    }
+    return;
+  }
+  for (size_t row = 0; row < n; ++row) {
+    const uint64_t code = codes_.Get(row);
+    if (code >= code_lo && code < code_hi) out->push_back(row);
+  }
+}
+
+template <typename T>
+void DictionaryColumn<T>::Probe(const Value* lo, const Value* hi,
+                                const PositionList& in,
+                                PositionList* out) const {
+  ValueId code_lo, code_hi;
+  if (!CodeRange(lo, hi, &code_lo, &code_hi)) return;
+  for (RowId row : in) {
+    const uint64_t code = codes_.Get(row);
+    if (code >= code_lo && code < code_hi) out->push_back(row);
+  }
+}
+
+std::unique_ptr<AbstractColumn> BuildDictionaryColumn(
+    const ColumnDefinition& def, const std::vector<Value>& values) {
+  switch (def.type) {
+    case DataType::kInt32: {
+      std::vector<int32_t> typed;
+      typed.reserve(values.size());
+      for (const Value& v : values) typed.push_back(v.AsInt32());
+      return DictionaryColumn<int32_t>::Build(typed);
+    }
+    case DataType::kInt64: {
+      std::vector<int64_t> typed;
+      typed.reserve(values.size());
+      for (const Value& v : values) typed.push_back(v.AsInt64());
+      return DictionaryColumn<int64_t>::Build(typed);
+    }
+    case DataType::kFloat: {
+      std::vector<float> typed;
+      typed.reserve(values.size());
+      for (const Value& v : values) typed.push_back(v.AsFloat());
+      return DictionaryColumn<float>::Build(typed);
+    }
+    case DataType::kDouble: {
+      std::vector<double> typed;
+      typed.reserve(values.size());
+      for (const Value& v : values) typed.push_back(v.AsDouble());
+      return DictionaryColumn<double>::Build(typed);
+    }
+    case DataType::kString: {
+      std::vector<std::string> typed;
+      typed.reserve(values.size());
+      for (const Value& v : values) typed.push_back(v.AsString());
+      return DictionaryColumn<std::string>::Build(typed);
+    }
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+template class DictionaryColumn<int32_t>;
+template class DictionaryColumn<int64_t>;
+template class DictionaryColumn<float>;
+template class DictionaryColumn<double>;
+template class DictionaryColumn<std::string>;
+
+}  // namespace hytap

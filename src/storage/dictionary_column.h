@@ -1,0 +1,74 @@
+#ifndef HYTAP_STORAGE_DICTIONARY_COLUMN_H_
+#define HYTAP_STORAGE_DICTIONARY_COLUMN_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/bit_packed_vector.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+
+namespace hytap {
+
+/// A Memory-Resident Column (MRC, paper §II-A): a single attribute stored
+/// column-oriented with an order-preserving dictionary and a bit-packed
+/// value-id vector. Scans execute on compressed codes with late
+/// materialization; range predicates become code-range comparisons.
+template <typename T>
+class DictionaryColumn : public AbstractColumn {
+ public:
+  /// Builds from raw values (the merge process produces these).
+  static std::unique_ptr<DictionaryColumn<T>> Build(
+      const std::vector<T>& values);
+
+  DataType type() const override;
+  size_t size() const override { return codes_.size(); }
+  size_t distinct_count() const override { return dictionary_.size(); }
+  size_t MemoryUsage() const override {
+    return dictionary_.MemoryUsage() + codes_.MemoryUsage();
+  }
+
+  Value GetValue(RowId row) const override;
+  void ScanBetween(const Value* lo, const Value* hi,
+                   PositionList* out) const override;
+  void Probe(const Value* lo, const Value* hi, const PositionList& in,
+             PositionList* out) const override;
+
+  /// Typed accessor used by hot loops (no Value boxing).
+  const T& Get(RowId row) const {
+    return dictionary_.ValueFor(static_cast<ValueId>(codes_.Get(row)));
+  }
+
+  const OrderPreservingDictionary<T>& dictionary() const {
+    return dictionary_;
+  }
+  const BitPackedVector& codes() const { return codes_; }
+
+ private:
+  DictionaryColumn(OrderPreservingDictionary<T> dictionary,
+                   BitPackedVector codes)
+      : dictionary_(std::move(dictionary)), codes_(std::move(codes)) {}
+
+  /// Translates a [lo, hi] value interval into a half-open code interval
+  /// [code_lo, code_hi); returns false if the interval is empty.
+  bool CodeRange(const Value* lo, const Value* hi, ValueId* code_lo,
+                 ValueId* code_hi) const;
+
+  OrderPreservingDictionary<T> dictionary_;
+  BitPackedVector codes_;
+};
+
+/// Builds a dictionary column of the right dynamic type from boxed values
+/// (all values must share `def.type`).
+std::unique_ptr<AbstractColumn> BuildDictionaryColumn(
+    const ColumnDefinition& def, const std::vector<Value>& values);
+
+extern template class DictionaryColumn<int32_t>;
+extern template class DictionaryColumn<int64_t>;
+extern template class DictionaryColumn<float>;
+extern template class DictionaryColumn<double>;
+extern template class DictionaryColumn<std::string>;
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_DICTIONARY_COLUMN_H_

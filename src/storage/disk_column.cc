@@ -1,0 +1,162 @@
+#include "storage/disk_column.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.h"
+#include "storage/dictionary.h"
+
+namespace hytap {
+
+namespace {
+
+void AccountFetch(const BufferManager::Fetch& fetch, IoStats* io) {
+  if (io == nullptr) return;
+  if (fetch.hit) {
+    io->dram_ns += fetch.latency_ns;
+    ++io->cache_hits;
+  } else {
+    io->device_ns += fetch.latency_ns;
+    ++io->page_reads;
+  }
+}
+
+}  // namespace
+
+DiskColumn::DiskColumn(const ColumnDefinition& def,
+                       const std::vector<Value>& values,
+                       SecondaryStore* store)
+    : type_(def.type),
+      value_width_(def.FixedWidthBytes()),
+      codes_per_page_(kPageSize / sizeof(uint32_t)),
+      entries_per_page_(kPageSize / def.FixedWidthBytes()),
+      row_count_(values.size()) {
+  HYTAP_ASSERT(store != nullptr, "DiskColumn requires a store");
+  // Build the sorted dictionary in memory, then page everything out.
+  std::vector<Value> sorted = values;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  dictionary_size_ = sorted.size();
+
+  // Dictionary pages: fixed-width entries in value order.
+  SecondaryStore::Page page;
+  size_t in_page = 0;
+  page.fill(0);
+  for (const Value& v : sorted) {
+    v.SerializeFixed(page.data() + in_page * value_width_, value_width_);
+    if (++in_page == entries_per_page_) {
+      const PageId id = store->AllocatePage();
+      store->WritePage(id, page);
+      dictionary_pages_.push_back(id);
+      page.fill(0);
+      in_page = 0;
+    }
+  }
+  if (in_page > 0) {
+    const PageId id = store->AllocatePage();
+    store->WritePage(id, page);
+    dictionary_pages_.push_back(id);
+  }
+
+  // Code pages: 32-bit codes in row order.
+  page.fill(0);
+  in_page = 0;
+  for (const Value& v : values) {
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), v,
+                               [](const Value& a, const Value& b) {
+                                 return a < b;
+                               });
+    const uint32_t code = uint32_t(it - sorted.begin());
+    std::memcpy(page.data() + in_page * sizeof(uint32_t), &code,
+                sizeof(uint32_t));
+    if (++in_page == codes_per_page_) {
+      const PageId id = store->AllocatePage();
+      store->WritePage(id, page);
+      code_pages_.push_back(id);
+      page.fill(0);
+      in_page = 0;
+    }
+  }
+  if (in_page > 0) {
+    const PageId id = store->AllocatePage();
+    store->WritePage(id, page);
+    code_pages_.push_back(id);
+  }
+}
+
+uint32_t DiskColumn::CodeAt(RowId row, BufferManager* buffers,
+                            AccessPattern pattern, uint32_t queue_depth,
+                            IoStats* io) const {
+  HYTAP_ASSERT(row < row_count_, "row out of range");
+  const size_t page_index = row / codes_per_page_;
+  BufferManager::Fetch fetch =
+      buffers->FetchPage(code_pages_[page_index], pattern, queue_depth);
+  AccountFetch(fetch, io);
+  uint32_t code;
+  std::memcpy(&code,
+              fetch.page->data() + (row % codes_per_page_) * sizeof(uint32_t),
+              sizeof(uint32_t));
+  return code;
+}
+
+Value DiskColumn::DictionaryAt(uint32_t code, BufferManager* buffers,
+                               uint32_t queue_depth, IoStats* io) const {
+  HYTAP_ASSERT(code < dictionary_size_, "code out of range");
+  const size_t page_index = code / entries_per_page_;
+  BufferManager::Fetch fetch = buffers->FetchPage(
+      dictionary_pages_[page_index], AccessPattern::kRandom, queue_depth);
+  AccountFetch(fetch, io);
+  return Value::DeserializeFixed(
+      fetch.page->data() + (code % entries_per_page_) * value_width_, type_,
+      value_width_);
+}
+
+Value DiskColumn::GetValue(RowId row, BufferManager* buffers,
+                           uint32_t queue_depth, IoStats* io) const {
+  const uint32_t code =
+      CodeAt(row, buffers, AccessPattern::kRandom, queue_depth, io);
+  return DictionaryAt(code, buffers, queue_depth, io);
+}
+
+uint32_t DiskColumn::LowerBoundCode(const Value& v, BufferManager* buffers,
+                                    IoStats* io, bool upper) const {
+  uint32_t lo = 0, hi = uint32_t(dictionary_size_);
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    const Value entry = DictionaryAt(mid, buffers, 1, io);
+    const bool go_right = upper ? !(v < entry) : entry < v;
+    if (go_right) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void DiskColumn::ScanBetween(const Value* lo, const Value* hi,
+                             BufferManager* buffers, uint32_t threads,
+                             PositionList* out, IoStats* io) const {
+  uint32_t code_lo = 0;
+  uint32_t code_hi = uint32_t(dictionary_size_);
+  if (lo != nullptr) code_lo = LowerBoundCode(*lo, buffers, io, false);
+  if (hi != nullptr) code_hi = LowerBoundCode(*hi, buffers, io, true);
+  if (code_lo >= code_hi) return;
+  RowId row = 0;
+  for (PageId local = 0; local < code_pages_.size(); ++local) {
+    BufferManager::Fetch fetch = buffers->FetchPage(
+        code_pages_[local], AccessPattern::kSequential, threads);
+    AccountFetch(fetch, io);
+    const size_t rows_here =
+        std::min(codes_per_page_, row_count_ - size_t(row));
+    for (size_t r = 0; r < rows_here; ++r, ++row) {
+      uint32_t code;
+      std::memcpy(&code, fetch.page->data() + r * sizeof(uint32_t),
+                  sizeof(uint32_t));
+      if (code >= code_lo && code < code_hi) out->push_back(row);
+    }
+  }
+}
+
+}  // namespace hytap

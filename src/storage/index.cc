@@ -1,0 +1,146 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+namespace {
+
+/// Encodes an unsigned 64-bit integer big-endian (lexicographic = numeric).
+void AppendBigEndian(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+/// Maps a signed integer to an order-preserving unsigned value.
+uint64_t FlipSign(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (1ULL << 63);
+}
+
+/// Maps an IEEE double to an order-preserving unsigned value.
+uint64_t EncodeDoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  // Positive numbers: set the sign bit; negatives: flip all bits.
+  return (bits & (1ULL << 63)) ? ~bits : (bits | (1ULL << 63));
+}
+
+}  // namespace
+
+std::string EncodeOrderPreserving(const Value& value) {
+  std::string out;
+  switch (value.type()) {
+    case DataType::kInt32:
+      AppendBigEndian(FlipSign(value.AsInt32()), &out);
+      return out;
+    case DataType::kInt64:
+      AppendBigEndian(FlipSign(value.AsInt64()), &out);
+      return out;
+    case DataType::kFloat:
+      AppendBigEndian(EncodeDoubleBits(double(value.AsFloat())), &out);
+      return out;
+    case DataType::kDouble:
+      AppendBigEndian(EncodeDoubleBits(value.AsDouble()), &out);
+      return out;
+    case DataType::kString: {
+      // Escape NUL so concatenated composite keys stay order-preserving and
+      // unambiguous: 0x00 -> 0x00 0xff, terminator 0x00 0x00.
+      for (char c : value.AsString()) {
+        out.push_back(c);
+        if (c == '\0') out.push_back(static_cast<char>(0xff));
+      }
+      out.push_back('\0');
+      out.push_back('\0');
+      return out;
+    }
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+SingleColumnIndex::SingleColumnIndex(ColumnId column, DataType type,
+                                     const std::vector<Value>& values)
+    : columns_{column}, type_(type) {
+  for (RowId row = 0; row < values.size(); ++row) {
+    HYTAP_ASSERT(values[row].type() == type, "index value type mismatch");
+    tree_.Insert(EncodeOrderPreserving(values[row]), row);
+  }
+}
+
+PositionList SingleColumnIndex::Lookup(const Row& key) const {
+  HYTAP_ASSERT(key.size() == 1, "single-column index expects 1 key part");
+  PositionList rows = tree_.Lookup(EncodeOrderPreserving(key[0]));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+bool SingleColumnIndex::RangeLookup(const Value* lo, const Value* hi,
+                                    PositionList* out) const {
+  // Unbounded sides use the extreme encodable keys.
+  std::string lo_key;
+  std::string hi_key(9, static_cast<char>(0xff));
+  if (lo != nullptr) lo_key = EncodeOrderPreserving(*lo);
+  if (hi != nullptr) hi_key = EncodeOrderPreserving(*hi);
+  PositionList rows;
+  tree_.RangeLookup(lo_key, hi_key, &rows);
+  std::sort(rows.begin(), rows.end());
+  out->insert(out->end(), rows.begin(), rows.end());
+  return true;
+}
+
+size_t SingleColumnIndex::MemoryUsage() const {
+  // Key bytes + row id + node pointers, approximated per entry.
+  const size_t key_bytes = type_ == DataType::kString ? 24 : 8;
+  return tree_.size() * (key_bytes + sizeof(RowId) + 2 * sizeof(void*));
+}
+
+CompositeIndex::CompositeIndex(
+    std::vector<ColumnId> columns, std::vector<DataType> types,
+    const std::vector<std::vector<Value>>& column_values)
+    : columns_(std::move(columns)), types_(std::move(types)) {
+  HYTAP_ASSERT(columns_.size() == types_.size(), "key arity mismatch");
+  HYTAP_ASSERT(column_values.size() == columns_.size(),
+               "column values arity mismatch");
+  HYTAP_ASSERT(!column_values.empty(), "composite index needs columns");
+  const size_t rows = column_values[0].size();
+  for (const auto& values : column_values) {
+    HYTAP_ASSERT(values.size() == rows, "ragged column values");
+  }
+  Row key(columns_.size());
+  for (RowId row = 0; row < rows; ++row) {
+    for (size_t k = 0; k < columns_.size(); ++k) {
+      key[k] = column_values[k][row];
+    }
+    tree_.Insert(EncodeKey(key), row);
+  }
+}
+
+std::string CompositeIndex::EncodeKey(const Row& key) const {
+  HYTAP_ASSERT(key.size() == columns_.size(),
+               "composite key arity mismatch");
+  std::string encoded;
+  for (size_t k = 0; k < key.size(); ++k) {
+    HYTAP_ASSERT(key[k].type() == types_[k], "key part type mismatch");
+    encoded += EncodeOrderPreserving(key[k]);
+  }
+  return encoded;
+}
+
+PositionList CompositeIndex::Lookup(const Row& key) const {
+  PositionList rows = tree_.Lookup(EncodeKey(key));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+size_t CompositeIndex::MemoryUsage() const {
+  size_t key_bytes = 0;
+  for (DataType type : types_) {
+    key_bytes += type == DataType::kString ? 24 : 8;
+  }
+  return tree_.size() * (key_bytes + sizeof(RowId) + 2 * sizeof(void*));
+}
+
+}  // namespace hytap

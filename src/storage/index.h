@@ -1,0 +1,98 @@
+#ifndef HYTAP_STORAGE_INDEX_H_
+#define HYTAP_STORAGE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/bplus_tree.h"
+#include "storage/column.h"
+#include "storage/value.h"
+
+namespace hytap {
+
+/// A DRAM-resident secondary index over main-partition rows.
+///
+/// Paper §II-B: "In Hyrise, filters are executed using indices if existing";
+/// §IV: "Hyrise has several index structures such as single column B+-trees
+/// and multi-column composite keys. As of now, we do not evict indices and
+/// keep them completely DRAM-allocated."
+///
+/// Two concrete forms:
+///  - SingleColumnIndex: B+-tree over one attribute's values;
+///  - CompositeIndex: B+-tree over the concatenated key of several
+///    attributes (exact-match lookups on all key parts).
+class MainIndex {
+ public:
+  virtual ~MainIndex() = default;
+
+  /// The indexed columns, in key order.
+  virtual const std::vector<ColumnId>& columns() const = 0;
+
+  /// Exact-match lookup; `key` holds one value per indexed column, in key
+  /// order. Returns matching row ids ascending.
+  virtual PositionList Lookup(const Row& key) const = 0;
+
+  /// Range lookup over a single-column index; [lo, hi] closed, null bounds
+  /// unbounded. Composite indexes return false (not supported).
+  virtual bool RangeLookup(const Value* lo, const Value* hi,
+                           PositionList* out) const = 0;
+
+  /// DRAM bytes used (indexes always stay DRAM-resident).
+  virtual size_t MemoryUsage() const = 0;
+
+  virtual size_t size() const = 0;
+};
+
+/// Single-column B+-tree index. Keys are the column's values encoded to a
+/// sortable byte string (order-preserving), so one tree type serves every
+/// column type.
+class SingleColumnIndex : public MainIndex {
+ public:
+  /// Builds over `rows` values of one column.
+  SingleColumnIndex(ColumnId column, DataType type,
+                    const std::vector<Value>& values);
+
+  const std::vector<ColumnId>& columns() const override { return columns_; }
+  PositionList Lookup(const Row& key) const override;
+  bool RangeLookup(const Value* lo, const Value* hi,
+                   PositionList* out) const override;
+  size_t MemoryUsage() const override;
+  size_t size() const override { return tree_.size(); }
+
+ private:
+  std::vector<ColumnId> columns_;
+  DataType type_;
+  BPlusTree<std::string, RowId, 64> tree_;
+};
+
+/// Multi-column composite-key index (exact match on all parts).
+class CompositeIndex : public MainIndex {
+ public:
+  /// `column_values[k]` holds the values of key part k for every row.
+  CompositeIndex(std::vector<ColumnId> columns, std::vector<DataType> types,
+                 const std::vector<std::vector<Value>>& column_values);
+
+  const std::vector<ColumnId>& columns() const override { return columns_; }
+  PositionList Lookup(const Row& key) const override;
+  bool RangeLookup(const Value*, const Value*, PositionList*) const override {
+    return false;
+  }
+  size_t MemoryUsage() const override;
+  size_t size() const override { return tree_.size(); }
+
+ private:
+  std::string EncodeKey(const Row& key) const;
+
+  std::vector<ColumnId> columns_;
+  std::vector<DataType> types_;
+  BPlusTree<std::string, RowId, 64> tree_;
+};
+
+/// Order-preserving byte encoding of a value: byte-wise comparison of the
+/// encodings matches value comparison. Exposed for tests.
+std::string EncodeOrderPreserving(const Value& value);
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_INDEX_H_

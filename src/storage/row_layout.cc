@@ -1,0 +1,59 @@
+#include "storage/row_layout.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+RowLayout::RowLayout(const Schema& schema,
+                     std::vector<ColumnId> member_columns)
+    : member_columns_(std::move(member_columns)),
+      slot_of_(schema.size(), -1) {
+  HYTAP_ASSERT(!member_columns_.empty(), "SSCG needs at least one column");
+  size_t offset = 0;
+  slots_.reserve(member_columns_.size());
+  for (size_t slot = 0; slot < member_columns_.size(); ++slot) {
+    const ColumnId col = member_columns_[slot];
+    HYTAP_ASSERT(col < schema.size(), "member column out of schema range");
+    HYTAP_ASSERT(slot_of_[col] == -1, "duplicate member column");
+    const ColumnDefinition& def = schema[col];
+    const size_t width = def.FixedWidthBytes();
+    slots_.push_back(Slot{offset, width, def.type});
+    slot_of_[col] = static_cast<int>(slot);
+    offset += width;
+  }
+  row_width_ = offset;
+  HYTAP_ASSERT(row_width_ <= kPageSize,
+               "SSCG row width exceeds the page size");
+  rows_per_page_ = kPageSize / row_width_;
+}
+
+int RowLayout::SlotOf(ColumnId column) const {
+  if (column >= slot_of_.size()) return -1;
+  return slot_of_[column];
+}
+
+void RowLayout::SerializeRow(const Row& values, uint8_t* dest) const {
+  HYTAP_ASSERT(values.size() == slots_.size(),
+               "row arity does not match layout");
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    values[slot].SerializeFixed(dest + slots_[slot].offset,
+                                slots_[slot].width);
+  }
+}
+
+Value RowLayout::DeserializeSlot(const uint8_t* src, size_t slot) const {
+  HYTAP_ASSERT(slot < slots_.size(), "slot out of range");
+  const Slot& s = slots_[slot];
+  return Value::DeserializeFixed(src + s.offset, s.type, s.width);
+}
+
+Row RowLayout::DeserializeRow(const uint8_t* src) const {
+  Row row;
+  row.reserve(slots_.size());
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    row.push_back(DeserializeSlot(src, slot));
+  }
+  return row;
+}
+
+}  // namespace hytap

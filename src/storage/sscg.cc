@@ -1,0 +1,128 @@
+#include "storage/sscg.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+namespace {
+
+bool InRange(const Value& v, const Value* lo, const Value* hi) {
+  if (lo != nullptr && v < *lo) return false;
+  if (hi != nullptr && *hi < v) return false;
+  return true;
+}
+
+}  // namespace
+
+Sscg::Sscg(RowLayout layout, const std::vector<Row>& rows,
+           SecondaryStore* store, uint64_t* out_write_ns)
+    : layout_(std::move(layout)), row_count_(rows.size()) {
+  HYTAP_ASSERT(store != nullptr, "SSCG requires a store");
+  const size_t pages = layout_.PageCountFor(rows.size());
+  page_ids_.reserve(pages);
+  SecondaryStore::Page page;
+  for (size_t p = 0; p < pages; ++p) {
+    page.fill(0);
+    const size_t first_row = p * layout_.rows_per_page();
+    const size_t last_row =
+        std::min(rows.size(), first_row + layout_.rows_per_page());
+    for (size_t r = first_row; r < last_row; ++r) {
+      layout_.SerializeRow(rows[r], page.data() + layout_.OffsetInPage(r));
+    }
+    const PageId id = store->AllocatePage();
+    store->WritePage(id, page);
+    page_ids_.push_back(id);
+  }
+  if (out_write_ns != nullptr) {
+    *out_write_ns = store->device().SequentialWriteNs(pages, /*threads=*/1);
+  }
+}
+
+const SecondaryStore::Page* Sscg::FetchRowPage(RowId row,
+                                               BufferManager* buffers,
+                                               AccessPattern pattern,
+                                               uint32_t queue_depth,
+                                               IoStats* io) const {
+  HYTAP_ASSERT(row < row_count_, "SSCG row out of range");
+  const PageId local = layout_.PageOf(row);
+  const PageId global = page_ids_[local];
+  BufferManager::Fetch fetch = buffers->FetchPage(global, pattern,
+                                                  queue_depth);
+  if (io != nullptr) {
+    if (fetch.hit) {
+      io->dram_ns += fetch.latency_ns;
+      ++io->cache_hits;
+    } else {
+      io->device_ns += fetch.latency_ns;
+      ++io->page_reads;
+    }
+  }
+  return fetch.page;
+}
+
+Row Sscg::ReconstructTuple(RowId row, BufferManager* buffers,
+                           uint32_t queue_depth, IoStats* io) const {
+  const SecondaryStore::Page* page =
+      FetchRowPage(row, buffers, AccessPattern::kRandom, queue_depth, io);
+  return layout_.DeserializeRow(page->data() + layout_.OffsetInPage(row));
+}
+
+Value Sscg::ProbeValue(RowId row, size_t slot, BufferManager* buffers,
+                       uint32_t queue_depth, IoStats* io) const {
+  const SecondaryStore::Page* page =
+      FetchRowPage(row, buffers, AccessPattern::kRandom, queue_depth, io);
+  return layout_.DeserializeSlot(page->data() + layout_.OffsetInPage(row),
+                                 slot);
+}
+
+void Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
+                    BufferManager* buffers, uint32_t threads,
+                    PositionList* out, IoStats* io) const {
+  RowId row = 0;
+  for (PageId local = 0; local < page_ids_.size(); ++local) {
+    BufferManager::Fetch fetch = buffers->FetchPage(
+        page_ids_[local], AccessPattern::kSequential, threads);
+    if (io != nullptr) {
+      if (fetch.hit) {
+        io->dram_ns += fetch.latency_ns;
+        ++io->cache_hits;
+      } else {
+        io->device_ns += fetch.latency_ns;
+        ++io->page_reads;
+      }
+    }
+    const size_t rows_here =
+        std::min<size_t>(layout_.rows_per_page(), row_count_ - row);
+    for (size_t r = 0; r < rows_here; ++r, ++row) {
+      const Value v = layout_.DeserializeSlot(
+          fetch.page->data() + layout_.OffsetInPage(row), slot);
+      if (InRange(v, lo, hi)) out->push_back(row);
+    }
+  }
+}
+
+Value Sscg::RawValue(RowId row, size_t slot,
+                     const SecondaryStore& store) const {
+  HYTAP_ASSERT(row < row_count_, "SSCG row out of range");
+  const SecondaryStore::Page& page = store.RawPage(page_ids_[layout_.PageOf(row)]);
+  return layout_.DeserializeSlot(page.data() + layout_.OffsetInPage(row),
+                                 slot);
+}
+
+Row Sscg::RawRow(RowId row, const SecondaryStore& store) const {
+  HYTAP_ASSERT(row < row_count_, "SSCG row out of range");
+  const SecondaryStore::Page& page = store.RawPage(page_ids_[layout_.PageOf(row)]);
+  return layout_.DeserializeRow(page.data() + layout_.OffsetInPage(row));
+}
+
+void Sscg::ProbeSlot(size_t slot, const Value* lo, const Value* hi,
+                     const PositionList& in, BufferManager* buffers,
+                     uint32_t queue_depth, PositionList* out,
+                     IoStats* io) const {
+  for (RowId row : in) {
+    const Value v = ProbeValue(row, slot, buffers, queue_depth, io);
+    if (InRange(v, lo, hi)) out->push_back(row);
+  }
+}
+
+}  // namespace hytap

@@ -1,0 +1,97 @@
+#ifndef HYTAP_STORAGE_SSCG_H_
+#define HYTAP_STORAGE_SSCG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/row_layout.h"
+#include "tiering/buffer_manager.h"
+#include "tiering/secondary_store.h"
+
+namespace hytap {
+
+/// Aggregated simulated-IO accounting for one engine operation.
+struct IoStats {
+  uint64_t device_ns = 0;   // summed per-requester device time
+  uint64_t dram_ns = 0;     // DRAM access cost (cache misses)
+  uint64_t page_reads = 0;  // secondary-storage page fetches (misses)
+  uint64_t cache_hits = 0;  // buffer-manager hits
+
+  uint64_t TotalNs() const { return device_ns + dram_ns; }
+  /// Wall-clock estimate when `threads` workers split the operation.
+  uint64_t WallNs(uint32_t threads) const {
+    return TotalNs() / (threads == 0 ? 1 : threads);
+  }
+  IoStats& operator+=(const IoStats& other) {
+    device_ns += other.device_ns;
+    dram_ns += other.dram_ns;
+    page_reads += other.page_reads;
+    cache_hits += other.cache_hits;
+    return *this;
+  }
+};
+
+/// A Secondary Storage Column Group (paper §II-A): a set of attributes stored
+/// row-oriented and uncompressed on a secondary-storage device.
+///
+/// Optimized for tuple-centric access: a full-width reconstruction of the
+/// group's attributes costs a single 4 KB page read. Sequential scans over a
+/// single member attribute are possible but read the full row width
+/// (the cost scales with the group width — Fig. 9a).
+class Sscg {
+ public:
+  /// Writes `rows.size()` rows (member order per RowLayout) to `store`.
+  /// Write timing is returned via `out_write_ns` if non-null.
+  Sscg(RowLayout layout, const std::vector<Row>& rows, SecondaryStore* store,
+       uint64_t* out_write_ns = nullptr);
+
+  const RowLayout& layout() const { return layout_; }
+  size_t row_count() const { return row_count_; }
+  size_t page_count() const { return page_ids_.size(); }
+
+  /// Total bytes occupied on secondary storage.
+  size_t StorageBytes() const { return page_ids_.size() * kPageSize; }
+
+  /// Reconstructs the group's slice of tuple `row` via `buffers` (random
+  /// access pattern). Returns the values in member order.
+  Row ReconstructTuple(RowId row, BufferManager* buffers,
+                       uint32_t queue_depth, IoStats* io) const;
+
+  /// Reads a single member attribute of tuple `row` (probe path).
+  Value ProbeValue(RowId row, size_t slot, BufferManager* buffers,
+                   uint32_t queue_depth, IoStats* io) const;
+
+  /// Sequentially scans member slot `slot`, appending qualifying rows
+  /// ([lo, hi] closed interval, null = unbounded) to `out`. Reads every page
+  /// of the group (row-oriented layout: no projection pushdown).
+  void ScanSlot(size_t slot, const Value* lo, const Value* hi,
+                BufferManager* buffers, uint32_t threads, PositionList* out,
+                IoStats* io) const;
+
+  /// Probes member slot `slot` for the candidate positions `in` (ascending),
+  /// appending survivors to `out`. Consecutive candidates on the same page
+  /// share one fetch.
+  void ProbeSlot(size_t slot, const Value* lo, const Value* hi,
+                 const PositionList& in, BufferManager* buffers,
+                 uint32_t queue_depth, PositionList* out, IoStats* io) const;
+
+  /// Timing-free raw access for migration/verification: reads directly from
+  /// the backing store, bypassing the buffer manager and device model.
+  Value RawValue(RowId row, size_t slot, const SecondaryStore& store) const;
+  Row RawRow(RowId row, const SecondaryStore& store) const;
+
+ private:
+  const SecondaryStore::Page* FetchRowPage(RowId row, BufferManager* buffers,
+                                           AccessPattern pattern,
+                                           uint32_t queue_depth,
+                                           IoStats* io) const;
+
+  RowLayout layout_;
+  std::vector<PageId> page_ids_;
+  size_t row_count_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_SSCG_H_

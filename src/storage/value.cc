@@ -1,0 +1,144 @@
+#include "storage/value.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+size_t FixedWidth(DataType type, size_t string_width) {
+  switch (type) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kFloat:
+      return 4;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return string_width;
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+DataType Value::type() const {
+  return static_cast<DataType>(data_.index());
+}
+
+int Value::Compare(const Value& other) const {
+  HYTAP_ASSERT(type() == other.type(), "comparing values of different types");
+  return std::visit(
+      [&other](const auto& lhs) -> int {
+        using T = std::decay_t<decltype(lhs)>;
+        const T& rhs = std::get<T>(other.data_);
+        if (lhs < rhs) return -1;
+        if (rhs < lhs) return 1;
+        return 0;
+      },
+      data_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt32:
+      return std::to_string(AsInt32());
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kFloat:
+      return std::to_string(AsFloat());
+    case DataType::kDouble:
+      return std::to_string(AsDouble());
+    case DataType::kString:
+      return AsString();
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+void Value::SerializeFixed(uint8_t* dest, size_t width) const {
+  switch (type()) {
+    case DataType::kInt32: {
+      int32_t v = AsInt32();
+      HYTAP_ASSERT(width == sizeof(v), "width mismatch for int32");
+      std::memcpy(dest, &v, sizeof(v));
+      return;
+    }
+    case DataType::kInt64: {
+      int64_t v = AsInt64();
+      HYTAP_ASSERT(width == sizeof(v), "width mismatch for int64");
+      std::memcpy(dest, &v, sizeof(v));
+      return;
+    }
+    case DataType::kFloat: {
+      float v = AsFloat();
+      HYTAP_ASSERT(width == sizeof(v), "width mismatch for float");
+      std::memcpy(dest, &v, sizeof(v));
+      return;
+    }
+    case DataType::kDouble: {
+      double v = AsDouble();
+      HYTAP_ASSERT(width == sizeof(v), "width mismatch for double");
+      std::memcpy(dest, &v, sizeof(v));
+      return;
+    }
+    case DataType::kString: {
+      const std::string& v = AsString();
+      size_t n = v.size() < width ? v.size() : width;
+      std::memcpy(dest, v.data(), n);
+      if (n < width) std::memset(dest + n, 0, width - n);
+      return;
+    }
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+Value Value::DeserializeFixed(const uint8_t* src, DataType type,
+                              size_t width) {
+  switch (type) {
+    case DataType::kInt32: {
+      int32_t v;
+      std::memcpy(&v, src, sizeof(v));
+      return Value(v);
+    }
+    case DataType::kInt64: {
+      int64_t v;
+      std::memcpy(&v, src, sizeof(v));
+      return Value(v);
+    }
+    case DataType::kFloat: {
+      float v;
+      std::memcpy(&v, src, sizeof(v));
+      return Value(v);
+    }
+    case DataType::kDouble: {
+      double v;
+      std::memcpy(&v, src, sizeof(v));
+      return Value(v);
+    }
+    case DataType::kString: {
+      // Stored zero-padded; trim trailing NULs.
+      size_t len = width;
+      while (len > 0 && src[len - 1] == 0) --len;
+      return Value(std::string(reinterpret_cast<const char*>(src), len));
+    }
+  }
+  HYTAP_UNREACHABLE("invalid DataType");
+}
+
+}  // namespace hytap

@@ -1,0 +1,69 @@
+#ifndef HYTAP_STORAGE_VALUE_COLUMN_H_
+#define HYTAP_STORAGE_VALUE_COLUMN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/bplus_tree.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+
+namespace hytap {
+
+/// A delta-partition column (paper §II): write-optimized, DRAM-resident,
+/// append-only. Values are encoded with an unsorted dictionary (codes in
+/// insertion order) plus a B+-tree from value to row positions for fast
+/// point lookups.
+template <typename T>
+class ValueColumn : public AbstractColumn {
+ public:
+  ValueColumn() = default;
+
+  /// Appends one value; rows are dense and append-only.
+  void Append(const T& value);
+
+  DataType type() const override;
+  size_t size() const override { return codes_.size(); }
+  size_t distinct_count() const override { return dictionary_.size(); }
+  size_t MemoryUsage() const override;
+
+  Value GetValue(RowId row) const override;
+  void ScanBetween(const Value* lo, const Value* hi,
+                   PositionList* out) const override;
+  void Probe(const Value* lo, const Value* hi, const PositionList& in,
+             PositionList* out) const override;
+
+  /// Typed accessor.
+  const T& Get(RowId row) const {
+    HYTAP_ASSERT(row < codes_.size(), "row out of range");
+    return dictionary_.ValueFor(codes_[row]);
+  }
+
+  /// Point lookup through the B+-tree index (sorted ascending).
+  PositionList IndexLookup(const T& value) const;
+
+  const UnsortedDictionary<T>& dictionary() const { return dictionary_; }
+
+ private:
+  UnsortedDictionary<T> dictionary_;
+  std::vector<ValueId> codes_;
+  BPlusTree<T, RowId> index_;
+};
+
+/// Creates an empty delta column matching `def.type`.
+std::unique_ptr<AbstractColumn> MakeValueColumn(const ColumnDefinition& def);
+
+/// Appends a boxed value to a type-erased delta column created by
+/// MakeValueColumn. The value type must match the column type.
+void AppendValue(AbstractColumn* column, const Value& value);
+
+extern template class ValueColumn<int32_t>;
+extern template class ValueColumn<int64_t>;
+extern template class ValueColumn<float>;
+extern template class ValueColumn<double>;
+extern template class ValueColumn<std::string>;
+
+}  // namespace hytap
+
+#endif  // HYTAP_STORAGE_VALUE_COLUMN_H_

@@ -1,0 +1,92 @@
+#ifndef HYTAP_TIERING_BUFFER_MANAGER_H_
+#define HYTAP_TIERING_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "tiering/secondary_store.h"
+
+namespace hytap {
+
+/// Statistics exposed by the buffer manager.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : double(hits) / double(total);
+  }
+};
+
+/// Fixed-capacity 4 KB page cache with CLOCK eviction and pinning.
+///
+/// Substitute for EMC's AMM library (paper §II-C): the paper uses AMM only as
+/// a pre-allocated fixed-size page cache, which is exactly what this class
+/// provides. The evaluation configures the cache to 2 % of the evicted data
+/// size (Fig. 7), which we mirror in the benchmarks.
+class BufferManager {
+ public:
+  /// `frame_count` pages of capacity over `store`. The store must outlive the
+  /// buffer manager.
+  BufferManager(SecondaryStore* store, size_t frame_count);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Result of a page fetch: pointer into the frame plus simulated latency.
+  struct Fetch {
+    const SecondaryStore::Page* page = nullptr;
+    uint64_t latency_ns = 0;
+    bool hit = false;
+  };
+
+  /// Fetches `id`, reading through to the store on a miss. The returned
+  /// pointer is valid until the next FetchPage call unless the page is
+  /// pinned.
+  Fetch FetchPage(PageId id, AccessPattern pattern, uint32_t queue_depth = 1);
+
+  /// Pins `id` (must be resident after a FetchPage); pinned pages are never
+  /// evicted. Pins nest.
+  void Pin(PageId id);
+  void Unpin(PageId id);
+
+  bool IsResident(PageId id) const { return frame_of_.count(id) > 0; }
+
+  size_t frame_count() const { return frames_.size(); }
+  size_t resident_pages() const { return frame_of_.size(); }
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats(); }
+
+  /// Drops all unpinned pages (used between benchmark phases).
+  void Clear();
+
+  /// Resets the cache to `frame_count` frames, dropping all pages. No page
+  /// may be pinned when resizing.
+  void Resize(size_t frame_count);
+
+ private:
+  struct Frame {
+    SecondaryStore::Page data;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool referenced = false;
+    bool occupied = false;
+  };
+
+  /// Returns the index of a free (or freshly evicted) frame.
+  size_t FindVictim();
+
+  SecondaryStore* store_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> frame_of_;
+  size_t clock_hand_ = 0;
+  BufferStats stats_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_TIERING_BUFFER_MANAGER_H_

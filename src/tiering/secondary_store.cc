@@ -1,0 +1,55 @@
+#include "tiering/secondary_store.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+SecondaryStore::SecondaryStore(DeviceKind device, uint64_t timing_seed)
+    : device_(device), timing_rng_(timing_seed) {}
+
+PageId SecondaryStore::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>());
+  pages_.back()->fill(0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void SecondaryStore::WritePage(PageId id, const Page& data) {
+  HYTAP_ASSERT(id < pages_.size(), "WritePage: page id out of range");
+  *pages_[id] = data;
+}
+
+uint64_t SecondaryStore::ReadPage(PageId id, Page* dest,
+                                  AccessPattern pattern,
+                                  uint32_t queue_depth) {
+  HYTAP_ASSERT(id < pages_.size(), "ReadPage: page id out of range");
+  std::memcpy(dest->data(), pages_[id]->data(), kPageSize);
+  uint64_t latency_ns;
+  if (pattern == AccessPattern::kRandom) {
+    // Per-requester latency among `queue_depth` concurrent requesters;
+    // dividing the summed latencies by the thread count yields wall time.
+    latency_ns = device_.RandomReadLatencyNs(queue_depth, timing_rng_);
+  } else {
+    // SequentialReadNs is already aggregate elapsed time for the batch, so
+    // scale by the requester count to keep the same "summed device time"
+    // convention as random reads (IoStats::WallNs divides it back out).
+    latency_ns = device_.SequentialReadNs(/*pages=*/1, queue_depth) *
+                 queue_depth;
+  }
+  total_read_ns_ += latency_ns;
+  ++reads_;
+  return latency_ns;
+}
+
+const SecondaryStore::Page& SecondaryStore::RawPage(PageId id) const {
+  HYTAP_ASSERT(id < pages_.size(), "RawPage: page id out of range");
+  return *pages_[id];
+}
+
+void SecondaryStore::ResetStats() {
+  total_read_ns_ = 0;
+  reads_ = 0;
+}
+
+}  // namespace hytap

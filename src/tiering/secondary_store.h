@@ -1,0 +1,63 @@
+#ifndef HYTAP_TIERING_SECONDARY_STORE_H_
+#define HYTAP_TIERING_SECONDARY_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "tiering/device_model.h"
+
+namespace hytap {
+
+/// Access pattern hint for device timing.
+enum class AccessPattern { kSequential, kRandom };
+
+/// A paged secondary-storage volume backed by memory with device-model
+/// timing. Stands in for the paper's SSD/HDD/3D XPoint volumes: page
+/// contents are real (reads return the stored bytes); only the timing is
+/// simulated (see DeviceModel).
+class SecondaryStore {
+ public:
+  using Page = std::array<uint8_t, kPageSize>;
+
+  explicit SecondaryStore(DeviceKind device, uint64_t timing_seed = 42);
+
+  SecondaryStore(const SecondaryStore&) = delete;
+  SecondaryStore& operator=(const SecondaryStore&) = delete;
+
+  /// Allocates a zeroed page; returns its id.
+  PageId AllocatePage();
+
+  /// Writes a full page. Timing is accounted separately via
+  /// DeviceModel::SequentialWriteNs during migration.
+  void WritePage(PageId id, const Page& data);
+
+  /// Reads a page into `dest`; returns the simulated read latency in ns for
+  /// one requester among `queue_depth` concurrent ones.
+  uint64_t ReadPage(PageId id, Page* dest, AccessPattern pattern,
+                    uint32_t queue_depth = 1);
+
+  /// Direct (timing-free) access for verification and migration.
+  const Page& RawPage(PageId id) const;
+
+  size_t page_count() const { return pages_.size(); }
+  uint64_t total_read_ns() const { return total_read_ns_; }
+  uint64_t reads() const { return reads_; }
+  const DeviceModel& device() const { return device_; }
+
+  void ResetStats();
+
+ private:
+  DeviceModel device_;
+  Rng timing_rng_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  uint64_t total_read_ns_ = 0;
+  uint64_t reads_ = 0;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_TIERING_SECONDARY_STORE_H_

@@ -1,0 +1,40 @@
+#include "txn/transaction_manager.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+Transaction TransactionManager::Begin() {
+  Transaction txn;
+  txn.tid = next_tid_++;
+  txn.snapshot_cid = next_cid_ - 1;
+  return txn;
+}
+
+void TransactionManager::Commit(Transaction* txn) {
+  HYTAP_ASSERT(!txn->finished, "transaction already finished");
+  commit_cids_[txn->tid] = next_cid_++;
+  txn->finished = true;
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  HYTAP_ASSERT(!txn->finished, "transaction already finished");
+  txn->finished = true;
+}
+
+bool TransactionManager::IsVisible(TransactionId writer_tid,
+                                   const Transaction& reader) const {
+  if (writer_tid == 0) return true;  // bulk-loaded / merged baseline data
+  if (writer_tid == reader.tid) return true;
+  auto it = commit_cids_.find(writer_tid);
+  if (it == commit_cids_.end()) return false;  // in flight or aborted
+  return it->second <= reader.snapshot_cid;
+}
+
+bool TransactionManager::IsDeleted(TransactionId deleter_tid,
+                                   const Transaction& reader) const {
+  if (deleter_tid == kMaxTransactionId) return false;
+  return IsVisible(deleter_tid, reader);
+}
+
+}  // namespace hytap

@@ -1,0 +1,60 @@
+#ifndef HYTAP_TXN_TRANSACTION_MANAGER_H_
+#define HYTAP_TXN_TRANSACTION_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace hytap {
+
+/// A transaction handle. Obtained from TransactionManager::Begin().
+struct Transaction {
+  TransactionId tid = 0;
+  /// Snapshot: the highest commit id visible to this transaction.
+  TransactionId snapshot_cid = 0;
+  bool finished = false;
+};
+
+/// Minimal MVCC transaction manager (paper §II: "ACID compliance in Hyrise is
+/// implemented using multi-version concurrency control").
+///
+/// Insert-only model: writers stamp new delta rows with their transaction id;
+/// commit assigns a monotonically increasing commit id (cid). A row written
+/// by `tid` is visible to a reader iff `tid` committed with cid <= the
+/// reader's snapshot, or the reader is the writer itself. Deletions
+/// invalidate rows with an end-cid the same way.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  Transaction Begin();
+
+  /// Commits `txn`, assigning its commit id. Idempotent calls are an error.
+  void Commit(Transaction* txn);
+
+  /// Aborts `txn`; its writes stay permanently invisible.
+  void Abort(Transaction* txn);
+
+  /// True iff a row stamped with writer `writer_tid` is visible to `reader`.
+  bool IsVisible(TransactionId writer_tid, const Transaction& reader) const;
+
+  /// True iff a row invalidated by `deleter_tid` is deleted for `reader`
+  /// (kMaxTransactionId means "never deleted").
+  bool IsDeleted(TransactionId deleter_tid, const Transaction& reader) const;
+
+  TransactionId last_commit_cid() const { return next_cid_ - 1; }
+
+ private:
+  TransactionId next_tid_ = 1;
+  TransactionId next_cid_ = 1;
+  // tid -> commit cid; absent = in flight or aborted.
+  std::unordered_map<TransactionId, TransactionId> commit_cids_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_TXN_TRANSACTION_MANAGER_H_

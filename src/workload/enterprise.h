@@ -1,0 +1,59 @@
+#ifndef HYTAP_WORKLOAD_ENTERPRISE_H_
+#define HYTAP_WORKLOAD_ENTERPRISE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "workload/workload.h"
+
+namespace hytap {
+
+/// Published filter-skew statistics of the five largest tables of the
+/// financial module of a production SAP ERP system (paper Table I).
+struct EnterpriseProfile {
+  std::string table_name;
+  size_t attribute_count;     // total attributes
+  size_t filtered_count;      // attributes filtered at least once
+  size_t hot_filtered_count;  // filtered in >= 1 % of query executions
+  size_t template_count;      // distinct plan-cache templates (~60 for BSEG)
+  /// Share of table bytes held by never-filtered attributes (the paper's
+  /// BSEG analysis reports ~78 % "free" eviction, §III-B).
+  double unfiltered_byte_share;
+  /// Size of the dominant filtered column ("BELNR") as a share of the table
+  /// (its eviction causes the performance cliff beyond ~95 %, Fig. 3).
+  double dominant_column_share;
+};
+
+/// The five production tables of Table I (BSEG, ACDOCA, VBAP, BKPF, COEP).
+std::vector<EnterpriseProfile> SapErpProfiles();
+
+/// The BSEG profile (the paper's running example).
+EnterpriseProfile BsegProfile();
+
+/// Generates a selection-model workload matching `profile`: attribute sizes,
+/// selectivities, and skewed query templates that reproduce the published
+/// aggregate statistics (filtered counts, hot counts, byte shares).
+Workload GenerateEnterpriseWorkload(const EnterpriseProfile& profile,
+                                    uint64_t seed);
+
+/// Statistics of a generated workload, for validating Table I.
+struct WorkloadSkew {
+  size_t filtered_count = 0;
+  size_t hot_filtered_count = 0;  // filtered in >= `hot_share` of executions
+  double unfiltered_byte_share = 0.0;
+};
+WorkloadSkew AnalyzeSkew(const Workload& workload, double hot_share = 0.01);
+
+/// Schema and data for engine-level BSEG experiments (Fig. 8): a wide table
+/// with `attribute_count` integer attributes whose distinct counts mirror
+/// enterprise data (many low-cardinality status/flag columns, a few
+/// document-number-like high-cardinality columns).
+Schema MakeEnterpriseSchema(const EnterpriseProfile& profile);
+std::vector<Row> GenerateEnterpriseRows(const EnterpriseProfile& profile,
+                                        size_t row_count, uint64_t seed);
+
+}  // namespace hytap
+
+#endif  // HYTAP_WORKLOAD_ENTERPRISE_H_

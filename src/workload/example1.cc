@@ -1,0 +1,108 @@
+#include "workload/example1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/random.h"
+
+namespace hytap {
+
+namespace {
+
+double LogUniform(Rng& rng, double lo, double hi) {
+  return std::exp(rng.NextDouble(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+Workload GenerateExample1(const Example1Params& params) {
+  HYTAP_ASSERT(params.num_columns >= 2, "need at least two columns");
+  HYTAP_ASSERT(params.min_predicates >= 1, "queries need predicates");
+  Rng rng(params.seed);
+  const size_t n = params.num_columns;
+
+  Workload workload;
+  workload.column_sizes.reserve(n);
+  workload.selectivities.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workload.column_sizes.push_back(
+        LogUniform(rng, params.min_column_bytes, params.max_column_bytes));
+    workload.selectivities.push_back(
+        LogUniform(rng, params.min_selectivity, params.max_selectivity));
+    workload.column_names.push_back("col_" + std::to_string(i));
+  }
+
+  // Popularity weights: correlated with selectivity (small-selectivity
+  // columns are used less often, paper §III-C) plus noise, so neither H1 nor
+  // H2 can rank optimally.
+  std::vector<double> popularity(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double sel_rank =
+        std::log(workload.selectivities[i] / params.min_selectivity) /
+        std::log(params.max_selectivity / params.min_selectivity);
+    popularity[i] = 0.25 + 0.5 * sel_rank + 0.5 * rng.NextDouble();
+  }
+  double total_popularity = 0.0;
+  for (double p : popularity) total_popularity += p;
+
+  auto sample_column = [&]() -> uint32_t {
+    double r = rng.NextDouble() * total_popularity;
+    for (size_t i = 0; i < n; ++i) {
+      r -= popularity[i];
+      if (r <= 0.0) return static_cast<uint32_t>(i);
+    }
+    return static_cast<uint32_t>(n - 1);
+  };
+
+  // Co-occurrence groups: disjoint blocks of columns that tend to be
+  // filtered together (selection interaction).
+  std::vector<std::vector<uint32_t>> groups(std::max<size_t>(
+      1, std::min(params.group_count, n / 3)));
+  {
+    std::vector<uint32_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(i);
+    rng.Shuffle(ids);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      groups[i % groups.size()].push_back(ids[i]);
+    }
+  }
+
+  workload.queries.reserve(params.num_queries);
+  for (size_t j = 0; j < params.num_queries; ++j) {
+    const size_t arity = static_cast<size_t>(
+        rng.NextInt(int64_t(params.min_predicates),
+                    int64_t(params.max_predicates)));
+    std::vector<uint32_t> columns;
+    if (rng.NextBool(params.group_probability)) {
+      const auto& group = groups[rng.NextBounded(groups.size())];
+      for (size_t k = 0; k < arity && k < group.size(); ++k) {
+        columns.push_back(group[rng.NextBounded(group.size())]);
+      }
+    } else {
+      for (size_t k = 0; k < arity; ++k) columns.push_back(sample_column());
+    }
+    std::sort(columns.begin(), columns.end());
+    columns.erase(std::unique(columns.begin(), columns.end()),
+                  columns.end());
+    if (columns.empty()) columns.push_back(sample_column());
+    QueryTemplate tmpl;
+    tmpl.columns = std::move(columns);
+    tmpl.frequency = 1.0;
+    workload.queries.push_back(std::move(tmpl));
+  }
+  workload.Check();
+  return workload;
+}
+
+Workload GenerateScalabilityWorkload(size_t num_columns, size_t num_queries,
+                                     uint64_t seed) {
+  Example1Params params;
+  params.num_columns = num_columns;
+  params.num_queries = num_queries;
+  params.seed = seed;
+  params.group_count = std::max<size_t>(4, num_columns / 16);
+  return GenerateExample1(params);
+}
+
+}  // namespace hytap

@@ -1,0 +1,47 @@
+#ifndef HYTAP_WORKLOAD_EXAMPLE1_H_
+#define HYTAP_WORKLOAD_EXAMPLE1_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace hytap {
+
+/// Parameters of the reproducible column selection problem class of
+/// Example 1 (paper §III-C, and the authors' companion repository
+/// hpi-epic/column_selection_example).
+///
+/// The generated workloads exhibit the features the paper calls out:
+///  - column sizes and selectivities drawn log-uniformly over wide ranges,
+///  - occurrence counts g_i correlated with selectivity (columns with small
+///    selectivity tend to be used less often), defeating single-metric
+///    heuristics,
+///  - co-occurrence: some columns frequently appear in queries together
+///    (selection interaction), so keeping all of them in DRAM is wasteful.
+struct Example1Params {
+  size_t num_columns = 50;   // N
+  size_t num_queries = 500;  // Q
+  uint64_t seed = 1;
+  double min_column_bytes = 4.0 * 1024;
+  double max_column_bytes = 4.0 * 1024 * 1024;
+  double min_selectivity = 1e-5;
+  double max_selectivity = 0.5;
+  /// Probability that a query draws its columns from one co-occurrence
+  /// group instead of independently. 0 disables selection interaction.
+  double group_probability = 0.6;
+  /// Number of co-occurrence groups.
+  size_t group_count = 8;
+  size_t min_predicates = 1;
+  size_t max_predicates = 6;
+};
+
+/// Generates one Example-1 instance.
+Workload GenerateExample1(const Example1Params& params);
+
+/// Scalability instances for Table II: N columns, Q = 10 * N queries.
+Workload GenerateScalabilityWorkload(size_t num_columns, size_t num_queries,
+                                     uint64_t seed);
+
+}  // namespace hytap
+
+#endif  // HYTAP_WORKLOAD_EXAMPLE1_H_

@@ -1,0 +1,114 @@
+#include "workload/forecast.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace hytap {
+
+const char* ForecastMethodName(ForecastMethod method) {
+  switch (method) {
+    case ForecastMethod::kLastEpoch:
+      return "last-epoch";
+    case ForecastMethod::kMovingAverage:
+      return "moving-average";
+    case ForecastMethod::kExponentialSmoothing:
+      return "exponential-smoothing";
+    case ForecastMethod::kLinearTrend:
+      return "linear-trend";
+  }
+  return "unknown";
+}
+
+void WorkloadHistory::CloseEpoch(const PlanCache& cache, const Table& table) {
+  (void)table;  // reserved for future per-epoch statistics snapshots
+  for (const auto& [columns, count] : cache.templates()) {
+    auto& series = series_[columns];
+    series.resize(epochs_, 0.0);  // zero-fill epochs before first sighting
+    series.push_back(double(count));
+  }
+  ++epochs_;
+  // Templates absent this epoch get an explicit zero.
+  for (auto& [columns, series] : series_) {
+    if (series.size() < epochs_) series.resize(epochs_, 0.0);
+  }
+}
+
+std::vector<double> WorkloadHistory::Series(
+    const std::vector<ColumnId>& columns) const {
+  std::vector<ColumnId> key = columns;
+  std::sort(key.begin(), key.end());
+  auto it = series_.find(key);
+  if (it == series_.end()) return {};
+  return it->second;
+}
+
+double WorkloadHistory::PredictNext(const std::vector<double>& series,
+                                    ForecastMethod method, size_t window,
+                                    double smoothing) const {
+  HYTAP_ASSERT(!series.empty(), "empty series");
+  const size_t n = series.size();
+  const size_t start =
+      (window == 0 || window >= n) ? 0 : n - window;
+  const size_t len = n - start;
+  switch (method) {
+    case ForecastMethod::kLastEpoch:
+      return series.back();
+    case ForecastMethod::kMovingAverage: {
+      double sum = 0.0;
+      for (size_t i = start; i < n; ++i) sum += series[i];
+      return sum / double(len);
+    }
+    case ForecastMethod::kExponentialSmoothing: {
+      double level = series[start];
+      for (size_t i = start + 1; i < n; ++i) {
+        level = smoothing * series[i] + (1.0 - smoothing) * level;
+      }
+      return level;
+    }
+    case ForecastMethod::kLinearTrend: {
+      if (len == 1) return series.back();
+      // Least squares over (t, y), t = 0..len-1; extrapolate to t = len.
+      double sum_t = 0, sum_y = 0, sum_tt = 0, sum_ty = 0;
+      for (size_t i = 0; i < len; ++i) {
+        const double t = double(i);
+        const double y = series[start + i];
+        sum_t += t;
+        sum_y += y;
+        sum_tt += t * t;
+        sum_ty += t * y;
+      }
+      const double denom = double(len) * sum_tt - sum_t * sum_t;
+      if (denom == 0.0) return series.back();
+      const double slope = (double(len) * sum_ty - sum_t * sum_y) / denom;
+      const double intercept = (sum_y - slope * sum_t) / double(len);
+      return std::max(0.0, intercept + slope * double(len));
+    }
+  }
+  HYTAP_UNREACHABLE("invalid ForecastMethod");
+}
+
+Workload WorkloadHistory::Forecast(const Table& table, ForecastMethod method,
+                                   size_t window, double smoothing) const {
+  HYTAP_ASSERT(epochs_ > 0, "no recorded epochs");
+  Workload workload;
+  const size_t n = table.column_count();
+  for (ColumnId c = 0; c < n; ++c) {
+    workload.column_sizes.push_back(
+        std::max<double>(1.0, double(table.ColumnDramBytes(c))));
+    workload.selectivities.push_back(table.SelectivityEstimate(c));
+    workload.column_names.push_back(table.schema()[c].name);
+  }
+  for (const auto& [columns, series] : series_) {
+    const double predicted = PredictNext(series, method, window, smoothing);
+    if (predicted <= 0.0) continue;
+    QueryTemplate tmpl;
+    tmpl.columns.assign(columns.begin(), columns.end());
+    tmpl.frequency = predicted;
+    workload.queries.push_back(std::move(tmpl));
+  }
+  workload.Check();
+  return workload;
+}
+
+}  // namespace hytap

@@ -1,0 +1,64 @@
+#ifndef HYTAP_WORKLOAD_FORECAST_H_
+#define HYTAP_WORKLOAD_FORECAST_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "query/plan_cache.h"
+#include "workload/workload.h"
+
+namespace hytap {
+
+/// How the next epoch's query frequencies b_j are predicted.
+enum class ForecastMethod {
+  kLastEpoch,             // b_j of the most recent epoch
+  kMovingAverage,         // mean of the last `window` epochs
+  kExponentialSmoothing,  // EWMA with factor `smoothing`
+  kLinearTrend,           // least-squares line over the window, extrapolated
+};
+
+const char* ForecastMethodName(ForecastMethod method);
+
+/// Epoch-structured workload history (paper §VI, future work: "varying time
+/// frames (moving windows) of historic workload data can be used to feed the
+/// model and to adapt the data layout successively. Further, our model can
+/// also be directly combined with approaches to predict future workloads").
+///
+/// Usage: run queries through a PlanCache, then snapshot it once per epoch
+/// (e.g., daily): CloseEpoch(cache) records the per-template counts and the
+/// caller clears the cache for the next epoch.
+class WorkloadHistory {
+ public:
+  WorkloadHistory() = default;
+
+  /// Snapshots the per-template execution counts of one epoch.
+  void CloseEpoch(const PlanCache& cache, const Table& table);
+
+  size_t epoch_count() const { return epochs_; }
+  size_t template_count() const { return series_.size(); }
+
+  /// The recorded frequency series of a template (zero-padded to the number
+  /// of epochs); empty if the template was never seen.
+  std::vector<double> Series(const std::vector<ColumnId>& columns) const;
+
+  /// Builds the workload with b_j predicted for the next epoch. Column sizes
+  /// and selectivities come from `table`'s current state. `window` bounds
+  /// how many trailing epochs the moving-average / trend methods consider
+  /// (0 = all); `smoothing` is the EWMA weight of the most recent epoch.
+  Workload Forecast(const Table& table, ForecastMethod method,
+                    size_t window = 0, double smoothing = 0.5) const;
+
+ private:
+  /// Predicts the next value of one series.
+  double PredictNext(const std::vector<double>& series, ForecastMethod method,
+                     size_t window, double smoothing) const;
+
+  size_t epochs_ = 0;
+  // Template key (sorted filtered columns) -> per-epoch counts.
+  std::map<std::vector<ColumnId>, std::vector<double>> series_;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_WORKLOAD_FORECAST_H_

@@ -1,0 +1,190 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.h"
+#include "common/random.h"
+
+namespace hytap {
+
+Schema OrderlineSchema() {
+  Schema schema;
+  auto add = [&schema](const char* name, DataType type, size_t width = 16) {
+    ColumnDefinition def;
+    def.name = name;
+    def.type = type;
+    def.string_width = width;
+    schema.push_back(def);
+  };
+  add("ol_o_id", DataType::kInt32);
+  add("ol_d_id", DataType::kInt32);
+  add("ol_w_id", DataType::kInt32);
+  add("ol_number", DataType::kInt32);
+  add("ol_i_id", DataType::kInt32);
+  add("ol_supply_w_id", DataType::kInt32);
+  add("ol_delivery_d", DataType::kInt64);
+  add("ol_quantity", DataType::kInt32);
+  add("ol_amount", DataType::kDouble);
+  add("ol_dist_info", DataType::kString, 24);
+  return schema;
+}
+
+std::vector<Row> GenerateOrderlineRows(const OrderlineParams& params) {
+  Rng rng(params.seed);
+  std::vector<Row> rows;
+  const uint64_t estimated =
+      uint64_t(params.warehouses) * params.districts_per_warehouse *
+      params.orders_per_district * (5 + params.max_lines_per_order) / 2;
+  rows.reserve(estimated);
+  int64_t base_date = 1514764800;  // 2018-01-01, seconds
+  for (uint32_t w = 1; w <= params.warehouses; ++w) {
+    for (uint32_t d = 1; d <= params.districts_per_warehouse; ++d) {
+      for (uint32_t o = 1; o <= params.orders_per_district; ++o) {
+        const uint32_t lines =
+            5 + static_cast<uint32_t>(
+                    rng.NextBounded(params.max_lines_per_order - 4));
+        for (uint32_t l = 1; l <= lines; ++l) {
+          Row row;
+          row.reserve(10);
+          row.emplace_back(static_cast<int32_t>(o));
+          row.emplace_back(static_cast<int32_t>(d));
+          row.emplace_back(static_cast<int32_t>(w));
+          row.emplace_back(static_cast<int32_t>(l));
+          row.emplace_back(
+              static_cast<int32_t>(1 + rng.NextBounded(params.items)));
+          row.emplace_back(static_cast<int32_t>(w));
+          row.emplace_back(base_date + int64_t(rng.NextBounded(86400 * 90)));
+          row.emplace_back(static_cast<int32_t>(1 + rng.NextBounded(10)));
+          row.emplace_back(rng.NextDouble(0.01, 9999.99));
+          row.emplace_back(std::string("dist-info-") +
+                           std::to_string(rng.NextBounded(100000)));
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+std::vector<ColumnId> OrderlinePrimaryKey() {
+  return {kOlOId, kOlDId, kOlWId, kOlNumber};
+}
+
+Query DeliveryQuery(int32_t warehouse, int32_t district, int32_t order) {
+  Query query;
+  query.predicates.push_back(Predicate::Equals(kOlWId, Value(warehouse)));
+  query.predicates.push_back(Predicate::Equals(kOlDId, Value(district)));
+  query.predicates.push_back(Predicate::Equals(kOlOId, Value(order)));
+  query.projections = {kOlNumber, kOlIId, kOlAmount, kOlDeliveryD};
+  return query;
+}
+
+Query ChQuery19(int32_t warehouse, int32_t item_lo, int32_t item_hi,
+                int32_t quantity_lo, int32_t quantity_hi) {
+  Query query;
+  query.predicates.push_back(Predicate::Equals(kOlWId, Value(warehouse)));
+  query.predicates.push_back(
+      Predicate::Between(kOlIId, Value(item_lo), Value(item_hi)));
+  query.predicates.push_back(
+      Predicate::Between(kOlQuantity, Value(quantity_lo), Value(quantity_hi)));
+  query.projections = {kOlAmount};
+  return query;
+}
+
+Schema ItemSchema() {
+  Schema schema;
+  ColumnDefinition def;
+  def.name = "i_id";
+  def.type = DataType::kInt32;
+  schema.push_back(def);
+  def.name = "i_name";
+  def.type = DataType::kString;
+  def.string_width = 16;
+  schema.push_back(def);
+  def.name = "i_price";
+  def.type = DataType::kDouble;
+  schema.push_back(def);
+  def.name = "i_data";
+  def.type = DataType::kString;
+  def.string_width = 24;
+  schema.push_back(def);
+  return schema;
+}
+
+std::vector<Row> GenerateItemRows(uint32_t items, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(items);
+  for (uint32_t i = 1; i <= items; ++i) {
+    Row row;
+    row.emplace_back(static_cast<int32_t>(i));
+    row.emplace_back(std::string("item-") + std::to_string(i));
+    row.emplace_back(rng.NextDouble(1.0, 100.0));
+    row.emplace_back(std::string("data-") +
+                     std::to_string(rng.NextBounded(100000)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+ChQuery19Join MakeChQuery19Join(int32_t warehouse, int32_t quantity_lo,
+                                int32_t quantity_hi, double price_lo,
+                                double price_hi) {
+  ChQuery19Join join;
+  join.orderline.predicates.push_back(
+      Predicate::Equals(kOlWId, Value(warehouse)));
+  join.orderline.predicates.push_back(Predicate::Between(
+      kOlQuantity, Value(quantity_lo), Value(quantity_hi)));
+  join.item.predicates.push_back(
+      Predicate::Between(kIPrice, Value(price_lo), Value(price_hi)));
+  join.spec.left_column = kOlIId;
+  join.spec.right_column = kIId;
+  join.spec.left_projections = {kOlAmount};
+  join.spec.right_projections = {kIPrice};
+  return join;
+}
+
+Workload OrderlineWorkload(const OrderlineParams& params) {
+  // Aggregate selection-model view of the access patterns above. Sizes are
+  // relative per-attribute byte weights of a scale-independent ORDERLINE
+  // (int ~4 B, int64/double ~8 B, dist_info 24 B after encoding).
+  Workload workload;
+  workload.column_names = {"ol_o_id",     "ol_d_id",        "ol_w_id",
+                           "ol_number",   "ol_i_id",        "ol_supply_w_id",
+                           "ol_delivery_d", "ol_quantity",  "ol_amount",
+                           "ol_dist_info"};
+  workload.column_sizes = {4, 4, 4, 4, 4, 4, 8, 4, 8, 24};
+  const double rows = double(params.warehouses) *
+                      params.districts_per_warehouse *
+                      params.orders_per_district * 7.5;
+  workload.selectivities = {
+      1.0 / double(params.orders_per_district),
+      1.0 / double(params.districts_per_warehouse),
+      1.0 / double(params.warehouses),
+      1.0 / 10.0,
+      1.0 / double(params.items),
+      1.0 / double(params.warehouses),
+      std::min(1.0, 1000.0 / rows),
+      1.0 / 10.0,
+      1.0 / 4000.0,
+      1.0 / 1000.0,
+  };
+  // Delivery dominates (OLTP); CH-19 and a delivery-date report are the
+  // analytical tail. Grouping/joins on PK columns count as accesses too
+  // (paper §IV-A: CH accesses ORDERLINE mainly via primary-key columns).
+  QueryTemplate delivery;
+  delivery.columns = {kOlOId, kOlDId, kOlWId};
+  delivery.frequency = 1000.0;
+  QueryTemplate ch19;
+  ch19.columns = {kOlWId, kOlIId, kOlQuantity};
+  ch19.frequency = 10.0;
+  QueryTemplate pk_join;
+  pk_join.columns = {kOlWId, kOlDId, kOlOId, kOlNumber};
+  pk_join.frequency = 50.0;
+  workload.queries = {delivery, ch19, pk_join};
+  workload.Check();
+  return workload;
+}
+
+}  // namespace hytap

@@ -1,0 +1,89 @@
+#ifndef HYTAP_WORKLOAD_TPCC_H_
+#define HYTAP_WORKLOAD_TPCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/join.h"
+#include "query/predicate.h"
+#include "storage/column.h"
+#include "workload/workload.h"
+
+namespace hytap {
+
+/// Column indices of the TPC-C ORDERLINE table (10 attributes).
+enum OrderlineColumn : uint32_t {
+  kOlOId = 0,
+  kOlDId = 1,
+  kOlWId = 2,
+  kOlNumber = 3,
+  kOlIId = 4,
+  kOlSupplyWId = 5,
+  kOlDeliveryD = 6,
+  kOlQuantity = 7,
+  kOlAmount = 8,
+  kOlDistInfo = 9,
+};
+
+/// Shape parameters for the generated ORDERLINE data.
+struct OrderlineParams {
+  uint32_t warehouses = 10;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t orders_per_district = 100;
+  uint32_t max_lines_per_order = 10;  // 5..max per order
+  uint32_t items = 1000;              // item id domain
+  uint64_t seed = 7;
+};
+
+/// The ORDERLINE schema (4 primary-key attributes + 6 payload attributes).
+Schema OrderlineSchema();
+
+/// Generates ORDERLINE rows for `params`.
+std::vector<Row> GenerateOrderlineRows(const OrderlineParams& params);
+
+/// The four primary-key columns (ol_o_id, ol_d_id, ol_w_id, ol_number) — the
+/// attributes the paper's data allocation model keeps as MRCs at w = 0.2.
+std::vector<ColumnId> OrderlinePrimaryKey();
+
+/// Read access of the TPC-C delivery transaction: locate the order lines of
+/// one (warehouse, district, order), project the delivery-relevant payload.
+Query DeliveryQuery(int32_t warehouse, int32_t district, int32_t order);
+
+/// CH-benCHmark query #19 access pattern on ORDERLINE: equality on ol_w_id,
+/// item predicate on ol_i_id, range predicate on ol_quantity (the predicate
+/// that hits tiered data at w = 0.2, Table III), projecting ol_amount.
+Query ChQuery19(int32_t warehouse, int32_t item_lo, int32_t item_hi,
+                int32_t quantity_lo, int32_t quantity_hi);
+
+/// Plan-cache-style workload of the ORDERLINE accesses (delivery dominating,
+/// CH-19 analytical), for the selection model.
+Workload OrderlineWorkload(const OrderlineParams& params);
+
+/// Column indices of the TPC-C ITEM table.
+enum ItemColumn : uint32_t {
+  kIId = 0,
+  kIName = 1,
+  kIPrice = 2,
+  kIData = 3,
+};
+
+/// The ITEM schema (join partner of ORDERLINE in CH-benCHmark query #19).
+Schema ItemSchema();
+
+/// Generates `items` ITEM rows (i_id 1..items).
+std::vector<Row> GenerateItemRows(uint32_t items, uint64_t seed);
+
+/// CH-19 as an actual join: ORDERLINE (quantity/warehouse predicates) joined
+/// with ITEM (price band) on ol_i_id = i_id, projecting ol_amount.
+struct ChQuery19Join {
+  Query orderline;
+  Query item;
+  JoinSpec spec;
+};
+ChQuery19Join MakeChQuery19Join(int32_t warehouse, int32_t quantity_lo,
+                                int32_t quantity_hi, double price_lo,
+                                double price_hi);
+
+}  // namespace hytap
+
+#endif  // HYTAP_WORKLOAD_TPCC_H_

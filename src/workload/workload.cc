@@ -1,0 +1,38 @@
+#include "workload/workload.h"
+
+#include "common/assert.h"
+
+namespace hytap {
+
+double Workload::TotalBytes() const {
+  double total = 0.0;
+  for (double a : column_sizes) total += a;
+  return total;
+}
+
+std::vector<double> Workload::ColumnFrequencies() const {
+  std::vector<double> g(column_count(), 0.0);
+  for (const QueryTemplate& q : queries) {
+    for (uint32_t c : q.columns) g[c] += q.frequency;
+  }
+  return g;
+}
+
+void Workload::Check() const {
+  HYTAP_ASSERT(selectivities.size() == column_sizes.size(),
+               "selectivity / size arity mismatch");
+  for (double a : column_sizes) {
+    HYTAP_ASSERT(a > 0.0, "column sizes must be positive");
+  }
+  for (double s : selectivities) {
+    HYTAP_ASSERT(s > 0.0 && s <= 1.0, "selectivities must be in (0, 1]");
+  }
+  for (const QueryTemplate& q : queries) {
+    HYTAP_ASSERT(q.frequency >= 0.0, "query frequency must be non-negative");
+    for (uint32_t c : q.columns) {
+      HYTAP_ASSERT(c < column_count(), "query references unknown column");
+    }
+  }
+}
+
+}  // namespace hytap

@@ -1,0 +1,42 @@
+#ifndef HYTAP_WORKLOAD_WORKLOAD_H_
+#define HYTAP_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hytap {
+
+/// One query template of the selection model (paper §III-A): the set q_j of
+/// filtered columns and the occurrence count b_j.
+struct QueryTemplate {
+  std::vector<uint32_t> columns;  // q_j, column indices
+  double frequency = 1.0;         // b_j
+};
+
+/// The abstract workload consumed by the column selection model: N columns
+/// with sizes a_i (bytes) and selectivities s_i (average share of rows per
+/// distinct value), plus Q query templates.
+struct Workload {
+  std::vector<double> column_sizes;    // a_i, bytes
+  std::vector<double> selectivities;   // s_i in (0, 1]
+  std::vector<QueryTemplate> queries;
+  std::vector<std::string> column_names;  // optional, for reporting
+
+  size_t column_count() const { return column_sizes.size(); }
+  size_t query_count() const { return queries.size(); }
+
+  /// Total bytes of all columns (the w = 1 DRAM budget).
+  double TotalBytes() const;
+
+  /// g_i: number of weighted query occurrences filtering column i.
+  std::vector<double> ColumnFrequencies() const;
+
+  /// Validates internal consistency (sizes > 0, selectivities in (0,1],
+  /// column indices in range); aborts on violation.
+  void Check() const;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_WORKLOAD_WORKLOAD_H_

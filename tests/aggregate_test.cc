@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "storage/table.h"
+
+namespace hytap {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"id", DataType::kInt32, 0});
+  schema.push_back({"grp", DataType::kInt32, 0});
+  schema.push_back({"amount", DataType::kDouble, 0});
+  return schema;
+}
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest()
+      : store_(DeviceKind::kXpoint),
+        buffers_(&store_, 16),
+        table_("t", TestSchema(), &txns_, &store_, &buffers_),
+        executor_(&table_) {
+    std::vector<Row> rows;
+    for (int r = 0; r < 100; ++r) {
+      rows.push_back(Row{Value(int32_t(r)), Value(int32_t(r % 4)),
+                         Value(double(r) * 0.5)});
+    }
+    table_.BulkLoad(rows);
+  }
+  TransactionManager txns_;
+  SecondaryStore store_;
+  BufferManager buffers_;
+  Table table_;
+  QueryExecutor executor_;
+};
+
+TEST_F(AggregateTest, CountSumMinMax) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{2})));
+  query.aggregates = {Aggregate::Count(), Aggregate::Sum(2),
+                      Aggregate::Min(0), Aggregate::Max(0)};
+  QueryResult result = executor_.Execute(txn, query);
+  ASSERT_EQ(result.aggregate_values.size(), 4u);
+  // grp == 2: rows 2, 6, ..., 98 -> 25 rows.
+  EXPECT_EQ(result.aggregate_values[0], Value(int64_t{25}));
+  // sum of 0.5 * (2 + 6 + ... + 98) = 0.5 * 1250 = 625.
+  EXPECT_DOUBLE_EQ(result.aggregate_values[1].AsDouble(), 625.0);
+  EXPECT_EQ(result.aggregate_values[2], Value(int32_t{2}));
+  EXPECT_EQ(result.aggregate_values[3], Value(int32_t{98}));
+}
+
+TEST_F(AggregateTest, AggregatesWithoutProjectionsKeepRowsEmpty) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.aggregates = {Aggregate::Sum(2)};
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_TRUE(result.rows.empty());
+  EXPECT_DOUBLE_EQ(result.aggregate_values[0].AsDouble(), 0.5 * 4950.0);
+}
+
+TEST_F(AggregateTest, EmptyResultSet) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{-1})));
+  query.aggregates = {Aggregate::Count(), Aggregate::Sum(2)};
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_EQ(result.aggregate_values[0], Value(int64_t{0}));
+  EXPECT_DOUBLE_EQ(result.aggregate_values[1].AsDouble(), 0.0);
+}
+
+TEST_F(AggregateTest, AggregateOverTieredColumnSharesPages) {
+  ASSERT_TRUE(table_.SetPlacement({true, true, false}, nullptr).ok());
+  buffers_.Clear();
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{1})));
+  query.aggregates = {Aggregate::Sum(2)};
+  QueryResult result = executor_.Execute(txn, query);
+  // Correct sum despite tiering: 0.5 * (1 + 5 + ... + 97) = 612.5.
+  EXPECT_DOUBLE_EQ(result.aggregate_values[0].AsDouble(), 612.5);
+  EXPECT_GT(result.io.device_ns, 0u);
+}
+
+TEST_F(AggregateTest, ProjectionsAndAggregatesShareFetches) {
+  ASSERT_TRUE(table_.SetPlacement({true, true, false}, nullptr).ok());
+  buffers_.Clear();
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{10})));
+  query.projections = {2};
+  query.aggregates = {Aggregate::Max(2)};
+  QueryResult result = executor_.Execute(txn, query);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], Value(5.0));
+  EXPECT_EQ(result.aggregate_values[0], Value(5.0));
+  // The projected column and the aggregate input share one page access.
+  EXPECT_EQ(result.io.page_reads + result.io.cache_hits, 1u);
+}
+
+TEST_F(AggregateTest, DeltaRowsIncludedInAggregates) {
+  Transaction writer = txns_.Begin();
+  ASSERT_TRUE(table_
+                  .Insert(writer, Row{Value(int32_t{1000}), Value(int32_t{2}),
+                                      Value(100.0)})
+                  .ok());
+  txns_.Commit(&writer);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{2})));
+  query.aggregates = {Aggregate::Count(), Aggregate::Max(2)};
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_EQ(result.aggregate_values[0], Value(int64_t{26}));
+  EXPECT_EQ(result.aggregate_values[1], Value(100.0));
+}
+
+TEST_F(AggregateTest, SumOverStringAborts) {
+  Schema schema;
+  schema.push_back({"s", DataType::kString, 8});
+  TransactionManager txns;
+  Table table("s", schema, &txns);
+  table.BulkLoad({Row{Value("x")}});
+  QueryExecutor executor(&table);
+  Transaction txn = txns.Begin();
+  Query query;
+  query.aggregates = {Aggregate::Sum(0)};
+  EXPECT_DEATH(executor.Execute(txn, query), "SUM over a string");
+}
+
+}  // namespace
+}  // namespace hytap

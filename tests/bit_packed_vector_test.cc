@@ -1,0 +1,108 @@
+#include "storage/bit_packed_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hytap {
+namespace {
+
+TEST(BitPackedVectorTest, BitsFor) {
+  EXPECT_EQ(BitPackedVector::BitsFor(0), 1u);
+  EXPECT_EQ(BitPackedVector::BitsFor(1), 1u);
+  EXPECT_EQ(BitPackedVector::BitsFor(2), 2u);
+  EXPECT_EQ(BitPackedVector::BitsFor(3), 2u);
+  EXPECT_EQ(BitPackedVector::BitsFor(4), 3u);
+  EXPECT_EQ(BitPackedVector::BitsFor(255), 8u);
+  EXPECT_EQ(BitPackedVector::BitsFor(256), 9u);
+  EXPECT_EQ(BitPackedVector::BitsFor(~0ULL), 64u);
+}
+
+TEST(BitPackedVectorTest, AppendAndGetSmallWidth) {
+  BitPackedVector v(3);
+  for (uint64_t i = 0; i < 100; ++i) v.Append(i % 8);
+  ASSERT_EQ(v.size(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(v.Get(i), i % 8);
+}
+
+TEST(BitPackedVectorTest, CrossWordBoundaries) {
+  // Width 7 does not divide 64, so entries straddle word boundaries.
+  BitPackedVector v(7);
+  for (uint64_t i = 0; i < 200; ++i) v.Append(i % 128);
+  for (size_t i = 0; i < 200; ++i) EXPECT_EQ(v.Get(i), i % 128) << i;
+}
+
+TEST(BitPackedVectorTest, SetOverwrites) {
+  BitPackedVector v(5);
+  for (uint64_t i = 0; i < 64; ++i) v.Append(i % 32);
+  v.Set(0, 31);
+  v.Set(63, 1);
+  v.Set(13, 17);
+  EXPECT_EQ(v.Get(0), 31u);
+  EXPECT_EQ(v.Get(63), 1u);
+  EXPECT_EQ(v.Get(13), 17u);
+  // Neighbors untouched.
+  EXPECT_EQ(v.Get(1), 1u);
+  EXPECT_EQ(v.Get(12), 12u);
+  EXPECT_EQ(v.Get(14), 14u);
+}
+
+TEST(BitPackedVectorTest, FullWidth64) {
+  BitPackedVector v(64);
+  const uint64_t values[] = {0, ~0ULL, 0x123456789abcdef0ULL, 42};
+  for (uint64_t x : values) v.Append(x);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v.Get(i), values[i]);
+}
+
+// Property sweep: round-trip for every width.
+class BitPackedWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitPackedWidthTest, RandomRoundTrip) {
+  const uint32_t bits = GetParam();
+  const uint64_t mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+  Rng rng(bits * 977 + 1);
+  BitPackedVector v(bits);
+  std::vector<uint64_t> expected;
+  for (size_t i = 0; i < 500; ++i) {
+    const uint64_t value = rng.Next() & mask;
+    v.Append(value);
+    expected.push_back(value);
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(v.Get(i), expected[i]) << "bits=" << bits << " i=" << i;
+  }
+  // Overwrite everything and re-check.
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = rng.Next() & mask;
+    v.Set(i, expected[i]);
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(v.Get(i), expected[i]) << "bits=" << bits << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackedWidthTest,
+                         ::testing::Range(1u, 65u));
+
+TEST(BitPackedVectorDeathTest, ValueExceedsWidth) {
+  BitPackedVector v(2);
+  EXPECT_DEATH(v.Append(4), "exceeds bit width");
+}
+
+TEST(BitPackedVectorDeathTest, OutOfRangeGet) {
+  BitPackedVector v(8);
+  v.Append(1);
+  EXPECT_DEATH(v.Get(1), "out of range");
+}
+
+TEST(BitPackedVectorTest, MemoryUsageScalesWithBits) {
+  BitPackedVector narrow(2), wide(32);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    narrow.Append(i % 4);
+    wide.Append(i);
+  }
+  EXPECT_LT(narrow.MemoryUsage() * 4, wide.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,141 @@
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+
+namespace hytap {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree<int64_t, uint64_t> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_TRUE(tree.Lookup(5).empty());
+  EXPECT_FALSE(tree.Contains(5));
+}
+
+TEST(BPlusTreeTest, SingleInsertLookup) {
+  BPlusTree<int64_t, uint64_t> tree;
+  tree.Insert(7, 100);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Contains(7));
+  EXPECT_FALSE(tree.Contains(6));
+  ASSERT_EQ(tree.Lookup(7).size(), 1u);
+  EXPECT_EQ(tree.Lookup(7)[0], 100u);
+}
+
+TEST(BPlusTreeTest, Duplicates) {
+  BPlusTree<int64_t, uint64_t> tree;
+  for (uint64_t v = 0; v < 10; ++v) tree.Insert(42, v);
+  auto result = tree.Lookup(42);
+  ASSERT_EQ(result.size(), 10u);
+  std::sort(result.begin(), result.end());
+  for (uint64_t v = 0; v < 10; ++v) EXPECT_EQ(result[v], v);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree<int64_t, uint64_t, 4> tree;  // tiny fan-out forces splits
+  for (int64_t k = 0; k < 100; ++k) tree.Insert(k, uint64_t(k));
+  EXPECT_GE(tree.Height(), 3u);
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Contains(k)) << k;
+    ASSERT_EQ(tree.Lookup(k).size(), 1u) << k;
+  }
+  EXPECT_FALSE(tree.Contains(100));
+  EXPECT_FALSE(tree.Contains(-1));
+}
+
+TEST(BPlusTreeTest, RangeLookupInclusive) {
+  BPlusTree<int64_t, uint64_t, 8> tree;
+  for (int64_t k = 0; k < 50; ++k) tree.Insert(k * 2, uint64_t(k));
+  std::vector<uint64_t> out;
+  tree.RangeLookup(10, 20, &out);  // keys 10,12,...,20 -> values 5..10
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out.front(), 5u);
+  EXPECT_EQ(out.back(), 10u);
+}
+
+TEST(BPlusTreeTest, RangeLookupEmptyInterval) {
+  BPlusTree<int64_t, uint64_t> tree;
+  tree.Insert(1, 1);
+  std::vector<uint64_t> out;
+  tree.RangeLookup(10, 5, &out);  // hi < lo
+  EXPECT_TRUE(out.empty());
+  tree.RangeLookup(2, 3, &out);  // no keys in range
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BPlusTreeTest, ReverseInsertionOrder) {
+  BPlusTree<int64_t, uint64_t, 6> tree;
+  for (int64_t k = 99; k >= 0; --k) tree.Insert(k, uint64_t(k));
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_EQ(tree.Lookup(k).size(), 1u) << k;
+    EXPECT_EQ(tree.Lookup(k)[0], uint64_t(k));
+  }
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string, uint64_t, 8> tree;
+  tree.Insert("delta", 3);
+  tree.Insert("alpha", 0);
+  tree.Insert("charlie", 2);
+  tree.Insert("bravo", 1);
+  EXPECT_TRUE(tree.Contains("charlie"));
+  std::vector<uint64_t> out;
+  tree.RangeLookup("alpha", "charlie", &out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], 2u);
+}
+
+// Property test: tree behaves exactly like a std::multimap reference under a
+// random mixed workload of inserts, point and range lookups.
+class BPlusTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesMultimapReference) {
+  Rng rng(GetParam());
+  BPlusTree<int64_t, uint64_t, 16> tree;
+  std::multimap<int64_t, uint64_t> reference;
+  for (uint64_t step = 0; step < 3000; ++step) {
+    const int64_t key = rng.NextInt(-200, 200);
+    tree.Insert(key, step);
+    reference.emplace(key, step);
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  for (int64_t key = -210; key <= 210; ++key) {
+    auto got = tree.Lookup(key);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> want;
+    auto [lo, hi] = reference.equal_range(key);
+    for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "key=" << key;
+  }
+  // Random range lookups.
+  for (int i = 0; i < 50; ++i) {
+    int64_t lo = rng.NextInt(-250, 250);
+    int64_t hi = rng.NextInt(-250, 250);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<uint64_t> got;
+    tree.RangeLookup(lo, hi, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> want;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      want.push_back(it->second);
+    }
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace hytap

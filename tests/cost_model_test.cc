@@ -1,0 +1,124 @@
+#include "selection/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+/// Hand-checkable workload: 3 columns, sizes 10/20/30, selectivities
+/// 0.1/0.5/0.01, two queries.
+Workload TinyWorkload() {
+  Workload w;
+  w.column_sizes = {10.0, 20.0, 30.0};
+  w.selectivities = {0.1, 0.5, 0.01};
+  QueryTemplate q1;  // filters columns 0 and 1
+  q1.columns = {0, 1};
+  q1.frequency = 2.0;
+  QueryTemplate q2;  // filters columns 1 and 2
+  q2.columns = {1, 2};
+  q2.frequency = 1.0;
+  w.queries = {q1, q2};
+  return w;
+}
+
+TEST(CostModelTest, AllDramAndAllSecondaryCosts) {
+  ScanCostParams params{1.0, 10.0};
+  Workload w = TinyWorkload();
+  CostModel model(w, params);
+  // Execution order: q1 = (col0 s=.1, col1 s=.5) -> mass0 = 2, mass1(q1) =
+  // 2*0.1; q2 = (col2 s=.01, col1 s=.5) -> mass2 = 1, mass1(q2) = 1*0.01.
+  // Accessed bytes (weighted): col0: 10*2=20, col1: 20*(0.2+0.01)=4.2,
+  // col2: 30*1=30. Total = 54.2.
+  EXPECT_NEAR(model.AllDramCost(), 54.2, 1e-9);
+  EXPECT_NEAR(model.AllSecondaryCost(), 542.0, 1e-9);
+}
+
+TEST(CostModelTest, SCoefficientsNegative) {
+  Workload w = TinyWorkload();
+  CostModel model(w, ScanCostParams{1.0, 10.0});
+  for (double s : model.S()) EXPECT_LE(s, 0.0);
+  // S_0 = (1-10)*2 = -18; S_1 = -9*0.21 = -1.89; S_2 = -9*1 = -9.
+  EXPECT_NEAR(model.S()[0], -18.0, 1e-9);
+  EXPECT_NEAR(model.S()[1], -1.89, 1e-9);
+  EXPECT_NEAR(model.S()[2], -9.0, 1e-9);
+}
+
+TEST(CostModelTest, ScanCostDecomposition) {
+  Workload w = TinyWorkload();
+  CostModel model(w, ScanCostParams{1.0, 10.0});
+  // F(x) = F(0) + sum x_i a_i S_i.
+  EXPECT_NEAR(model.ScanCost({1, 1, 1}), model.AllDramCost(), 1e-9);
+  EXPECT_NEAR(model.ScanCost({0, 0, 0}), model.AllSecondaryCost(), 1e-9);
+  EXPECT_NEAR(model.ScanCost({1, 0, 0}),
+              model.AllSecondaryCost() + 10.0 * model.S()[0], 1e-9);
+  EXPECT_NEAR(model.ScanCost({0, 1, 1}),
+              model.AllSecondaryCost() + 20.0 * model.S()[1] +
+                  30.0 * model.S()[2],
+              1e-9);
+}
+
+TEST(CostModelTest, UnusedColumnHasZeroUtility) {
+  Workload w = TinyWorkload();
+  w.column_sizes.push_back(100.0);
+  w.selectivities.push_back(0.2);
+  CostModel model(w, ScanCostParams{1.0, 10.0});
+  EXPECT_DOUBLE_EQ(model.S()[3], 0.0);
+  // Placing it in DRAM changes nothing.
+  EXPECT_DOUBLE_EQ(model.ScanCost({0, 0, 0, 0}), model.ScanCost({0, 0, 0, 1}));
+}
+
+TEST(CostModelTest, MemoryUsed) {
+  Workload w = TinyWorkload();
+  CostModel model(w, ScanCostParams{});
+  EXPECT_DOUBLE_EQ(model.MemoryUsed({1, 0, 1}), 40.0);
+  EXPECT_DOUBLE_EQ(model.MemoryUsed({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(model.TotalBytes(), 60.0);
+}
+
+TEST(CostModelTest, RelativePerformanceBounded) {
+  Workload w = TinyWorkload();
+  CostModel model(w, ScanCostParams{1.0, 10.0});
+  EXPECT_DOUBLE_EQ(model.RelativePerformance({1, 1, 1}), 1.0);
+  EXPECT_LT(model.RelativePerformance({0, 0, 0}), 1.0);
+  EXPECT_GT(model.RelativePerformance({0, 0, 0}), 0.0);
+}
+
+TEST(CostModelTest, SelectionInteractionDiscountsLaterPredicates) {
+  // With interaction on, a column that always co-occurs with a highly
+  // restrictive one has tiny utility; with interaction off its utility is
+  // as large as a stand-alone filter's.
+  Workload w;
+  w.column_sizes = {10.0, 10.0};
+  w.selectivities = {1e-4, 0.5};
+  QueryTemplate q;
+  q.columns = {0, 1};
+  q.frequency = 1.0;
+  w.queries = {q};
+  CostModel with(w, ScanCostParams{1.0, 10.0}, true);
+  CostModel without(w, ScanCostParams{1.0, 10.0}, false);
+  // Column 1 executes after column 0 (s=1e-4): discounted by 1e-4.
+  EXPECT_NEAR(with.S()[1], -9.0 * 1e-4, 1e-12);
+  EXPECT_NEAR(without.S()[1], -9.0, 1e-12);
+  // Column 0 executes first either way.
+  EXPECT_DOUBLE_EQ(with.S()[0], without.S()[0]);
+}
+
+TEST(CostModelTest, ContinuousMatchesBinaryAtCorners) {
+  Workload w = TinyWorkload();
+  CostModel model(w, ScanCostParams{1.0, 10.0});
+  EXPECT_NEAR(model.ScanCostContinuous({1.0, 0.0, 1.0}),
+              model.ScanCost({1, 0, 1}), 1e-9);
+  // Midpoint lies between the corners.
+  const double mid = model.ScanCostContinuous({0.5, 0.5, 0.5});
+  EXPECT_GT(mid, model.AllDramCost());
+  EXPECT_LT(mid, model.AllSecondaryCost());
+}
+
+TEST(CostModelDeathTest, InvalidParamsAbort) {
+  Workload w = TinyWorkload();
+  EXPECT_DEATH(CostModel(w, ScanCostParams{0.0, 1.0}),
+               "positive");
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,130 @@
+#include "tiering/device_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hytap {
+namespace {
+
+TEST(DeviceModelTest, ProfileNames) {
+  EXPECT_EQ(GetDeviceProfile(DeviceKind::kCssd).name, "CSSD");
+  EXPECT_EQ(GetDeviceProfile(DeviceKind::kHdd).name, "HDD");
+  EXPECT_STREQ(DeviceKindName(DeviceKind::kXpoint), "3DXPoint");
+}
+
+TEST(DeviceModelTest, XpointHasTenfoldLowerLatencyThanNand) {
+  // The paper's motivation for 3D XPoint: ~10x lower random latency at
+  // shallow queues than NAND devices.
+  const auto xpoint = GetDeviceProfile(DeviceKind::kXpoint);
+  const auto cssd = GetDeviceProfile(DeviceKind::kCssd);
+  const auto essd = GetDeviceProfile(DeviceKind::kEssd);
+  EXPECT_LE(xpoint.random_read_ns_qd1 * 8, cssd.random_read_ns_qd1);
+  EXPECT_LE(xpoint.random_read_ns_qd1 * 8, essd.random_read_ns_qd1);
+}
+
+TEST(DeviceModelTest, MeanLatencyAtQd1EqualsProfile) {
+  for (DeviceKind kind : kSecondaryDevices) {
+    DeviceModel model(kind);
+    EXPECT_EQ(model.MeanRandomReadNs(1),
+              model.profile().random_read_ns_qd1)
+        << DeviceKindName(kind);
+  }
+}
+
+TEST(DeviceModelTest, SsdLatencyFlatUntilSaturation) {
+  DeviceModel cssd(DeviceKind::kCssd);
+  // Below the saturation queue depth each requester still sees ~QD1 latency.
+  EXPECT_EQ(cssd.MeanRandomReadNs(4), cssd.profile().random_read_ns_qd1);
+  // Far beyond saturation, queueing inflates the observed latency.
+  EXPECT_GT(cssd.MeanRandomReadNs(256), cssd.profile().random_read_ns_qd1);
+}
+
+TEST(DeviceModelTest, HddRandomLatencyGrowsWithQueueDepth) {
+  DeviceModel hdd(DeviceKind::kHdd);
+  EXPECT_GT(hdd.MeanRandomReadNs(8), hdd.MeanRandomReadNs(1));
+  EXPECT_GT(hdd.MeanRandomReadNs(32), hdd.MeanRandomReadNs(8));
+}
+
+TEST(DeviceModelTest, SequentialFasterThanRandomPerByte) {
+  for (DeviceKind kind : kSecondaryDevices) {
+    DeviceModel model(kind);
+    const uint64_t pages = 10000;
+    EXPECT_LT(model.SequentialReadNs(pages, 1),
+              model.RandomReadBatchNs(pages, 1))
+        << DeviceKindName(kind);
+  }
+}
+
+TEST(DeviceModelTest, HddSequentialCollapsesUnderConcurrency) {
+  // Paper §IV-C: "HDDs perform well for pure sequential requests but
+  // significantly slow down with concurrent requests by multiple threads."
+  DeviceModel hdd(DeviceKind::kHdd);
+  const uint64_t pages = 100000;
+  EXPECT_GT(hdd.SequentialReadNs(pages, 8),
+            3 * hdd.SequentialReadNs(pages, 1));
+}
+
+TEST(DeviceModelTest, SsdRandomBatchScalesWithThreads) {
+  // NAND devices need deep queues for full throughput (Fig. 9).
+  DeviceModel cssd(DeviceKind::kCssd);
+  const uint64_t pages = 100000;
+  EXPECT_LT(cssd.RandomReadBatchNs(pages, 32),
+            cssd.RandomReadBatchNs(pages, 1) / 8);
+}
+
+TEST(DeviceModelTest, EssdNeedsDeeperQueuesThanXpoint) {
+  // ESSD reaches its ceiling only at deep queues; XPoint is fast already at
+  // QD1 (paper §IV).
+  DeviceModel essd(DeviceKind::kEssd);
+  DeviceModel xpoint(DeviceKind::kXpoint);
+  const uint64_t pages = 100000;
+  const double essd_gain = double(essd.RandomReadBatchNs(pages, 1)) /
+                           double(essd.RandomReadBatchNs(pages, 32));
+  const double xpoint_gain = double(xpoint.RandomReadBatchNs(pages, 1)) /
+                             double(xpoint.RandomReadBatchNs(pages, 32));
+  EXPECT_GT(essd_gain, xpoint_gain);
+}
+
+TEST(DeviceModelTest, JitteredLatencyNearMean) {
+  DeviceModel xpoint(DeviceKind::kXpoint);
+  Rng rng(5);
+  const uint64_t mean = xpoint.MeanRandomReadNs(1);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t lat = xpoint.RandomReadLatencyNs(1, rng);
+    EXPECT_GT(lat, mean / 2);
+    sum += double(lat);
+  }
+  EXPECT_NEAR(sum / 5000.0, double(mean), 0.1 * double(mean));
+}
+
+TEST(DeviceModelTest, NandTailHeavierThanXpoint) {
+  // Fig. 7: 99th-percentile latencies separate NAND from 3D XPoint.
+  Rng rng1(5), rng2(5);
+  DeviceModel cssd(DeviceKind::kCssd);
+  DeviceModel xpoint(DeviceKind::kXpoint);
+  auto tail_ratio = [](DeviceModel& m, Rng& rng) {
+    std::vector<uint64_t> lats;
+    for (int i = 0; i < 20000; ++i) lats.push_back(m.RandomReadLatencyNs(1, rng));
+    std::sort(lats.begin(), lats.end());
+    const double p99 = double(lats[lats.size() * 99 / 100]);
+    const double p50 = double(lats[lats.size() / 2]);
+    return p99 / p50;
+  };
+  EXPECT_GT(tail_ratio(cssd, rng1), tail_ratio(xpoint, rng2));
+}
+
+TEST(DeviceModelTest, BatchNeverFasterThanOneServiceTime) {
+  for (DeviceKind kind : kSecondaryDevices) {
+    DeviceModel model(kind);
+    EXPECT_GE(model.RandomReadBatchNs(1, 64),
+              model.profile().random_read_ns_qd1);
+  }
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,114 @@
+#include "workload/enterprise.h"
+
+#include <gtest/gtest.h>
+
+#include "selection/selectors.h"
+
+namespace hytap {
+namespace {
+
+TEST(EnterpriseProfilesTest, TableIStatistics) {
+  auto profiles = SapErpProfiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  // Straight from Table I of the paper.
+  EXPECT_EQ(profiles[0].table_name, "BSEG");
+  EXPECT_EQ(profiles[0].attribute_count, 345u);
+  EXPECT_EQ(profiles[0].filtered_count, 50u);
+  EXPECT_EQ(profiles[0].hot_filtered_count, 18u);
+  EXPECT_EQ(profiles[1].table_name, "ACDOCA");
+  EXPECT_EQ(profiles[1].attribute_count, 338u);
+  EXPECT_EQ(profiles[4].table_name, "COEP");
+  EXPECT_EQ(profiles[4].hot_filtered_count, 6u);
+}
+
+TEST(EnterpriseWorkloadTest, ReproducesFilteredCounts) {
+  for (const auto& profile : SapErpProfiles()) {
+    Workload w = GenerateEnterpriseWorkload(profile, 42);
+    EXPECT_EQ(w.column_count(), profile.attribute_count);
+    WorkloadSkew skew = AnalyzeSkew(w);
+    EXPECT_EQ(skew.filtered_count, profile.filtered_count)
+        << profile.table_name;
+    // Hot count is generated statistically; require the right ballpark.
+    EXPECT_GE(skew.hot_filtered_count, profile.hot_filtered_count / 2)
+        << profile.table_name;
+    EXPECT_LE(skew.hot_filtered_count, profile.filtered_count)
+        << profile.table_name;
+  }
+}
+
+TEST(EnterpriseWorkloadTest, UnfilteredByteShareMatchesProfile) {
+  const auto profile = BsegProfile();
+  Workload w = GenerateEnterpriseWorkload(profile, 42);
+  WorkloadSkew skew = AnalyzeSkew(w);
+  // ~78% of BSEG bytes are never filtered (paper §III-B).
+  EXPECT_NEAR(skew.unfiltered_byte_share, profile.unfiltered_byte_share,
+              0.02);
+}
+
+TEST(EnterpriseWorkloadTest, DominantColumnShare) {
+  const auto profile = BsegProfile();
+  Workload w = GenerateEnterpriseWorkload(profile, 42);
+  EXPECT_NEAR(w.column_sizes[0] / w.TotalBytes(),
+              profile.dominant_column_share, 0.01);
+  // The dominant column is heavily used.
+  auto g = w.ColumnFrequencies();
+  double max_g = 0;
+  for (double x : g) max_g = std::max(max_g, x);
+  EXPECT_GT(g[0], 0.3 * max_g);
+}
+
+TEST(EnterpriseWorkloadTest, FreeEvictionRateMatchesPaper) {
+  // Fig. 3: evicting only never-filtered columns already frees ~78%.
+  const auto profile = BsegProfile();
+  Workload w = GenerateEnterpriseWorkload(profile, 42);
+  SelectionProblem p =
+      SelectionProblem::FromRelativeBudget(w, ScanCostParams{1, 100}, 1.0);
+  auto full = SelectExplicit(p);
+  // With an unlimited budget the explicit solution keeps only used columns.
+  const double eviction_rate = 1.0 - full.dram_bytes / w.TotalBytes();
+  EXPECT_GT(eviction_rate, 0.7);
+  // And performance is unimpaired.
+  CostModel model(w, p.params);
+  EXPECT_NEAR(model.RelativePerformance(full.in_dram), 1.0, 1e-9);
+}
+
+TEST(EnterpriseWorkloadTest, PerformanceCliffWhenDominantColumnEvicted) {
+  // Fig. 3: the drop beyond ~95% eviction is caused by the dominant column
+  // no longer fitting the budget.
+  const auto profile = BsegProfile();
+  Workload w = GenerateEnterpriseWorkload(profile, 42);
+  CostModel model(w, ScanCostParams{1, 100});
+  const double above_cliff_budget = w.column_sizes[0] * 1.5;
+  const double below_cliff_budget = w.column_sizes[0] * 0.5;
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 100.0};
+  p.budget_bytes = above_cliff_budget;
+  auto above = SelectExplicit(p);
+  p.budget_bytes = below_cliff_budget;
+  auto below = SelectExplicit(p);
+  EXPECT_EQ(above.in_dram[0], 1);
+  EXPECT_EQ(below.in_dram[0], 0);
+  EXPECT_GT(model.RelativePerformance(above.in_dram),
+            2.0 * model.RelativePerformance(below.in_dram));
+}
+
+TEST(EnterpriseWorkloadTest, Deterministic) {
+  Workload a = GenerateEnterpriseWorkload(BsegProfile(), 7);
+  Workload b = GenerateEnterpriseWorkload(BsegProfile(), 7);
+  EXPECT_EQ(a.column_sizes, b.column_sizes);
+}
+
+TEST(EnterpriseDataTest, SchemaAndRows) {
+  auto profile = SapErpProfiles()[4];  // COEP, 131 attrs: keep the test fast
+  Schema schema = MakeEnterpriseSchema(profile);
+  EXPECT_EQ(schema.size(), 131u);
+  auto rows = GenerateEnterpriseRows(profile, 500, 3);
+  ASSERT_EQ(rows.size(), 500u);
+  for (const Row& row : rows) ASSERT_EQ(row.size(), 131u);
+  // Column 0 is a unique document number.
+  EXPECT_EQ(rows[17][0], Value(int32_t{17}));
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,110 @@
+#include "workload/example1.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace hytap {
+namespace {
+
+TEST(Example1Test, DefaultShape) {
+  Workload w = GenerateExample1({});
+  EXPECT_EQ(w.column_count(), 50u);
+  EXPECT_EQ(w.query_count(), 500u);
+  w.Check();
+}
+
+TEST(Example1Test, Deterministic) {
+  Example1Params params;
+  params.seed = 99;
+  Workload a = GenerateExample1(params);
+  Workload b = GenerateExample1(params);
+  EXPECT_EQ(a.column_sizes, b.column_sizes);
+  EXPECT_EQ(a.selectivities, b.selectivities);
+  ASSERT_EQ(a.query_count(), b.query_count());
+  for (size_t j = 0; j < a.query_count(); ++j) {
+    EXPECT_EQ(a.queries[j].columns, b.queries[j].columns);
+  }
+  params.seed = 100;
+  Workload c = GenerateExample1(params);
+  EXPECT_NE(a.column_sizes, c.column_sizes);
+}
+
+TEST(Example1Test, SizesAndSelectivitiesInRange) {
+  Example1Params params;
+  params.min_column_bytes = 1000;
+  params.max_column_bytes = 5000;
+  params.min_selectivity = 0.01;
+  params.max_selectivity = 0.2;
+  Workload w = GenerateExample1(params);
+  for (double a : w.column_sizes) {
+    EXPECT_GE(a, 1000.0);
+    EXPECT_LE(a, 5000.0);
+  }
+  for (double s : w.selectivities) {
+    EXPECT_GE(s, 0.01);
+    EXPECT_LE(s, 0.2);
+  }
+}
+
+TEST(Example1Test, QueriesHaveBoundedArity) {
+  Example1Params params;
+  params.min_predicates = 2;
+  params.max_predicates = 4;
+  params.group_probability = 0.0;  // independent draws keep exact arity
+  Workload w = GenerateExample1(params);
+  for (const auto& q : w.queries) {
+    EXPECT_GE(q.columns.size(), 1u);  // dedup may shrink below min
+    EXPECT_LE(q.columns.size(), 4u);
+    // Columns sorted and unique.
+    for (size_t k = 1; k < q.columns.size(); ++k) {
+      EXPECT_LT(q.columns[k - 1], q.columns[k]);
+    }
+  }
+}
+
+TEST(Example1Test, CooccurrenceGroupsConcentratePairs) {
+  // With grouping, column pairs from the same group co-occur in many
+  // queries; without it, pair counts spread thin. Count "heavy" pairs
+  // (co-occurring >= 8 times) under both regimes.
+  auto heavy_pairs = [](const Workload& w) {
+    std::map<std::pair<uint32_t, uint32_t>, int> pair_counts;
+    for (const auto& q : w.queries) {
+      for (size_t a = 0; a < q.columns.size(); ++a) {
+        for (size_t b = a + 1; b < q.columns.size(); ++b) {
+          ++pair_counts[{q.columns[a], q.columns[b]}];
+        }
+      }
+    }
+    size_t heavy = 0;
+    for (const auto& [pair, count] : pair_counts) heavy += count >= 8;
+    return heavy;
+  };
+  Example1Params grouped;
+  grouped.group_probability = 1.0;
+  grouped.group_count = 4;
+  Example1Params independent = grouped;
+  independent.group_probability = 0.0;
+  EXPECT_GT(heavy_pairs(GenerateExample1(grouped)),
+            2 * heavy_pairs(GenerateExample1(independent)));
+}
+
+TEST(Example1Test, ScalabilityInstanceScales) {
+  Workload w = GenerateScalabilityWorkload(500, 5000, 3);
+  EXPECT_EQ(w.column_count(), 500u);
+  EXPECT_EQ(w.query_count(), 5000u);
+  w.Check();
+}
+
+TEST(Example1Test, MostColumnsAreUsed) {
+  Workload w = GenerateExample1({});
+  auto g = w.ColumnFrequencies();
+  size_t used = 0;
+  for (double x : g) used += x > 0 ? 1 : 0;
+  EXPECT_GT(used, w.column_count() / 2);
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,292 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace hytap {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"id", DataType::kInt32, 0});      // unique
+  schema.push_back({"grp", DataType::kInt32, 0});     // 10 distinct
+  schema.push_back({"flag", DataType::kInt32, 0});    // 2 distinct
+  schema.push_back({"payload", DataType::kInt32, 0}); // 100 distinct
+  return schema;
+}
+
+std::vector<Row> TestRows(size_t n) {
+  std::vector<Row> rows;
+  for (size_t r = 0; r < n; ++r) {
+    rows.push_back(Row{Value(int32_t(r)), Value(int32_t(r % 10)),
+                       Value(int32_t(r % 2)), Value(int32_t(r % 100))});
+  }
+  return rows;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : store_(DeviceKind::kXpoint),
+        buffers_(&store_, 32),
+        table_("t", TestSchema(), &txns_, &store_, &buffers_),
+        executor_(&table_) {
+    table_.BulkLoad(TestRows(1000));
+  }
+
+  /// Reference evaluation: naive row-by-row predicate check.
+  PositionList Naive(const Query& query, const Transaction& txn) {
+    PositionList out;
+    for (RowId r = 0; r < table_.row_count(); ++r) {
+      if (!table_.IsVisible(r, txn)) continue;
+      bool ok = true;
+      for (const Predicate& p : query.predicates) {
+        if (!p.Matches(table_.GetValue(p.column, r, 1, nullptr))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.push_back(r);
+    }
+    return out;
+  }
+
+  TransactionManager txns_;
+  SecondaryStore store_;
+  BufferManager buffers_;
+  Table table_;
+  QueryExecutor executor_;
+};
+
+TEST_F(ExecutorTest, SinglePredicate) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{3})));
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_EQ(result.positions.size(), 100u);
+  EXPECT_EQ(result.positions, Naive(query, txn));
+}
+
+TEST_F(ExecutorTest, ConjunctionMatchesNaive) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{3})));
+  query.predicates.push_back(Predicate::Equals(2, Value(int32_t{1})));
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_EQ(result.positions, Naive(query, txn));
+}
+
+TEST_F(ExecutorTest, RangePredicate) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(
+      Predicate::Between(0, Value(int32_t{100}), Value(int32_t{199})));
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_EQ(result.positions.size(), 100u);
+}
+
+TEST_F(ExecutorTest, PredicateOrderBySelectivity) {
+  Query query;
+  query.predicates.push_back(Predicate::Equals(2, Value(int32_t{0})));  // s=1/2
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{5})));  // s=1/1000
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{5})));  // s=1/10
+  auto order = executor_.PredicateOrder(query);
+  // Most restrictive (id) first, then grp, then flag.
+  EXPECT_EQ(order, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST_F(ExecutorTest, DramPredicatesBeforeTieredOnes) {
+  // Evict 'id' (most selective); ordering must still put DRAM columns first.
+  ASSERT_TRUE(table_.SetPlacement({false, true, true, true}, nullptr).ok());
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{5})));
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{5})));
+  auto order = executor_.PredicateOrder(query);
+  EXPECT_EQ(query.predicates[order[0]].column, 1u);  // DRAM first
+  EXPECT_EQ(query.predicates[order[1]].column, 0u);  // tiered last
+}
+
+TEST_F(ExecutorTest, ResultsIdenticalForAnyPlacement) {
+  // Key invariant: placement affects cost, never results.
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{4})));
+  query.predicates.push_back(
+      Predicate::Between(3, Value(int32_t{10}), Value(int32_t{60})));
+  const PositionList expected = Naive(query, txn);
+  const std::vector<std::vector<bool>> placements = {
+      {true, true, true, true},
+      {true, true, true, false},
+      {true, false, true, false},
+      {false, false, false, false},
+  };
+  for (const auto& placement : placements) {
+    ASSERT_TRUE(table_.SetPlacement(placement, nullptr).ok());
+    buffers_.Clear();
+    QueryResult result = executor_.Execute(txn, query);
+    EXPECT_EQ(result.positions, expected);
+  }
+}
+
+TEST_F(ExecutorTest, TieredPredicateCostsDeviceTime) {
+  // Same single-predicate scan, DRAM vs SSCG placement: the tiered variant
+  // must charge device time and cost strictly more.
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(
+      Predicate::Between(3, Value(int32_t{10}), Value(int32_t{60})));
+  QueryResult all_dram = executor_.Execute(txn, query);
+  EXPECT_EQ(all_dram.io.device_ns, 0u);
+  ASSERT_TRUE(table_.SetPlacement({true, true, true, false}, nullptr).ok());
+  buffers_.Clear();
+  QueryResult tiered = executor_.Execute(txn, query);
+  EXPECT_GT(tiered.io.device_ns, 0u);
+  EXPECT_EQ(tiered.positions, all_dram.positions);
+  EXPECT_GT(tiered.io.TotalNs(), all_dram.io.TotalNs());
+}
+
+TEST_F(ExecutorTest, DeltaRowsIncluded) {
+  Transaction writer = txns_.Begin();
+  ASSERT_TRUE(table_
+                  .Insert(writer, Row{Value(int32_t{5000}), Value(int32_t{3}),
+                                      Value(int32_t{1}), Value(int32_t{50})})
+                  .ok());
+  txns_.Commit(&writer);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{5000})));
+  QueryResult result = executor_.Execute(txn, query);
+  ASSERT_EQ(result.positions.size(), 1u);
+  EXPECT_EQ(result.positions[0], 1000u);  // global delta position
+}
+
+TEST_F(ExecutorTest, UncommittedDeltaRowsExcluded) {
+  Transaction writer = txns_.Begin();
+  ASSERT_TRUE(table_
+                  .Insert(writer, Row{Value(int32_t{5000}), Value(int32_t{3}),
+                                      Value(int32_t{1}), Value(int32_t{50})})
+                  .ok());
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{5000})));
+  EXPECT_TRUE(executor_.Execute(txn, query).positions.empty());
+}
+
+TEST_F(ExecutorTest, DeletedRowsExcluded) {
+  Transaction deleter = txns_.Begin();
+  ASSERT_TRUE(table_.Delete(deleter, 55).ok());
+  txns_.Commit(&deleter);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{55})));
+  EXPECT_TRUE(executor_.Execute(txn, query).positions.empty());
+}
+
+TEST_F(ExecutorTest, ProjectionsMaterialize) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{77})));
+  query.projections = {3, 1};
+  QueryResult result = executor_.Execute(txn, query);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], Value(int32_t{77}));  // payload = id % 100
+  EXPECT_EQ(result.rows[0][1], Value(int32_t{7}));   // grp = id % 10
+}
+
+TEST_F(ExecutorTest, ProjectionFromSscgSharesPage) {
+  ASSERT_TRUE(table_.SetPlacement({true, true, false, false}, nullptr).ok());
+  buffers_.Clear();
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{123})));
+  query.projections = {2, 3};  // both SSCG-placed
+  QueryResult result = executor_.Execute(txn, query);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], Value(int32_t{1}));
+  EXPECT_EQ(result.rows[0][1], Value(int32_t{23}));
+  // Both projected attributes come from one page access.
+  EXPECT_EQ(result.io.page_reads + result.io.cache_hits, 1u);
+}
+
+TEST_F(ExecutorTest, EmptyQueryReturnsAllVisible) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_EQ(result.positions.size(), 1000u);
+}
+
+TEST_F(ExecutorTest, CandidateTraceShrinks) {
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{3})));
+  query.predicates.push_back(Predicate::Equals(2, Value(int32_t{1})));
+  QueryResult result = executor_.Execute(txn, query);
+  ASSERT_EQ(result.candidate_trace.size(), 2u);
+  EXPECT_GE(result.candidate_trace[0], result.candidate_trace[1]);
+}
+
+// Property: random conjunctive queries match naive evaluation across mixed
+// placements and delta contents.
+class ExecutorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorPropertyTest, RandomQueriesMatchNaive) {
+  TransactionManager txns;
+  SecondaryStore store(DeviceKind::kCssd);
+  BufferManager buffers(&store, 16);
+  Table table("t", TestSchema(), &txns, &store, &buffers);
+  table.BulkLoad(TestRows(500));
+  Rng rng(GetParam());
+  // Random placement.
+  std::vector<bool> placement(4);
+  for (size_t c = 0; c < 4; ++c) placement[c] = rng.NextBool(0.5);
+  ASSERT_TRUE(table.SetPlacement(placement, nullptr).ok());
+  // Some committed delta rows.
+  Transaction writer = txns.Begin();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table
+                    .Insert(writer, Row{Value(int32_t(600 + i)),
+                                        Value(int32_t(i % 10)),
+                                        Value(int32_t(i % 2)),
+                                        Value(int32_t(i % 100))})
+                    .ok());
+  }
+  txns.Commit(&writer);
+  QueryExecutor executor(&table);
+  Transaction txn = txns.Begin();
+  for (int trial = 0; trial < 20; ++trial) {
+    Query query;
+    const size_t arity = 1 + rng.NextBounded(3);
+    for (size_t k = 0; k < arity; ++k) {
+      const ColumnId col = ColumnId(rng.NextBounded(4));
+      int32_t lo = int32_t(rng.NextInt(0, 120));
+      int32_t hi = lo + int32_t(rng.NextBounded(50));
+      query.predicates.push_back(
+          Predicate::Between(col, Value(lo), Value(hi)));
+    }
+    QueryResult result = executor.Execute(txn, query);
+    PositionList expected;
+    for (RowId r = 0; r < table.row_count(); ++r) {
+      if (!table.IsVisible(r, txn)) continue;
+      bool ok = true;
+      for (const Predicate& p : query.predicates) {
+        if (!p.Matches(table.GetValue(p.column, r, 1, nullptr))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) expected.push_back(r);
+    }
+    PositionList got = result.positions;
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace hytap

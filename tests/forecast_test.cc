@@ -1,0 +1,142 @@
+#include "workload/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/tiered_table.h"
+#include "workload/tpcc.h"
+
+namespace hytap {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"a", DataType::kInt32, 0});
+  schema.push_back({"b", DataType::kInt32, 0});
+  schema.push_back({"c", DataType::kInt32, 0});
+  return schema;
+}
+
+Query MakeQuery(std::vector<ColumnId> cols) {
+  Query q;
+  for (ColumnId c : cols) {
+    q.predicates.push_back(Predicate::Equals(c, Value(int32_t{1})));
+  }
+  return q;
+}
+
+class ForecastTest : public ::testing::Test {
+ protected:
+  ForecastTest() : table_("t", TestSchema(), &txns_) {
+    std::vector<Row> rows;
+    for (int r = 0; r < 50; ++r) {
+      rows.push_back(Row{Value(int32_t(r)), Value(int32_t(r % 5)),
+                         Value(int32_t(r % 10))});
+    }
+    table_.BulkLoad(rows);
+  }
+
+  /// Records `count` executions of a template in one epoch and closes it.
+  void Epoch(std::initializer_list<std::pair<std::vector<ColumnId>, int>>
+                 templates) {
+    PlanCache cache;
+    for (const auto& [cols, count] : templates) {
+      for (int i = 0; i < count; ++i) cache.Record(MakeQuery(cols));
+    }
+    history_.CloseEpoch(cache, table_);
+  }
+
+  TransactionManager txns_;
+  Table table_;
+  WorkloadHistory history_;
+};
+
+TEST_F(ForecastTest, SeriesZeroPadded) {
+  Epoch({{{0}, 5}});
+  Epoch({{{0}, 3}, {{1}, 7}});
+  EXPECT_EQ(history_.epoch_count(), 2u);
+  EXPECT_EQ(history_.Series({0}), (std::vector<double>{5, 3}));
+  EXPECT_EQ(history_.Series({1}), (std::vector<double>{0, 7}));
+  EXPECT_TRUE(history_.Series({2}).empty());
+}
+
+TEST_F(ForecastTest, LastEpochMethod) {
+  Epoch({{{0}, 10}});
+  Epoch({{{0}, 2}});
+  Workload w = history_.Forecast(table_, ForecastMethod::kLastEpoch);
+  ASSERT_EQ(w.query_count(), 1u);
+  EXPECT_DOUBLE_EQ(w.queries[0].frequency, 2.0);
+}
+
+TEST_F(ForecastTest, MovingAverageWindow) {
+  Epoch({{{0}, 10}});
+  Epoch({{{0}, 20}});
+  Epoch({{{0}, 30}});
+  Workload all = history_.Forecast(table_, ForecastMethod::kMovingAverage);
+  EXPECT_DOUBLE_EQ(all.queries[0].frequency, 20.0);
+  Workload last2 =
+      history_.Forecast(table_, ForecastMethod::kMovingAverage, 2);
+  EXPECT_DOUBLE_EQ(last2.queries[0].frequency, 25.0);
+}
+
+TEST_F(ForecastTest, ExponentialSmoothingWeighsRecentEpochs) {
+  Epoch({{{0}, 0}});
+  Epoch({{{0}, 0}});
+  Epoch({{{0}, 100}});
+  Workload w = history_.Forecast(
+      table_, ForecastMethod::kExponentialSmoothing, 0, 0.5);
+  ASSERT_EQ(w.query_count(), 1u);
+  EXPECT_NEAR(w.queries[0].frequency, 50.0, 1e-9);
+}
+
+TEST_F(ForecastTest, LinearTrendExtrapolates) {
+  Epoch({{{0}, 10}});
+  Epoch({{{0}, 20}});
+  Epoch({{{0}, 30}});
+  Workload w = history_.Forecast(table_, ForecastMethod::kLinearTrend);
+  ASSERT_EQ(w.query_count(), 1u);
+  EXPECT_NEAR(w.queries[0].frequency, 40.0, 1e-6);
+}
+
+TEST_F(ForecastTest, LinearTrendNeverNegative) {
+  Epoch({{{0}, 30}});
+  Epoch({{{0}, 10}});
+  Epoch({{{0}, 1}});
+  Workload w = history_.Forecast(table_, ForecastMethod::kLinearTrend);
+  // Steeply decaying template is dropped (predicted <= 0) or clamped.
+  for (const auto& q : w.queries) EXPECT_GE(q.frequency, 0.0);
+}
+
+TEST_F(ForecastTest, VanishedTemplatesFadeOut) {
+  Epoch({{{0}, 100}});
+  Epoch({{{1}, 100}});
+  Epoch({{{1}, 100}});
+  Workload w = history_.Forecast(
+      table_, ForecastMethod::kExponentialSmoothing, 0, 0.7);
+  double freq0 = 0, freq1 = 0;
+  for (const auto& q : w.queries) {
+    if (q.columns == std::vector<uint32_t>{0}) freq0 = q.frequency;
+    if (q.columns == std::vector<uint32_t>{1}) freq1 = q.frequency;
+  }
+  EXPECT_LT(freq0, 15.0);  // faded
+  EXPECT_GT(freq1, 85.0);  // dominant
+}
+
+TEST_F(ForecastTest, ForecastDrivesAdaptivePlacement) {
+  // A template on column 2 grows epoch over epoch: the trend forecast must
+  // rank column 2 into DRAM even though the *cumulative* history is still
+  // dominated by column 0.
+  Epoch({{{0}, 100}, {{2}, 1}});
+  Epoch({{{0}, 100}, {{2}, 40}});
+  Epoch({{{0}, 100}, {{2}, 80}});
+  Workload predicted =
+      history_.Forecast(table_, ForecastMethod::kLinearTrend);
+  double freq2 = 0;
+  for (const auto& q : predicted.queries) {
+    if (q.columns == std::vector<uint32_t>{2}) freq2 = q.frequency;
+  }
+  EXPECT_GT(freq2, 100.0);  // extrapolated past the static template
+}
+
+}  // namespace
+}  // namespace hytap

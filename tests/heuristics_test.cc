@@ -1,0 +1,126 @@
+#include "selection/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/example1.h"
+
+namespace hytap {
+namespace {
+
+Workload SmallWorkload() {
+  Workload w;
+  w.column_sizes = {10.0, 10.0, 10.0, 10.0};
+  w.selectivities = {0.5, 0.01, 0.2, 0.3};
+  // g: col0 used 5x, col1 used 1x, col2 used 3x, col3 unused.
+  QueryTemplate q1{{0}, 5.0};
+  QueryTemplate q2{{1}, 1.0};
+  QueryTemplate q3{{2}, 3.0};
+  w.queries = {q1, q2, q3};
+  return w;
+}
+
+TEST(HeuristicsTest, Names) {
+  EXPECT_STREQ(HeuristicName(HeuristicKind::kH1Frequency), "H1-frequency");
+  EXPECT_STREQ(HeuristicName(HeuristicKind::kH2Selectivity),
+               "H2-selectivity");
+}
+
+TEST(HeuristicsTest, H1OrdersByFrequency) {
+  Workload w = SmallWorkload();
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 10.0};
+  p.budget_bytes = 20.0;  // two columns fit
+  auto result = SelectHeuristic(p, HeuristicKind::kH1Frequency);
+  EXPECT_EQ(result.in_dram, (std::vector<uint8_t>{1, 0, 1, 0}));
+}
+
+TEST(HeuristicsTest, H2OrdersBySelectivity) {
+  Workload w = SmallWorkload();
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 10.0};
+  p.budget_bytes = 20.0;
+  auto result = SelectHeuristic(p, HeuristicKind::kH2Selectivity);
+  // Smallest selectivities among used columns: col1 (.01), col2 (.2).
+  EXPECT_EQ(result.in_dram, (std::vector<uint8_t>{0, 1, 1, 0}));
+}
+
+TEST(HeuristicsTest, H3OrdersByRatio) {
+  Workload w = SmallWorkload();
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 10.0};
+  p.budget_bytes = 20.0;
+  // Ratios s/g: col0 0.1, col1 0.01, col2 0.0667 -> col1, col2 first.
+  auto result = SelectHeuristic(p, HeuristicKind::kH3SelectivityPerFreq);
+  EXPECT_EQ(result.in_dram, (std::vector<uint8_t>{0, 1, 1, 0}));
+}
+
+TEST(HeuristicsTest, UnusedColumnsNeverSelected) {
+  Workload w = SmallWorkload();
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 10.0};
+  p.budget_bytes = 1000.0;
+  for (auto kind : {HeuristicKind::kH1Frequency, HeuristicKind::kH2Selectivity,
+                    HeuristicKind::kH3SelectivityPerFreq}) {
+    auto result = SelectHeuristic(p, kind);
+    EXPECT_EQ(result.in_dram[3], 0);
+  }
+}
+
+TEST(HeuristicsTest, FillingSkipsOversizedColumns) {
+  Workload w;
+  w.column_sizes = {50.0, 10.0};
+  w.selectivities = {0.01, 0.5};
+  QueryTemplate q1{{0}, 10.0};
+  QueryTemplate q2{{1}, 1.0};
+  w.queries = {q1, q2};
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 10.0};
+  p.budget_bytes = 15.0;  // col0 (rank 1 for all heuristics) does not fit
+  for (auto kind : {HeuristicKind::kH1Frequency, HeuristicKind::kH2Selectivity,
+                    HeuristicKind::kH3SelectivityPerFreq}) {
+    auto result = SelectHeuristic(p, kind);
+    EXPECT_EQ(result.in_dram, (std::vector<uint8_t>{0, 1})) << int(kind);
+  }
+}
+
+TEST(HeuristicsTest, PinnedColumnsIncluded) {
+  Workload w = SmallWorkload();
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 10.0};
+  p.budget_bytes = 20.0;
+  p.pinned = {0, 0, 0, 1};  // pin the unused column
+  auto result = SelectHeuristic(p, HeuristicKind::kH1Frequency);
+  EXPECT_EQ(result.in_dram[3], 1);
+  // Budget leaves room for only one more.
+  size_t selected = 0;
+  for (uint8_t b : result.in_dram) selected += b;
+  EXPECT_EQ(selected, 2u);
+}
+
+TEST(HeuristicsTest, NeverBeatTheOptimum) {
+  // Sanity: on Example-1 instances, no heuristic produces a lower scan cost
+  // than the exact integer solution at the same budget.
+  Workload w = GenerateExample1({});
+  for (double budget_w : {0.1, 0.3, 0.5, 0.7}) {
+    auto p = SelectionProblem::FromRelativeBudget(w, ScanCostParams{1, 100},
+                                                  budget_w);
+    auto optimal = SelectIntegerOptimal(p);
+    for (auto kind :
+         {HeuristicKind::kH1Frequency, HeuristicKind::kH2Selectivity,
+          HeuristicKind::kH3SelectivityPerFreq}) {
+      auto heuristic = SelectHeuristic(p, kind);
+      EXPECT_GE(heuristic.scan_cost, optimal.scan_cost - 1e-6)
+          << HeuristicName(kind) << " w=" << budget_w;
+      EXPECT_LE(heuristic.dram_bytes, p.budget_bytes + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hytap

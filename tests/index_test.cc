@@ -1,0 +1,211 @@
+#include "storage/index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/executor.h"
+#include "storage/table.h"
+
+namespace hytap {
+namespace {
+
+TEST(OrderPreservingEncodingTest, IntegersSortCorrectly) {
+  const int32_t values[] = {-1000000, -1, 0, 1, 42, 1000000};
+  for (size_t a = 0; a + 1 < 6; ++a) {
+    EXPECT_LT(EncodeOrderPreserving(Value(values[a])),
+              EncodeOrderPreserving(Value(values[a + 1])));
+  }
+}
+
+TEST(OrderPreservingEncodingTest, Int64AndDoubles) {
+  EXPECT_LT(EncodeOrderPreserving(Value(int64_t{-5})),
+            EncodeOrderPreserving(Value(int64_t{3})));
+  const double doubles[] = {-1e300, -2.5, -0.0, 0.5, 3.25, 1e300};
+  for (size_t a = 0; a + 1 < 6; ++a) {
+    EXPECT_LE(EncodeOrderPreserving(Value(doubles[a])),
+              EncodeOrderPreserving(Value(doubles[a + 1])));
+  }
+  EXPECT_LT(EncodeOrderPreserving(Value(1.5f)),
+            EncodeOrderPreserving(Value(2.5f)));
+}
+
+TEST(OrderPreservingEncodingTest, StringsSortCorrectly) {
+  EXPECT_LT(EncodeOrderPreserving(Value("abc")),
+            EncodeOrderPreserving(Value("abd")));
+  EXPECT_LT(EncodeOrderPreserving(Value("ab")),
+            EncodeOrderPreserving(Value("abc")));
+  EXPECT_LT(EncodeOrderPreserving(Value("")),
+            EncodeOrderPreserving(Value("a")));
+}
+
+TEST(OrderPreservingEncodingTest, RandomizedIntegersProperty) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int64_t a = rng.NextInt(-1000000, 1000000);
+    const int64_t b = rng.NextInt(-1000000, 1000000);
+    const auto ea = EncodeOrderPreserving(Value(a));
+    const auto eb = EncodeOrderPreserving(Value(b));
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST(SingleColumnIndexTest, LookupAndRange) {
+  std::vector<Value> values;
+  for (int32_t v : {5, 3, 5, 1, 9, 3, 7}) values.emplace_back(v);
+  SingleColumnIndex index(0, DataType::kInt32, values);
+  EXPECT_EQ(index.size(), 7u);
+  EXPECT_EQ(index.Lookup({Value(int32_t{5})}), (PositionList{0, 2}));
+  EXPECT_EQ(index.Lookup({Value(int32_t{1})}), (PositionList{3}));
+  EXPECT_TRUE(index.Lookup({Value(int32_t{4})}).empty());
+  PositionList out;
+  Value lo(int32_t{3}), hi(int32_t{7});
+  ASSERT_TRUE(index.RangeLookup(&lo, &hi, &out));
+  EXPECT_EQ(out, (PositionList{0, 1, 2, 5, 6}));
+  out.clear();
+  ASSERT_TRUE(index.RangeLookup(nullptr, &lo, &out));  // <= 3
+  EXPECT_EQ(out, (PositionList{1, 3, 5}));
+}
+
+TEST(CompositeIndexTest, ExactMatch) {
+  // Key: (warehouse, district).
+  std::vector<std::vector<Value>> columns(2);
+  for (int32_t w : {1, 1, 2, 2, 1}) columns[0].emplace_back(w);
+  for (int32_t d : {1, 2, 1, 2, 1}) columns[1].emplace_back(d);
+  CompositeIndex index({0, 1}, {DataType::kInt32, DataType::kInt32},
+                       columns);
+  EXPECT_EQ(index.Lookup({Value(int32_t{1}), Value(int32_t{1})}),
+            (PositionList{0, 4}));
+  EXPECT_EQ(index.Lookup({Value(int32_t{2}), Value(int32_t{2})}),
+            (PositionList{3}));
+  EXPECT_TRUE(index.Lookup({Value(int32_t{3}), Value(int32_t{1})}).empty());
+  EXPECT_FALSE(index.RangeLookup(nullptr, nullptr, nullptr));
+}
+
+TEST(CompositeIndexTest, StringKeyPartsUnambiguous) {
+  // ("a", "bc") must not collide with ("ab", "c").
+  std::vector<std::vector<Value>> columns(2);
+  columns[0] = {Value("a"), Value("ab")};
+  columns[1] = {Value("bc"), Value("c")};
+  CompositeIndex index({0, 1}, {DataType::kString, DataType::kString},
+                       columns);
+  EXPECT_EQ(index.Lookup({Value("a"), Value("bc")}), (PositionList{0}));
+  EXPECT_EQ(index.Lookup({Value("ab"), Value("c")}), (PositionList{1}));
+}
+
+// --- integration with Table and the executor ---
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"id", DataType::kInt32, 0});
+  schema.push_back({"grp", DataType::kInt32, 0});
+  schema.push_back({"payload", DataType::kInt32, 0});
+  return schema;
+}
+
+class IndexedTableTest : public ::testing::Test {
+ protected:
+  IndexedTableTest()
+      : store_(DeviceKind::kXpoint),
+        buffers_(&store_, 16),
+        table_("t", TestSchema(), &txns_, &store_, &buffers_) {
+    std::vector<Row> rows;
+    for (int r = 0; r < 500; ++r) {
+      rows.push_back(Row{Value(int32_t(r)), Value(int32_t(r % 10)),
+                         Value(int32_t(r % 50))});
+    }
+    table_.BulkLoad(rows);
+  }
+  TransactionManager txns_;
+  SecondaryStore store_;
+  BufferManager buffers_;
+  Table table_;
+};
+
+TEST_F(IndexedTableTest, CreateAndFind) {
+  ASSERT_TRUE(table_.CreateIndex({0}).ok());
+  ASSERT_TRUE(table_.CreateIndex({1, 2}).ok());
+  EXPECT_NE(table_.FindIndex(0), nullptr);
+  EXPECT_EQ(table_.FindIndex(1), nullptr);  // only part of the composite
+  EXPECT_NE(table_.FindCompositeIndex({2, 1, 0}), nullptr);
+  EXPECT_EQ(table_.FindCompositeIndex({1}), nullptr);
+  EXPECT_GT(table_.IndexDramBytes(), 0u);
+  EXPECT_FALSE(table_.CreateIndex({}).ok());
+  EXPECT_FALSE(table_.CreateIndex({99}).ok());
+}
+
+TEST_F(IndexedTableTest, ExecutorUsesSingleColumnIndex) {
+  ASSERT_TRUE(table_.CreateIndex({0}).ok());
+  QueryExecutor executor(&table_);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{123})));
+  QueryResult result = executor.Execute(txn, query);
+  ASSERT_EQ(result.positions.size(), 1u);
+  EXPECT_EQ(result.positions[0], 123u);
+  // Index path: the first trace entry is already the index result.
+  ASSERT_FALSE(result.candidate_trace.empty());
+  EXPECT_EQ(result.candidate_trace[0], 1u);
+}
+
+TEST_F(IndexedTableTest, ExecutorUsesCompositeIndex) {
+  ASSERT_TRUE(table_.CreateIndex({1, 2}).ok());
+  QueryExecutor executor(&table_);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(2, Value(int32_t{13})));
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{3})));
+  QueryResult result = executor.Execute(txn, query);
+  // grp == 3 && payload == 13 <=> r % 50 == 13 && r % 10 == 3: rows
+  // 13, 63, 113, ... (r % 50 == 13 implies r % 10 == 3).
+  EXPECT_EQ(result.positions.size(), 10u);
+  EXPECT_EQ(result.positions[0], 13u);
+}
+
+TEST_F(IndexedTableTest, IndexResultsMatchScans) {
+  QueryExecutor executor(&table_);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(
+      Predicate::Between(0, Value(int32_t{100}), Value(int32_t{140})));
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{5})));
+  const PositionList without = executor.Execute(txn, query).positions;
+  ASSERT_TRUE(table_.CreateIndex({0}).ok());
+  const PositionList with = executor.Execute(txn, query).positions;
+  EXPECT_EQ(without, with);
+}
+
+TEST_F(IndexedTableTest, IndexSurvivesMergeAndPlacement) {
+  ASSERT_TRUE(table_.CreateIndex({0}).ok());
+  Transaction writer = txns_.Begin();
+  ASSERT_TRUE(table_
+                  .Insert(writer, Row{Value(int32_t{1000}), Value(int32_t{0}),
+                                      Value(int32_t{0})})
+                  .ok());
+  txns_.Commit(&writer);
+  table_.MergeDelta();
+  QueryExecutor executor(&table_);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{1000})));
+  EXPECT_EQ(executor.Execute(txn, query).positions.size(), 1u);
+  // Placement change rebuilds too; the index may now cover an SSCG column.
+  ASSERT_TRUE(table_.SetPlacement({false, true, true}, nullptr).ok());
+  EXPECT_EQ(executor.Execute(txn, query).positions.size(), 1u);
+}
+
+TEST_F(IndexedTableTest, IndexOnTieredColumnAvoidsDeviceReads) {
+  // Paper: indices stay DRAM-resident even when their column is evicted, so
+  // point access via the index costs no device time.
+  ASSERT_TRUE(table_.CreateIndex({0}).ok());
+  ASSERT_TRUE(table_.SetPlacement({false, true, true}, nullptr).ok());
+  QueryExecutor executor(&table_);
+  Transaction txn = txns_.Begin();
+  Query query;
+  query.predicates.push_back(Predicate::Equals(0, Value(int32_t{42})));
+  QueryResult result = executor.Execute(txn, query);
+  ASSERT_EQ(result.positions.size(), 1u);
+  EXPECT_EQ(result.io.device_ns, 0u);
+}
+
+}  // namespace
+}  // namespace hytap

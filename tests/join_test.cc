@@ -1,0 +1,139 @@
+#include "query/join.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+Schema LeftSchema() {
+  Schema schema;
+  schema.push_back({"l_key", DataType::kInt32, 0});
+  schema.push_back({"l_val", DataType::kDouble, 0});
+  return schema;
+}
+
+Schema RightSchema() {
+  Schema schema;
+  schema.push_back({"r_key", DataType::kInt32, 0});
+  schema.push_back({"r_tag", DataType::kString, 8});
+  return schema;
+}
+
+class JoinTest : public ::testing::Test {
+ protected:
+  JoinTest()
+      : store_(DeviceKind::kXpoint),
+        buffers_(&store_, 32),
+        left_("left", LeftSchema(), &txns_, &store_, &buffers_),
+        right_("right", RightSchema(), &txns_, &store_, &buffers_) {}
+
+  void Load(std::vector<int32_t> left_keys, std::vector<int32_t> right_keys) {
+    std::vector<Row> left_rows, right_rows;
+    for (int32_t k : left_keys) {
+      left_rows.push_back(Row{Value(k), Value(double(k) * 2.0)});
+    }
+    for (int32_t k : right_keys) {
+      right_rows.push_back(Row{Value(k), Value("t" + std::to_string(k))});
+    }
+    left_.BulkLoad(left_rows);
+    right_.BulkLoad(right_rows);
+  }
+
+  JoinSpec Spec() {
+    JoinSpec spec;
+    spec.left_column = 0;
+    spec.right_column = 0;
+    spec.left_projections = {1};
+    spec.right_projections = {1};
+    return spec;
+  }
+
+  TransactionManager txns_;
+  SecondaryStore store_;
+  BufferManager buffers_;
+  Table left_;
+  Table right_;
+};
+
+TEST_F(JoinTest, BasicEquiJoin) {
+  Load({1, 2, 3, 4}, {2, 4, 6});
+  HashJoin join(&left_, &right_);
+  Transaction txn = txns_.Begin();
+  JoinResult result = join.Execute(txn, {}, {}, Spec());
+  ASSERT_EQ(result.matches.size(), 2u);
+  ASSERT_EQ(result.rows.size(), 2u);
+  // Projections: l_val then r_tag.
+  EXPECT_EQ(result.rows[0][0], Value(4.0));
+  EXPECT_EQ(result.rows[0][1], Value(std::string("t2")));
+}
+
+TEST_F(JoinTest, DuplicateKeysProduceCrossProduct) {
+  Load({5, 5, 7}, {5, 5});
+  HashJoin join(&left_, &right_);
+  Transaction txn = txns_.Begin();
+  JoinResult result = join.Execute(txn, {}, {}, Spec());
+  EXPECT_EQ(result.matches.size(), 4u);  // 2 x 2
+}
+
+TEST_F(JoinTest, EmptySideYieldsNoMatches) {
+  Load({}, {1, 2, 3});
+  HashJoin join(&left_, &right_);
+  Transaction txn = txns_.Begin();
+  JoinResult result = join.Execute(txn, {}, {}, Spec());
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(JoinTest, PredicatesFilterBeforeJoin) {
+  Load({1, 2, 3, 4, 5}, {1, 2, 3, 4, 5});
+  HashJoin join(&left_, &right_);
+  Transaction txn = txns_.Begin();
+  Query left_query;
+  left_query.predicates.push_back(
+      Predicate::AtLeast(0, Value(int32_t{3})));
+  Query right_query;
+  right_query.predicates.push_back(
+      Predicate::AtMost(0, Value(int32_t{4})));
+  JoinResult result = join.Execute(txn, left_query, right_query, Spec());
+  EXPECT_EQ(result.matches.size(), 2u);  // keys 3 and 4
+}
+
+TEST_F(JoinTest, MvccFiltersUncommittedRows) {
+  Load({1, 2}, {1, 2});
+  Transaction writer = txns_.Begin();
+  ASSERT_TRUE(left_.Insert(writer, Row{Value(int32_t{9}), Value(1.0)}).ok());
+  ASSERT_TRUE(
+      right_.Insert(writer, Row{Value(int32_t{9}), Value("t9")}).ok());
+  HashJoin join(&left_, &right_);
+  Transaction reader = txns_.Begin();
+  EXPECT_EQ(join.Execute(reader, {}, {}, Spec()).matches.size(), 2u);
+  txns_.Commit(&writer);
+  Transaction later = txns_.Begin();
+  EXPECT_EQ(join.Execute(later, {}, {}, Spec()).matches.size(), 3u);
+}
+
+TEST_F(JoinTest, NoProjectionsSkipsMaterialization) {
+  Load({1, 2, 3}, {1, 2, 3});
+  HashJoin join(&left_, &right_);
+  Transaction txn = txns_.Begin();
+  JoinSpec spec;
+  spec.left_column = 0;
+  spec.right_column = 0;
+  JoinResult result = join.Execute(txn, {}, {}, spec);
+  EXPECT_EQ(result.matches.size(), 3u);
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(JoinTest, TieredJoinKeyChargesDeviceTime) {
+  Load({1, 2, 3, 4, 5, 6, 7, 8}, {2, 4, 6, 8});
+  ASSERT_TRUE(left_.SetPlacement({false, false}, nullptr).ok());
+  buffers_.Clear();
+  HashJoin join(&left_, &right_);
+  Transaction txn = txns_.Begin();
+  JoinResult result = join.Execute(txn, {}, {}, Spec());
+  EXPECT_EQ(result.matches.size(), 4u);
+  EXPECT_GT(result.io.device_ns, 0u);
+}
+
+}  // namespace
+}  // namespace hytap

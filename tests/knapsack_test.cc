@@ -1,0 +1,124 @@
+#include "solver/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hytap {
+namespace {
+
+TEST(KnapsackTest, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(SolveKnapsack({}, 10.0).profit, 0.0);
+  std::vector<KnapsackItem> items{{5.0, 3.0}};
+  EXPECT_DOUBLE_EQ(SolveKnapsack(items, 0.0).profit, 0.0);
+  EXPECT_DOUBLE_EQ(SolveKnapsack(items, 2.0).profit, 0.0);  // doesn't fit
+}
+
+TEST(KnapsackTest, TakesEverythingWhenItFits) {
+  std::vector<KnapsackItem> items{{5, 3}, {7, 4}, {2, 1}};
+  auto sol = SolveKnapsack(items, 100.0);
+  EXPECT_DOUBLE_EQ(sol.profit, 14.0);
+  EXPECT_EQ(sol.take, (std::vector<uint8_t>{1, 1, 1}));
+}
+
+TEST(KnapsackTest, ClassicInstance) {
+  // Items (profit, weight): optimal for capacity 10 is {2,3}: profit 11.
+  std::vector<KnapsackItem> items{{6, 6}, {5, 4}, {6, 5}, {1, 3}};
+  auto sol = SolveKnapsack(items, 10.0);
+  EXPECT_DOUBLE_EQ(sol.profit, 11.0);
+  EXPECT_DOUBLE_EQ(sol.weight, 9.0);
+  EXPECT_TRUE(sol.optimal);
+}
+
+TEST(KnapsackTest, GreedyDensityIsNotOptimalHere) {
+  // Density order would take (6,5) then nothing else of value; optimum takes
+  // the two medium items.
+  std::vector<KnapsackItem> items{{10, 5}, {9, 4.9}, {9, 4.9}};
+  auto sol = SolveKnapsack(items, 9.8);
+  EXPECT_DOUBLE_EQ(sol.profit, 18.0);
+}
+
+TEST(KnapsackTest, RespectsCapacityExactly) {
+  std::vector<KnapsackItem> items{{1, 2}, {1, 2}, {1, 2}};
+  auto sol = SolveKnapsack(items, 4.0);
+  EXPECT_DOUBLE_EQ(sol.profit, 2.0);
+  EXPECT_DOUBLE_EQ(sol.weight, 4.0);
+}
+
+TEST(KnapsackTest, NodeBudgetExhaustionReported) {
+  Rng rng(3);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 40; ++i) {
+    items.push_back({rng.NextDouble(1.0, 2.0), rng.NextDouble(1.0, 2.0)});
+  }
+  auto sol = SolveKnapsack(items, 30.0, /*max_nodes=*/10);
+  EXPECT_FALSE(sol.optimal);
+  // Incumbent is still a valid (possibly suboptimal) solution.
+  EXPECT_LE(sol.weight, 30.0 + 1e-9);
+}
+
+// Property: B&B matches exhaustive enumeration on random small instances.
+class KnapsackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.NextBounded(14);  // up to 15 items
+  std::vector<KnapsackItem> items;
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    KnapsackItem item{rng.NextDouble(0.1, 10.0), rng.NextDouble(0.1, 10.0)};
+    total_weight += item.weight;
+    items.push_back(item);
+  }
+  const double capacity = rng.NextDouble(0.0, total_weight);
+  auto sol = SolveKnapsack(items, capacity);
+  ASSERT_TRUE(sol.optimal);
+  // Brute force.
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double profit = 0.0, weight = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        profit += items[i].profit;
+        weight += items[i].weight;
+      }
+    }
+    if (weight <= capacity && profit > best) best = profit;
+  }
+  EXPECT_NEAR(sol.profit, best, 1e-9);
+  EXPECT_LE(sol.weight, capacity + 1e-9);
+  // The reported take-vector is consistent with the reported profit/weight.
+  double check_profit = 0.0, check_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (sol.take[i]) {
+      check_profit += items[i].profit;
+      check_weight += items[i].weight;
+    }
+  }
+  EXPECT_NEAR(check_profit, sol.profit, 1e-9);
+  EXPECT_NEAR(check_weight, sol.weight, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+TEST(KnapsackTest, LargeInstanceSolvesQuickly) {
+  // Random instances with correlated profits stay tractable for B&B.
+  Rng rng(9);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 2000; ++i) {
+    const double w = rng.NextDouble(1.0, 100.0);
+    items.push_back({w * rng.NextDouble(0.8, 1.2), w});
+  }
+  auto sol = SolveKnapsack(items, 20000.0);
+  EXPECT_TRUE(sol.optimal);
+  EXPECT_GT(sol.profit, 0.0);
+}
+
+TEST(KnapsackDeathTest, NonPositiveItemAborts) {
+  std::vector<KnapsackItem> items{{0.0, 1.0}};
+  EXPECT_DEATH(SolveKnapsack(items, 1.0), "positive");
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,101 @@
+#include "query/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"a", DataType::kInt32, 0});
+  schema.push_back({"b", DataType::kInt32, 0});
+  schema.push_back({"c", DataType::kInt32, 0});
+  return schema;
+}
+
+Query MakeQuery(std::vector<ColumnId> cols) {
+  Query q;
+  for (ColumnId c : cols) {
+    q.predicates.push_back(Predicate::Equals(c, Value(int32_t{1})));
+  }
+  return q;
+}
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  PlanCacheTest() : table_("t", TestSchema(), &txns_) {
+    std::vector<Row> rows;
+    for (int r = 0; r < 100; ++r) {
+      rows.push_back(Row{Value(int32_t(r)), Value(int32_t(r % 5)),
+                         Value(int32_t(r % 10))});
+    }
+    table_.BulkLoad(rows);
+  }
+  TransactionManager txns_;
+  Table table_;
+};
+
+TEST_F(PlanCacheTest, CountsTemplates) {
+  PlanCache cache;
+  cache.Record(MakeQuery({0, 1}));
+  cache.Record(MakeQuery({1, 0}));  // same template, different order
+  cache.Record(MakeQuery({2}));
+  EXPECT_EQ(cache.template_count(), 2u);
+  EXPECT_EQ(cache.total_executions(), 3u);
+}
+
+TEST_F(PlanCacheTest, DuplicatePredicateColumnsDeduplicated) {
+  PlanCache cache;
+  Query q = MakeQuery({1, 1, 2});
+  cache.Record(q);
+  cache.Record(MakeQuery({1, 2}));
+  EXPECT_EQ(cache.template_count(), 1u);
+}
+
+TEST_F(PlanCacheTest, ColumnFrequencies) {
+  PlanCache cache;
+  cache.Record(MakeQuery({0, 1}));
+  cache.Record(MakeQuery({0, 1}));
+  cache.Record(MakeQuery({1}));
+  auto g = cache.ColumnFrequencies(table_);
+  EXPECT_DOUBLE_EQ(g[0], 2.0);
+  EXPECT_DOUBLE_EQ(g[1], 3.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+}
+
+TEST_F(PlanCacheTest, ToWorkloadUsesTableStatistics) {
+  PlanCache cache;
+  cache.Record(MakeQuery({0, 2}));
+  cache.Record(MakeQuery({0, 2}));
+  cache.Record(MakeQuery({1}));
+  Workload workload = cache.ToWorkload(table_);
+  ASSERT_EQ(workload.column_count(), 3u);
+  EXPECT_EQ(workload.query_count(), 2u);
+  // a_i from the table's MRC sizes.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(workload.column_sizes[i],
+                     double(table_.ColumnDramBytes(i)));
+  }
+  // s_i = 1/distinct.
+  EXPECT_NEAR(workload.selectivities[0], 1.0 / 100.0, 1e-12);
+  EXPECT_NEAR(workload.selectivities[1], 1.0 / 5.0, 1e-12);
+  // Frequencies carried through.
+  double freq_02 = 0, freq_1 = 0;
+  for (const auto& q : workload.queries) {
+    if (q.columns.size() == 2) freq_02 = q.frequency;
+    if (q.columns.size() == 1) freq_1 = q.frequency;
+  }
+  EXPECT_DOUBLE_EQ(freq_02, 2.0);
+  EXPECT_DOUBLE_EQ(freq_1, 1.0);
+}
+
+TEST_F(PlanCacheTest, ClearResets) {
+  PlanCache cache;
+  cache.Record(MakeQuery({0}));
+  cache.Clear();
+  EXPECT_EQ(cache.template_count(), 0u);
+  EXPECT_EQ(cache.total_executions(), 0u);
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,154 @@
+// Property-based tests of the paper's formal results (Lemma 1, Theorem 1,
+// Theorem 2, Remark 1) over randomized Example-1 instances.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "selection/heuristics.h"
+#include "selection/selectors.h"
+#include "workload/example1.h"
+
+namespace hytap {
+namespace {
+
+class TheoremTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Workload MakeWorkload() const {
+    Example1Params params;
+    params.num_columns = 18;  // small enough for exhaustive cross-checks
+    params.num_queries = 120;
+    params.seed = GetParam();
+    return GenerateExample1(params);
+  }
+};
+
+// Lemma 1: the continuous penalty problem, solved as an actual LP, returns
+// integer solutions for any alpha.
+TEST_P(TheoremTest, Lemma1PenaltyLpIntegral) {
+  Workload w = MakeWorkload();
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 100.0};
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const double alpha = rng.NextDouble(0.0, 500.0);
+    auto lp = SelectContinuousSimplex(p, alpha);
+    auto threshold = SelectContinuousPenalty(p, alpha);
+    EXPECT_EQ(lp.in_dram, threshold.in_dram) << "alpha=" << alpha;
+  }
+}
+
+// Theorem 1: for every alpha > 0 the penalty solution is Pareto-efficient —
+// the exact integer optimum at the same budget achieves the same scan cost.
+TEST_P(TheoremTest, Theorem1PenaltySolutionsAreParetoEfficient) {
+  Workload w = MakeWorkload();
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 100.0};
+  Rng rng(GetParam() * 17 + 3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const double alpha = rng.NextDouble(1e-3, 400.0);
+    auto penalty = SelectContinuousPenalty(p, alpha);
+    SelectionProblem budgeted = p;
+    budgeted.budget_bytes = penalty.dram_bytes;
+    auto integer = SelectIntegerOptimal(budgeted);
+    ASSERT_TRUE(integer.optimal);
+    // Not dominated: the integer optimum cannot be strictly better at the
+    // same memory budget (costs agree up to float noise).
+    EXPECT_NEAR(integer.scan_cost, penalty.scan_cost,
+                1e-9 * penalty.scan_cost)
+        << "alpha=" << alpha;
+  }
+}
+
+// Theorem 2: the explicit (solver-free) solution equals the penalty solution
+// for every alpha, including with reallocation costs.
+TEST_P(TheoremTest, Theorem2ExplicitMatchesPenaltyWithReallocation) {
+  Workload w = MakeWorkload();
+  Rng rng(GetParam() * 13 + 1);
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 100.0};
+  p.beta = rng.NextDouble(0.0, 50.0);
+  p.current.resize(w.column_count());
+  for (auto& y : p.current) y = rng.NextBool(0.5) ? 1 : 0;
+  auto frontier = ComputeExplicitFrontier(p);
+  for (size_t k = 0; k < frontier.points.size();
+       k += 1 + frontier.points.size() / 5) {
+    const double alpha = frontier.points[k].alpha * (1.0 - 1e-12);
+    if (alpha <= 0.0) continue;
+    auto penalty = SelectContinuousPenalty(p, alpha);
+    std::vector<uint8_t> prefix(w.column_count(), 0);
+    for (size_t j = 0; j <= k; ++j) prefix[frontier.points[j].column] = 1;
+    EXPECT_EQ(penalty.in_dram, prefix) << "k=" << k;
+  }
+}
+
+// Remark 1: optimal penalty allocations are nested in alpha (recursive
+// structure), even with reallocation costs.
+TEST_P(TheoremTest, Remark1RecursiveStructure) {
+  Workload w = MakeWorkload();
+  Rng rng(GetParam() * 41 + 11);
+  SelectionProblem p;
+  p.workload = &w;
+  p.params = {1.0, 100.0};
+  p.beta = rng.NextDouble(0.0, 20.0);
+  p.current.resize(w.column_count());
+  for (auto& y : p.current) y = rng.NextBool(0.5) ? 1 : 0;
+  std::vector<uint8_t> previous(w.column_count(), 1);
+  for (double alpha = 0.0; alpha < 1e6; alpha = alpha * 3 + 0.5) {
+    auto result = SelectContinuousPenalty(p, alpha);
+    for (size_t i = 0; i < w.column_count(); ++i) {
+      EXPECT_LE(result.in_dram[i], previous[i]) << "alpha=" << alpha;
+    }
+    previous = result.in_dram;
+  }
+}
+
+// The integer optimum never loses to the model-based and baseline heuristics
+// at any budget; the explicit solution is never worse than the heuristics by
+// more than it is worse than the optimum.
+TEST_P(TheoremTest, OptimalityOrdering) {
+  Workload w = MakeWorkload();
+  Rng rng(GetParam() * 5 + 2);
+  for (int trial = 0; trial < 4; ++trial) {
+    const double budget_w = rng.NextDouble(0.05, 0.95);
+    auto p = SelectionProblem::FromRelativeBudget(w, ScanCostParams{1, 100},
+                                                  budget_w);
+    auto optimal = SelectIntegerOptimal(p);
+    ASSERT_TRUE(optimal.optimal);
+    auto explicit_sel = SelectExplicit(p);
+    EXPECT_GE(explicit_sel.scan_cost, optimal.scan_cost - 1e-6);
+    for (auto kind :
+         {HeuristicKind::kH1Frequency, HeuristicKind::kH2Selectivity,
+          HeuristicKind::kH3SelectivityPerFreq}) {
+      auto heuristic = SelectHeuristic(p, kind);
+      EXPECT_GE(heuristic.scan_cost, optimal.scan_cost - 1e-6);
+    }
+  }
+}
+
+// Budget feasibility: every selector respects M(x) <= A.
+TEST_P(TheoremTest, AllSelectorsRespectBudget) {
+  Workload w = MakeWorkload();
+  Rng rng(GetParam() * 23 + 5);
+  for (int trial = 0; trial < 4; ++trial) {
+    const double budget_w = rng.NextDouble(0.0, 1.0);
+    auto p = SelectionProblem::FromRelativeBudget(w, ScanCostParams{1, 100},
+                                                  budget_w);
+    EXPECT_LE(SelectIntegerOptimal(p).dram_bytes, p.budget_bytes + 1e-6);
+    EXPECT_LE(SelectExplicit(p).dram_bytes, p.budget_bytes + 1e-6);
+    EXPECT_LE(SelectGreedyMarginal(p).dram_bytes, p.budget_bytes + 1e-6);
+    for (auto kind :
+         {HeuristicKind::kH1Frequency, HeuristicKind::kH2Selectivity,
+          HeuristicKind::kH3SelectivityPerFreq}) {
+      EXPECT_LE(SelectHeuristic(p, kind).dram_bytes, p.budget_bytes + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace hytap

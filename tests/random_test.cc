@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hytap {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.Next() != c.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // uniform mean
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / 20000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(21);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);  // same multiset
+}
+
+TEST(ZipfTest, RanksInRange) {
+  Rng rng(3);
+  ZipfGenerator zipf(1000, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewTowardLowRanks) {
+  Rng rng(5);
+  ZipfGenerator zipf(10000, 1.0);
+  size_t top_decile = 0;
+  const int samples = 50000;
+  for (int i = 0; i < samples; ++i) {
+    if (zipf.Next(rng) < 1000) ++top_decile;
+  }
+  // For alpha=1, the top 10% of ranks receive far more than 10% of accesses.
+  EXPECT_GT(double(top_decile) / samples, 0.5);
+}
+
+TEST(ZipfTest, HigherAlphaIsMoreSkewed) {
+  Rng rng1(5), rng2(5);
+  ZipfGenerator mild(10000, 0.8), steep(10000, 1.5);
+  size_t mild_top = 0, steep_top = 0;
+  for (int i = 0; i < 30000; ++i) {
+    if (mild.Next(rng1) < 100) ++mild_top;
+    if (steep.Next(rng2) < 100) ++steep_top;
+  }
+  EXPECT_GT(steep_top, mild_top);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  Rng rng(1);
+  ZipfGenerator zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
+}
+
+}  // namespace
+}  // namespace hytap

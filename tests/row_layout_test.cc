@@ -1,0 +1,104 @@
+#include "storage/row_layout.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"id", DataType::kInt32, 0});
+  schema.push_back({"amount", DataType::kDouble, 0});
+  schema.push_back({"name", DataType::kString, 12});
+  schema.push_back({"ts", DataType::kInt64, 0});
+  schema.push_back({"flag", DataType::kInt32, 0});
+  return schema;
+}
+
+TEST(RowLayoutTest, OffsetsAndWidth) {
+  RowLayout layout(TestSchema(), {0, 2, 3});
+  EXPECT_EQ(layout.member_count(), 3u);
+  EXPECT_EQ(layout.row_width(), 4u + 12u + 8u);
+  EXPECT_EQ(layout.rows_per_page(), kPageSize / 24);
+}
+
+TEST(RowLayoutTest, SlotMapping) {
+  RowLayout layout(TestSchema(), {3, 0});
+  EXPECT_EQ(layout.SlotOf(3), 0);
+  EXPECT_EQ(layout.SlotOf(0), 1);
+  EXPECT_EQ(layout.SlotOf(1), -1);  // not a member
+  EXPECT_EQ(layout.SlotOf(99), -1);
+}
+
+TEST(RowLayoutTest, PageAddressing) {
+  RowLayout layout(TestSchema(), {0});  // 4-byte rows -> 1024 per page
+  EXPECT_EQ(layout.rows_per_page(), 1024u);
+  EXPECT_EQ(layout.PageOf(0), 0u);
+  EXPECT_EQ(layout.PageOf(1023), 0u);
+  EXPECT_EQ(layout.PageOf(1024), 1u);
+  EXPECT_EQ(layout.OffsetInPage(1025), 4u);
+  EXPECT_EQ(layout.PageCountFor(0), 0u);
+  EXPECT_EQ(layout.PageCountFor(1024), 1u);
+  EXPECT_EQ(layout.PageCountFor(1025), 2u);
+}
+
+TEST(RowLayoutTest, SerializeDeserializeRow) {
+  RowLayout layout(TestSchema(), {0, 1, 2});
+  std::vector<uint8_t> buffer(layout.row_width());
+  Row row{Value(int32_t{17}), Value(2.5), Value(std::string("hello"))};
+  layout.SerializeRow(row, buffer.data());
+  Row got = layout.DeserializeRow(buffer.data());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], Value(int32_t{17}));
+  EXPECT_EQ(got[1], Value(2.5));
+  EXPECT_EQ(got[2], Value(std::string("hello")));
+}
+
+TEST(RowLayoutTest, DeserializeSingleSlot) {
+  RowLayout layout(TestSchema(), {1, 3});
+  std::vector<uint8_t> buffer(layout.row_width());
+  Row row{Value(-0.5), Value(int64_t{999})};
+  layout.SerializeRow(row, buffer.data());
+  EXPECT_EQ(layout.DeserializeSlot(buffer.data(), 0), Value(-0.5));
+  EXPECT_EQ(layout.DeserializeSlot(buffer.data(), 1), Value(int64_t{999}));
+}
+
+TEST(RowLayoutTest, StringTruncatesToWidth) {
+  RowLayout layout(TestSchema(), {2});  // name, width 12
+  std::vector<uint8_t> buffer(layout.row_width());
+  layout.SerializeRow({Value(std::string("0123456789abcdef"))}, buffer.data());
+  EXPECT_EQ(layout.DeserializeSlot(buffer.data(), 0),
+            Value(std::string("0123456789ab")));
+}
+
+TEST(RowLayoutDeathTest, DuplicateMember) {
+  EXPECT_DEATH(RowLayout(TestSchema(), {0, 0}), "duplicate");
+}
+
+TEST(RowLayoutDeathTest, EmptyMembers) {
+  EXPECT_DEATH(RowLayout(TestSchema(), {}), "at least one");
+}
+
+TEST(RowLayoutDeathTest, RowWiderThanPage) {
+  Schema schema;
+  for (int i = 0; i < 3; ++i) {
+    schema.push_back({"s" + std::to_string(i), DataType::kString, 2000});
+  }
+  EXPECT_DEATH(RowLayout(schema, {0, 1, 2}), "page size");
+}
+
+TEST(RowLayoutTest, WideEnterpriseRowFitsPage) {
+  // 345 int32 attributes: 1380-byte rows, 2 rows per 4 KB page.
+  Schema schema;
+  for (int i = 0; i < 345; ++i) {
+    schema.push_back({"a" + std::to_string(i), DataType::kInt32, 0});
+  }
+  std::vector<ColumnId> members;
+  for (ColumnId c = 0; c < 345; ++c) members.push_back(c);
+  RowLayout layout(schema, members);
+  EXPECT_EQ(layout.row_width(), 1380u);
+  EXPECT_EQ(layout.rows_per_page(), 2u);
+}
+
+}  // namespace
+}  // namespace hytap

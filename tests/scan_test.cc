@@ -1,0 +1,112 @@
+#include "query/scan.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"a", DataType::kInt32, 0});
+  schema.push_back({"b", DataType::kInt32, 0});
+  return schema;
+}
+
+class ScanTest : public ::testing::Test {
+ protected:
+  ScanTest()
+      : store_(DeviceKind::kXpoint),
+        buffers_(&store_, 16),
+        table_("t", TestSchema(), &txns_, &store_, &buffers_) {
+    std::vector<Row> rows;
+    for (int r = 0; r < 300; ++r) {
+      rows.push_back(Row{Value(int32_t(r)), Value(int32_t(r % 3))});
+    }
+    table_.BulkLoad(rows);
+  }
+  TransactionManager txns_;
+  SecondaryStore store_;
+  BufferManager buffers_;
+  Table table_;
+};
+
+TEST_F(ScanTest, ScanMainMrc) {
+  PositionList out;
+  IoStats io;
+  ScanMainColumn(table_, 1, Predicate::Equals(1, Value(int32_t{2})), 1, &out,
+                 &io);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_GT(io.dram_ns, 0u);
+  EXPECT_EQ(io.device_ns, 0u);
+}
+
+TEST_F(ScanTest, ScanMainSscg) {
+  ASSERT_TRUE(table_.SetPlacement({true, false}, nullptr).ok());
+  PositionList out;
+  IoStats io;
+  ScanMainColumn(table_, 1, Predicate::Equals(1, Value(int32_t{2})), 1, &out,
+                 &io);
+  EXPECT_EQ(out.size(), 100u);
+  EXPECT_GT(io.device_ns, 0u);
+}
+
+TEST_F(ScanTest, ProbeMainBothLocations) {
+  PositionList candidates{0, 2, 4, 6, 8};
+  PositionList out;
+  IoStats io;
+  ProbeMainColumn(table_, 1, Predicate::Equals(1, Value(int32_t{2})),
+                  candidates, 1, &out, &io);
+  EXPECT_EQ(out, (PositionList{2, 8}));
+  ASSERT_TRUE(table_.SetPlacement({true, false}, nullptr).ok());
+  buffers_.Clear();
+  PositionList out2;
+  IoStats io2;
+  ProbeMainColumn(table_, 1, Predicate::Equals(1, Value(int32_t{2})),
+                  candidates, 1, &out2, &io2);
+  EXPECT_EQ(out2, out);
+  EXPECT_GT(io2.device_ns, 0u);
+}
+
+TEST_F(ScanTest, EmptyCandidatesNoCost) {
+  PositionList out;
+  IoStats io;
+  ProbeMainColumn(table_, 0, Predicate::Equals(0, Value(int32_t{5})), {}, 1,
+                  &out, &io);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(io.TotalNs(), 0u);
+}
+
+TEST_F(ScanTest, DeltaScanAndProbe) {
+  Transaction txn = txns_.Begin();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table_
+                    .Insert(txn, Row{Value(int32_t(1000 + i)),
+                                     Value(int32_t(i % 2))})
+                    .ok());
+  }
+  txns_.Commit(&txn);
+  PositionList out;
+  IoStats io;
+  ScanDeltaColumn(table_, 1, Predicate::Equals(1, Value(int32_t{1})), &out,
+                  &io);
+  EXPECT_EQ(out.size(), 5u);  // local delta positions
+  PositionList probed;
+  ProbeDeltaColumn(table_, 0, Predicate::AtLeast(0, Value(int32_t{1005})),
+                   out, &probed, &io);
+  EXPECT_EQ(probed.size(), 3u);  // 1005, 1007, 1009
+}
+
+TEST_F(ScanTest, EmptyTableNoResults) {
+  TransactionManager txns;
+  Table empty("e", TestSchema(), &txns);
+  PositionList out;
+  ScanMainColumn(empty, 0, Predicate::Equals(0, Value(int32_t{1})), 1, &out,
+                 nullptr);
+  EXPECT_TRUE(out.empty());
+  ScanDeltaColumn(empty, 0, Predicate::Equals(0, Value(int32_t{1})), &out,
+                  nullptr);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace hytap

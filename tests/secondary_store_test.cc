@@ -1,0 +1,99 @@
+#include "tiering/secondary_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/simulated_clock.h"
+#include "storage/sscg.h"
+
+namespace hytap {
+namespace {
+
+TEST(SecondaryStoreTest, AllocateWriteRead) {
+  SecondaryStore store(DeviceKind::kXpoint);
+  const PageId a = store.AllocatePage();
+  const PageId b = store.AllocatePage();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.page_count(), 2u);
+  SecondaryStore::Page page;
+  page.fill(0xAB);
+  store.WritePage(b, page);
+  SecondaryStore::Page dest;
+  store.ReadPage(b, &dest, AccessPattern::kRandom);
+  EXPECT_EQ(0, std::memcmp(dest.data(), page.data(), kPageSize));
+  // Page a stays zeroed.
+  store.ReadPage(a, &dest, AccessPattern::kRandom);
+  EXPECT_EQ(dest[0], 0);
+}
+
+TEST(SecondaryStoreTest, TimingAccrues) {
+  SecondaryStore store(DeviceKind::kCssd);
+  const PageId id = store.AllocatePage();
+  SecondaryStore::Page dest;
+  const uint64_t lat = store.ReadPage(id, &dest, AccessPattern::kRandom);
+  EXPECT_GT(lat, 40'000u);  // NAND-scale latency
+  EXPECT_EQ(store.reads(), 1u);
+  EXPECT_EQ(store.total_read_ns(), lat);
+  store.ResetStats();
+  EXPECT_EQ(store.reads(), 0u);
+}
+
+TEST(SecondaryStoreTest, SequentialCheaperThanRandom) {
+  SecondaryStore store(DeviceKind::kCssd);
+  const PageId id = store.AllocatePage();
+  SecondaryStore::Page dest;
+  uint64_t seq = 0, rnd = 0;
+  for (int i = 0; i < 50; ++i) {
+    seq += store.ReadPage(id, &dest, AccessPattern::kSequential, 1);
+    rnd += store.ReadPage(id, &dest, AccessPattern::kRandom, 1);
+  }
+  EXPECT_LT(seq, rnd);
+}
+
+TEST(SecondaryStoreTest, DeterministicTiming) {
+  SecondaryStore a(DeviceKind::kEssd, /*timing_seed=*/7);
+  SecondaryStore b(DeviceKind::kEssd, /*timing_seed=*/7);
+  a.AllocatePage();
+  b.AllocatePage();
+  SecondaryStore::Page dest;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.ReadPage(0, &dest, AccessPattern::kRandom),
+              b.ReadPage(0, &dest, AccessPattern::kRandom));
+  }
+}
+
+TEST(SecondaryStoreDeathTest, OutOfRangeAborts) {
+  SecondaryStore store(DeviceKind::kHdd);
+  SecondaryStore::Page dest;
+  EXPECT_DEATH(store.ReadPage(0, &dest, AccessPattern::kRandom),
+               "out of range");
+}
+
+TEST(SimulatedClockTest, AdvanceAndReset) {
+  SimulatedClock clock;
+  EXPECT_EQ(clock.NowNs(), 0u);
+  EXPECT_EQ(clock.Advance(100), 100u);
+  EXPECT_EQ(clock.Advance(50), 150u);
+  EXPECT_EQ(clock.NowNs(), 150u);
+  clock.Reset();
+  EXPECT_EQ(clock.NowNs(), 0u);
+}
+
+TEST(IoStatsTest, Accumulation) {
+  IoStats a, b;
+  a.device_ns = 100;
+  a.dram_ns = 10;
+  a.page_reads = 1;
+  b.device_ns = 200;
+  b.cache_hits = 2;
+  a += b;
+  EXPECT_EQ(a.device_ns, 300u);
+  EXPECT_EQ(a.dram_ns, 10u);
+  EXPECT_EQ(a.page_reads, 1u);
+  EXPECT_EQ(a.cache_hits, 2u);
+  EXPECT_EQ(a.TotalNs(), 310u);
+}
+
+}  // namespace
+}  // namespace hytap

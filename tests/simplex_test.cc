@@ -1,0 +1,124 @@
+#include "solver/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hytap {
+namespace {
+
+TEST(SimplexTest, TrivialMinimumAtOrigin) {
+  // min x0 + x1 s.t. x <= 1: optimum at origin.
+  LpProblem lp;
+  lp.objective = {1.0, 1.0};
+  lp.constraints = {{1.0, 0.0}, {0.0, 1.0}};
+  lp.rhs = {1.0, 1.0};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeCostsDriveToUpperBounds) {
+  // min -3x0 - x1 s.t. x_i <= 1: optimum (1, 1).
+  LpProblem lp;
+  lp.objective = {-3.0, -1.0};
+  lp.constraints = {{1.0, 0.0}, {0.0, 1.0}};
+  lp.rhs = {1.0, 1.0};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol.objective, -4.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // min -(3x + 5y) s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj -36.
+  LpProblem lp;
+  lp.objective = {-3.0, -5.0};
+  lp.constraints = {{1.0, 0.0}, {0.0, 2.0}, {3.0, 2.0}};
+  lp.rhs = {4.0, 12.0, 18.0};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-6);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x0 with no constraint on x0.
+  LpProblem lp;
+  lp.objective = {-1.0, 0.0};
+  lp.constraints = {{0.0, 1.0}};
+  lp.rhs = {1.0};
+  auto sol = SolveLp(lp);
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_FALSE(sol.bounded);
+}
+
+TEST(SimplexTest, BudgetConstraintBinds) {
+  // Fractional knapsack relaxation: min -(6x0 + 5x1) s.t. 3x0 + 4x1 <= 4,
+  // x <= 1. Density favors x0: x0 = 1, x1 = 1/4.
+  LpProblem lp;
+  lp.objective = {-6.0, -5.0};
+  lp.constraints = {{3.0, 4.0}, {1.0, 0.0}, {0.0, 1.0}};
+  lp.rhs = {4.0, 1.0, 1.0};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 0.25, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem lp;
+  lp.objective = {-1.0, -1.0};
+  lp.constraints = {{1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}, {1.0, 0.0},
+                    {0.0, 1.0}};
+  lp.rhs = {1.0, 1.0, 2.0, 1.0, 1.0};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, -1.0, 1e-6);
+}
+
+TEST(SimplexTest, ZeroObjectiveFeasible) {
+  LpProblem lp;
+  lp.objective = {0.0};
+  lp.constraints = {{1.0}};
+  lp.rhs = {5.0};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+// Property: on random bounded-box LPs (min c x, x in [0,1]^n) the optimum is
+// the obvious per-coordinate threshold solution.
+class SimplexBoxPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexBoxPropertyTest, BoxLpSolvedCoordinatewise) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.NextBounded(20);
+  LpProblem lp;
+  lp.objective.resize(n);
+  lp.constraints.assign(n, std::vector<double>(n, 0.0));
+  lp.rhs.assign(n, 1.0);
+  double expected = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    lp.objective[i] = rng.NextDouble(-5.0, 5.0);
+    lp.constraints[i][i] = 1.0;
+    if (lp.objective[i] < 0) expected += lp.objective[i];
+  }
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, expected, 1e-6);
+  // Vertex solutions: every coordinate is 0 or 1 (Lemma-1 mechanism).
+  for (double x : sol.x) {
+    EXPECT_TRUE(std::abs(x) < 1e-6 || std::abs(x - 1.0) < 1e-6) << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexBoxPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hytap

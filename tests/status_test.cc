@@ -1,0 +1,58 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::NotFound("missing page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing page");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing page");
+}
+
+TEST(StatusTest, Factories) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::Internal("boom"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> v(Status::Internal("boom"));
+  EXPECT_DEATH((void)v.value(), "boom");
+}
+
+}  // namespace
+}  // namespace hytap

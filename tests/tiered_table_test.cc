@@ -1,0 +1,117 @@
+#include "core/tiered_table.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/tpcc.h"
+
+namespace hytap {
+namespace {
+
+std::unique_ptr<TieredTable> MakeOrderline() {
+  OrderlineParams params;
+  params.warehouses = 2;
+  params.districts_per_warehouse = 2;
+  params.orders_per_district = 20;
+  TieredTableOptions options;
+  options.device = DeviceKind::kXpoint;
+  auto table = std::make_unique<TieredTable>("orderline", OrderlineSchema(),
+                                             options);
+  table->Load(GenerateOrderlineRows(params));
+  return table;
+}
+
+TEST(TieredTableTest, LoadAndQuery) {
+  auto table = MakeOrderline();
+  Transaction txn = table->Begin();
+  QueryResult result = table->Execute(txn, DeliveryQuery(1, 1, 5));
+  EXPECT_GE(result.positions.size(), 5u);
+  EXPECT_LE(result.positions.size(), 10u);
+  EXPECT_EQ(result.rows.size(), result.positions.size());
+}
+
+TEST(TieredTableTest, ExecuteRecordsInPlanCache) {
+  auto table = MakeOrderline();
+  Transaction txn = table->Begin();
+  table->Execute(txn, DeliveryQuery(1, 1, 1));
+  table->Execute(txn, DeliveryQuery(1, 2, 3));
+  table->Execute(txn, ChQuery19(1, 1, 500, 1, 5));
+  EXPECT_EQ(table->plan_cache().total_executions(), 3u);
+  EXPECT_EQ(table->plan_cache().template_count(), 2u);
+  table->ExecuteUnrecorded(txn, DeliveryQuery(1, 1, 2));
+  EXPECT_EQ(table->plan_cache().total_executions(), 3u);
+}
+
+TEST(TieredTableTest, ApplyPlacementResizesCache) {
+  auto table = MakeOrderline();
+  std::vector<bool> placement(10, true);
+  for (ColumnId c : {kOlDeliveryD, kOlQuantity, kOlAmount, kOlDistInfo}) {
+    placement[c] = false;
+  }
+  auto moved = table->ApplyPlacement(placement);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_GT(*moved, 0u);
+  ASSERT_NE(table->table().sscg(), nullptr);
+  EXPECT_GE(table->buffers().frame_count(), table->options().min_frames);
+}
+
+TEST(TieredTableTest, QueriesSurvivePlacementChanges) {
+  auto table = MakeOrderline();
+  Transaction txn = table->Begin();
+  Query q = DeliveryQuery(2, 1, 7);
+  const QueryResult before = table->Execute(txn, q);
+  std::vector<bool> placement(10, false);
+  for (ColumnId c : OrderlinePrimaryKey()) placement[c] = true;
+  ASSERT_TRUE(table->ApplyPlacement(placement).ok());
+  const QueryResult after = table->Execute(txn, q);
+  EXPECT_EQ(before.positions, after.positions);
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i], after.rows[i]);
+  }
+}
+
+TEST(TieredTableTest, InsertVisibleAfterCommit) {
+  auto table = MakeOrderline();
+  Transaction writer = table->Begin();
+  Row row{Value(int32_t{999}),  Value(int32_t{1}), Value(int32_t{1}),
+          Value(int32_t{1}),    Value(int32_t{1}), Value(int32_t{1}),
+          Value(int64_t{0}),    Value(int32_t{5}), Value(1.0),
+          Value(std::string("x"))};
+  ASSERT_TRUE(table->Insert(writer, row).ok());
+  table->Commit(&writer);
+  Transaction reader = table->Begin();
+  Query q;
+  q.predicates.push_back(Predicate::Equals(kOlOId, Value(int32_t{999})));
+  EXPECT_EQ(table->Execute(reader, q).positions.size(), 1u);
+}
+
+TEST(TieredTableTest, MergeAfterInsertsKeepsPlacement) {
+  auto table = MakeOrderline();
+  std::vector<bool> placement(10, true);
+  placement[kOlDistInfo] = false;
+  placement[kOlAmount] = false;
+  ASSERT_TRUE(table->ApplyPlacement(placement).ok());
+  Transaction writer = table->Begin();
+  Row row{Value(int32_t{500}),  Value(int32_t{1}), Value(int32_t{1}),
+          Value(int32_t{1}),    Value(int32_t{1}), Value(int32_t{1}),
+          Value(int64_t{0}),    Value(int32_t{5}), Value(42.5),
+          Value(std::string("merged"))};
+  ASSERT_TRUE(table->Insert(writer, row).ok());
+  table->Commit(&writer);
+  const size_t main_before = table->table().main_row_count();
+  table->MergeDelta();
+  EXPECT_EQ(table->table().main_row_count(), main_before + 1);
+  EXPECT_EQ(table->table().location(kOlAmount), ColumnLocation::kSecondary);
+  // The merged row's SSCG attributes are retrievable.
+  Transaction reader = table->Begin();
+  Query q;
+  q.predicates.push_back(Predicate::Equals(kOlOId, Value(int32_t{500})));
+  q.projections = {kOlAmount, kOlDistInfo};
+  QueryResult result = table->Execute(reader, q);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], Value(42.5));
+  EXPECT_EQ(result.rows[0][1], Value(std::string("merged")));
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,94 @@
+#include "workload/tpcc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hytap {
+namespace {
+
+TEST(TpccTest, SchemaShape) {
+  Schema schema = OrderlineSchema();
+  ASSERT_EQ(schema.size(), 10u);
+  EXPECT_EQ(schema[kOlOId].name, "ol_o_id");
+  EXPECT_EQ(schema[kOlQuantity].name, "ol_quantity");
+  EXPECT_EQ(schema[kOlDistInfo].type, DataType::kString);
+  EXPECT_EQ(schema[kOlAmount].type, DataType::kDouble);
+  EXPECT_EQ(schema[kOlDeliveryD].type, DataType::kInt64);
+}
+
+TEST(TpccTest, GeneratedRowsRespectDomains) {
+  OrderlineParams params;
+  params.warehouses = 2;
+  params.districts_per_warehouse = 3;
+  params.orders_per_district = 10;
+  auto rows = GenerateOrderlineRows(params);
+  ASSERT_GT(rows.size(), 2u * 3 * 10 * 5);  // at least 5 lines per order
+  std::set<int32_t> warehouses;
+  for (const Row& row : rows) {
+    ASSERT_EQ(row.size(), 10u);
+    warehouses.insert(row[kOlWId].AsInt32());
+    EXPECT_GE(row[kOlOId].AsInt32(), 1);
+    EXPECT_LE(row[kOlOId].AsInt32(), 10);
+    EXPECT_GE(row[kOlQuantity].AsInt32(), 1);
+    EXPECT_LE(row[kOlQuantity].AsInt32(), 10);
+    EXPECT_GE(row[kOlIId].AsInt32(), 1);
+    EXPECT_LE(row[kOlIId].AsInt32(), int32_t(params.items));
+  }
+  EXPECT_EQ(warehouses.size(), 2u);
+}
+
+TEST(TpccTest, OrderHasFiveToTenLines) {
+  OrderlineParams params;
+  params.warehouses = 1;
+  params.districts_per_warehouse = 1;
+  params.orders_per_district = 50;
+  auto rows = GenerateOrderlineRows(params);
+  std::map<int32_t, int> lines_per_order;
+  for (const Row& row : rows) ++lines_per_order[row[kOlOId].AsInt32()];
+  for (const auto& [order, lines] : lines_per_order) {
+    EXPECT_GE(lines, 5) << order;
+    EXPECT_LE(lines, 10) << order;
+  }
+}
+
+TEST(TpccTest, PrimaryKeyColumns) {
+  auto pk = OrderlinePrimaryKey();
+  EXPECT_EQ(pk, (std::vector<ColumnId>{kOlOId, kOlDId, kOlWId, kOlNumber}));
+}
+
+TEST(TpccTest, DeliveryQueryShape) {
+  Query q = DeliveryQuery(3, 2, 77);
+  ASSERT_EQ(q.predicates.size(), 3u);
+  EXPECT_EQ(q.predicates[0].column, kOlWId);
+  EXPECT_EQ(*q.predicates[0].lo, Value(int32_t{3}));
+  EXPECT_FALSE(q.projections.empty());
+}
+
+TEST(TpccTest, ChQuery19Shape) {
+  Query q = ChQuery19(1, 100, 200, 1, 5);
+  ASSERT_EQ(q.predicates.size(), 3u);
+  EXPECT_EQ(q.predicates[2].column, kOlQuantity);
+  EXPECT_EQ(*q.predicates[2].lo, Value(int32_t{1}));
+  EXPECT_EQ(*q.predicates[2].hi, Value(int32_t{5}));
+  EXPECT_EQ(q.projections, (std::vector<ColumnId>{kOlAmount}));
+}
+
+TEST(TpccTest, WorkloadModel) {
+  OrderlineParams params;
+  Workload w = OrderlineWorkload(params);
+  w.Check();
+  EXPECT_EQ(w.column_count(), 10u);
+  // Delivery dominates the frequency mass.
+  double max_freq = 0;
+  for (const auto& q : w.queries) max_freq = std::max(max_freq, q.frequency);
+  EXPECT_DOUBLE_EQ(max_freq, 1000.0);
+  // ol_dist_info and ol_amount are never filtered.
+  auto g = w.ColumnFrequencies();
+  EXPECT_DOUBLE_EQ(g[kOlDistInfo], 0.0);
+  EXPECT_DOUBLE_EQ(g[kOlAmount], 0.0);
+  EXPECT_GT(g[kOlWId], 0.0);
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,89 @@
+#include "txn/transaction_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+TEST(TransactionManagerTest, MonotonicTids) {
+  TransactionManager txns;
+  Transaction a = txns.Begin();
+  Transaction b = txns.Begin();
+  EXPECT_LT(a.tid, b.tid);
+}
+
+TEST(TransactionManagerTest, BulkDataAlwaysVisible) {
+  TransactionManager txns;
+  Transaction reader = txns.Begin();
+  EXPECT_TRUE(txns.IsVisible(0, reader));  // writer tid 0 = bulk load
+}
+
+TEST(TransactionManagerTest, OwnWritesVisible) {
+  TransactionManager txns;
+  Transaction writer = txns.Begin();
+  EXPECT_TRUE(txns.IsVisible(writer.tid, writer));
+}
+
+TEST(TransactionManagerTest, UncommittedInvisibleToOthers) {
+  TransactionManager txns;
+  Transaction writer = txns.Begin();
+  Transaction reader = txns.Begin();
+  EXPECT_FALSE(txns.IsVisible(writer.tid, reader));
+}
+
+TEST(TransactionManagerTest, CommittedVisibleToLaterSnapshots) {
+  TransactionManager txns;
+  Transaction writer = txns.Begin();
+  txns.Commit(&writer);
+  Transaction reader = txns.Begin();
+  EXPECT_TRUE(txns.IsVisible(writer.tid, reader));
+}
+
+TEST(TransactionManagerTest, CommittedInvisibleToEarlierSnapshot) {
+  // Snapshot isolation: a reader that began before the commit must not see
+  // the writer's rows.
+  TransactionManager txns;
+  Transaction writer = txns.Begin();
+  Transaction reader = txns.Begin();  // snapshot taken before commit
+  txns.Commit(&writer);
+  EXPECT_FALSE(txns.IsVisible(writer.tid, reader));
+}
+
+TEST(TransactionManagerTest, AbortedWritesStayInvisible) {
+  TransactionManager txns;
+  Transaction writer = txns.Begin();
+  txns.Abort(&writer);
+  Transaction reader = txns.Begin();
+  EXPECT_FALSE(txns.IsVisible(writer.tid, reader));
+}
+
+TEST(TransactionManagerTest, DeletionSemantics) {
+  TransactionManager txns;
+  Transaction reader = txns.Begin();
+  EXPECT_FALSE(txns.IsDeleted(kMaxTransactionId, reader));  // never deleted
+  Transaction deleter = txns.Begin();
+  EXPECT_FALSE(txns.IsDeleted(deleter.tid, reader));  // uncommitted delete
+  txns.Commit(&deleter);
+  EXPECT_FALSE(txns.IsDeleted(deleter.tid, reader));  // old snapshot
+  Transaction later = txns.Begin();
+  EXPECT_TRUE(txns.IsDeleted(deleter.tid, later));
+}
+
+TEST(TransactionManagerTest, CommitCidsIncrease) {
+  TransactionManager txns;
+  Transaction a = txns.Begin();
+  Transaction b = txns.Begin();
+  txns.Commit(&b);
+  txns.Commit(&a);
+  EXPECT_EQ(txns.last_commit_cid(), 2u);
+}
+
+TEST(TransactionManagerDeathTest, DoubleCommitAborts) {
+  TransactionManager txns;
+  Transaction t = txns.Begin();
+  txns.Commit(&t);
+  EXPECT_DEATH(txns.Commit(&t), "finished");
+}
+
+}  // namespace
+}  // namespace hytap

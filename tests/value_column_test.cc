@@ -1,0 +1,131 @@
+#include "storage/value_column.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hytap {
+namespace {
+
+TEST(ValueColumnTest, AppendAndGet) {
+  ValueColumn<int32_t> col;
+  col.Append(5);
+  col.Append(3);
+  col.Append(5);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.Get(0), 5);
+  EXPECT_EQ(col.Get(1), 3);
+  EXPECT_EQ(col.distinct_count(), 2u);
+  EXPECT_EQ(col.GetValue(2), Value(int32_t{5}));
+}
+
+TEST(ValueColumnTest, IndexLookup) {
+  ValueColumn<int32_t> col;
+  const int32_t values[] = {7, 3, 7, 9, 7};
+  for (int32_t v : values) col.Append(v);
+  EXPECT_EQ(col.IndexLookup(7), (PositionList{0, 2, 4}));
+  EXPECT_EQ(col.IndexLookup(9), (PositionList{3}));
+  EXPECT_TRUE(col.IndexLookup(8).empty());
+}
+
+TEST(ValueColumnTest, ScanEqualityUsesIndex) {
+  ValueColumn<int32_t> col;
+  for (int i = 0; i < 100; ++i) col.Append(i % 10);
+  PositionList out;
+  Value v(int32_t{4});
+  col.ScanBetween(&v, &v, &out);
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t k = 0; k < out.size(); ++k) EXPECT_EQ(out[k], 4 + 10 * k);
+}
+
+TEST(ValueColumnTest, ScanRangeLinear) {
+  ValueColumn<int32_t> col;
+  const int32_t values[] = {5, 3, 9, 1, 7};
+  for (int32_t v : values) col.Append(v);
+  PositionList out;
+  Value lo(int32_t{3}), hi(int32_t{7});
+  col.ScanBetween(&lo, &hi, &out);
+  EXPECT_EQ(out, (PositionList{0, 1, 4}));
+}
+
+TEST(ValueColumnTest, ScanUnbounded) {
+  ValueColumn<int32_t> col;
+  col.Append(5);
+  col.Append(-5);
+  PositionList out;
+  col.ScanBetween(nullptr, nullptr, &out);
+  EXPECT_EQ(out, (PositionList{0, 1}));
+  out.clear();
+  Value lo(int32_t{0});
+  col.ScanBetween(&lo, nullptr, &out);
+  EXPECT_EQ(out, (PositionList{0}));
+}
+
+TEST(ValueColumnTest, InvertedRangeEmpty) {
+  ValueColumn<int32_t> col;
+  col.Append(5);
+  PositionList out;
+  Value lo(int32_t{9}), hi(int32_t{1});
+  col.ScanBetween(&lo, &hi, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ValueColumnTest, Probe) {
+  ValueColumn<int32_t> col;
+  const int32_t values[] = {5, 3, 9, 1, 7};
+  for (int32_t v : values) col.Append(v);
+  PositionList candidates{0, 2, 3};
+  PositionList out;
+  Value lo(int32_t{4}), hi(int32_t{10});
+  col.Probe(&lo, &hi, candidates, &out);
+  EXPECT_EQ(out, (PositionList{0, 2}));
+}
+
+TEST(ValueColumnTest, Strings) {
+  ValueColumn<std::string> col;
+  col.Append("beta");
+  col.Append("alpha");
+  col.Append("beta");
+  EXPECT_EQ(col.IndexLookup("beta"), (PositionList{0, 2}));
+  EXPECT_EQ(col.GetValue(1), Value(std::string("alpha")));
+}
+
+TEST(ValueColumnTest, TypeErasedFactory) {
+  ColumnDefinition def;
+  def.type = DataType::kDouble;
+  auto col = MakeValueColumn(def);
+  EXPECT_EQ(col->type(), DataType::kDouble);
+  AppendValue(col.get(), Value(1.5));
+  AppendValue(col.get(), Value(2.5));
+  EXPECT_EQ(col->size(), 2u);
+  EXPECT_EQ(col->GetValue(1), Value(2.5));
+}
+
+TEST(ValueColumnDeathTest, AppendWrongTypeAborts) {
+  ColumnDefinition def;
+  def.type = DataType::kInt32;
+  auto col = MakeValueColumn(def);
+  EXPECT_DEATH(AppendValue(col.get(), Value(1.5)), "type");
+}
+
+// Property: index lookups agree with naive scans under random data.
+TEST(ValueColumnPropertyTest, IndexMatchesNaive) {
+  Rng rng(77);
+  ValueColumn<int64_t> col;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-100, 100);
+    col.Append(v);
+    values.push_back(v);
+  }
+  for (int64_t key = -110; key <= 110; key += 7) {
+    PositionList want;
+    for (size_t r = 0; r < values.size(); ++r) {
+      if (values[r] == key) want.push_back(r);
+    }
+    ASSERT_EQ(col.IndexLookup(key), want) << key;
+  }
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,105 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace hytap {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(int32_t{1}).type(), DataType::kInt32);
+  EXPECT_EQ(Value(int64_t{1}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(1.0f).type(), DataType::kFloat);
+  EXPECT_EQ(Value(1.0).type(), DataType::kDouble);
+  EXPECT_EQ(Value("abc").type(), DataType::kString);
+  EXPECT_EQ(Value().type(), DataType::kInt32);  // default
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int32_t{-7}).AsInt32(), -7);
+  EXPECT_EQ(Value(int64_t{1} << 40).AsInt64(), int64_t{1} << 40);
+  EXPECT_FLOAT_EQ(Value(2.5f).AsFloat(), 2.5f);
+  EXPECT_DOUBLE_EQ(Value(-3.25).AsDouble(), -3.25);
+  EXPECT_EQ(Value(std::string("xyz")).AsString(), "xyz");
+}
+
+TEST(ValueTest, CompareInt32) {
+  EXPECT_LT(Value(int32_t{1}), Value(int32_t{2}));
+  EXPECT_EQ(Value(int32_t{5}), Value(int32_t{5}));
+  EXPECT_GT(Value(int32_t{9}), Value(int32_t{-9}));
+  EXPECT_LE(Value(int32_t{5}), Value(int32_t{5}));
+  EXPECT_GE(Value(int32_t{5}), Value(int32_t{5}));
+  EXPECT_NE(Value(int32_t{5}), Value(int32_t{6}));
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+  EXPECT_EQ(Value("abc"), Value("abc"));
+}
+
+TEST(ValueTest, CompareDoubles) {
+  EXPECT_LT(Value(1.5), Value(1.6));
+  EXPECT_EQ(Value(0.0), Value(-0.0));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int32_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(int64_t{-1}).ToString(), "-1");
+}
+
+TEST(ValueTest, FixedWidths) {
+  EXPECT_EQ(FixedWidth(DataType::kInt32, 0), 4u);
+  EXPECT_EQ(FixedWidth(DataType::kInt64, 0), 8u);
+  EXPECT_EQ(FixedWidth(DataType::kFloat, 0), 4u);
+  EXPECT_EQ(FixedWidth(DataType::kDouble, 0), 8u);
+  EXPECT_EQ(FixedWidth(DataType::kString, 24), 24u);
+}
+
+TEST(ValueTest, SerializeRoundTripNumeric) {
+  uint8_t buffer[16];
+  Value(int32_t{-123456}).SerializeFixed(buffer, 4);
+  EXPECT_EQ(Value::DeserializeFixed(buffer, DataType::kInt32, 4),
+            Value(int32_t{-123456}));
+  Value(int64_t{1} << 50).SerializeFixed(buffer, 8);
+  EXPECT_EQ(Value::DeserializeFixed(buffer, DataType::kInt64, 8),
+            Value(int64_t{1} << 50));
+  Value(3.5f).SerializeFixed(buffer, 4);
+  EXPECT_EQ(Value::DeserializeFixed(buffer, DataType::kFloat, 4),
+            Value(3.5f));
+  Value(-2.25).SerializeFixed(buffer, 8);
+  EXPECT_EQ(Value::DeserializeFixed(buffer, DataType::kDouble, 8),
+            Value(-2.25));
+}
+
+TEST(ValueTest, SerializeStringPadsAndTrims) {
+  uint8_t buffer[8];
+  Value(std::string("ab")).SerializeFixed(buffer, 8);
+  EXPECT_EQ(Value::DeserializeFixed(buffer, DataType::kString, 8),
+            Value(std::string("ab")));
+  // Truncation to the fixed width.
+  Value(std::string("abcdefghij")).SerializeFixed(buffer, 8);
+  EXPECT_EQ(Value::DeserializeFixed(buffer, DataType::kString, 8),
+            Value(std::string("abcdefgh")));
+}
+
+TEST(ValueTest, SerializeEmptyString) {
+  uint8_t buffer[4];
+  Value(std::string()).SerializeFixed(buffer, 4);
+  EXPECT_EQ(Value::DeserializeFixed(buffer, DataType::kString, 4),
+            Value(std::string()));
+}
+
+TEST(ValueTest, DataTypeNames) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt32), "int32");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+}
+
+TEST(ValueDeathTest, CrossTypeCompareAborts) {
+  EXPECT_DEATH(Value(int32_t{1}).Compare(Value(int64_t{1})), "different");
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,72 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace hytap {
+namespace {
+
+Workload ValidWorkload() {
+  Workload w;
+  w.column_sizes = {10.0, 20.0};
+  w.selectivities = {0.5, 0.1};
+  QueryTemplate q;
+  q.columns = {0, 1};
+  q.frequency = 3.0;
+  w.queries = {q};
+  return w;
+}
+
+TEST(WorkloadTest, TotalBytes) {
+  EXPECT_DOUBLE_EQ(ValidWorkload().TotalBytes(), 30.0);
+  EXPECT_DOUBLE_EQ(Workload().TotalBytes(), 0.0);
+}
+
+TEST(WorkloadTest, ColumnFrequencies) {
+  Workload w = ValidWorkload();
+  QueryTemplate q2;
+  q2.columns = {1};
+  q2.frequency = 2.0;
+  w.queries.push_back(q2);
+  auto g = w.ColumnFrequencies();
+  EXPECT_DOUBLE_EQ(g[0], 3.0);
+  EXPECT_DOUBLE_EQ(g[1], 5.0);
+}
+
+TEST(WorkloadTest, CheckAcceptsValid) {
+  ValidWorkload().Check();  // must not abort
+}
+
+TEST(WorkloadDeathTest, RejectsArityMismatch) {
+  Workload w = ValidWorkload();
+  w.selectivities.pop_back();
+  EXPECT_DEATH(w.Check(), "arity");
+}
+
+TEST(WorkloadDeathTest, RejectsNonPositiveSizes) {
+  Workload w = ValidWorkload();
+  w.column_sizes[0] = 0.0;
+  EXPECT_DEATH(w.Check(), "positive");
+}
+
+TEST(WorkloadDeathTest, RejectsSelectivityOutOfRange) {
+  Workload w = ValidWorkload();
+  w.selectivities[0] = 1.5;
+  EXPECT_DEATH(w.Check(), "selectivities");
+  w.selectivities[0] = 0.0;
+  EXPECT_DEATH(w.Check(), "selectivities");
+}
+
+TEST(WorkloadDeathTest, RejectsUnknownColumnReference) {
+  Workload w = ValidWorkload();
+  w.queries[0].columns.push_back(9);
+  EXPECT_DEATH(w.Check(), "unknown column");
+}
+
+TEST(WorkloadDeathTest, RejectsNegativeFrequency) {
+  Workload w = ValidWorkload();
+  w.queries[0].frequency = -1.0;
+  EXPECT_DEATH(w.Check(), "non-negative");
+}
+
+}  // namespace
+}  // namespace hytap

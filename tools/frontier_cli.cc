@@ -1,0 +1,47 @@
+// hytap-frontier: prints the explicit Pareto frontier of a workload file as
+// CSV (step, column, critical alpha, cumulative DRAM, scan cost), ready for
+// plotting Figure-3-style efficient frontiers.
+//
+// Usage: frontier_cli <workload-file> [--c-mm <x>] [--c-ss <x>]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/workload_io.h"
+#include "selection/selectors.h"
+
+using namespace hytap;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: frontier_cli <workload-file> [--c-mm <x>] "
+                 "[--c-ss <x>]\n");
+    return 2;
+  }
+  ScanCostParams params;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string arg = argv[i];
+    if (arg == "--c-mm") {
+      params.c_mm = std::atof(argv[i + 1]);
+    } else if (arg == "--c-ss") {
+      params.c_ss = std::atof(argv[i + 1]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  StatusOr<Workload> workload = ReadWorkloadFile(argv[1]);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  SelectionProblem problem;
+  problem.workload = &*workload;
+  problem.params = params;
+  ExplicitFrontier frontier = ComputeExplicitFrontier(problem);
+  std::fputs(FrontierToCsv(frontier, *workload).c_str(), stdout);
+  return 0;
+}
