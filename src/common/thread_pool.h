@@ -1,0 +1,113 @@
+#ifndef HYTAP_COMMON_THREAD_POOL_H_
+#define HYTAP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hytap {
+
+/// Rows per morsel of a vectorized MRC scan. Large enough that per-morsel
+/// scheduling overhead is negligible against a bit-packed decode, small
+/// enough that a multi-million-row column splits into hundreds of morsels
+/// for even load balancing.
+inline constexpr size_t kScanMorselRows = 1 << 16;
+
+/// Pages per morsel of an SSCG sequential scan (64 x 4 KB = 256 KB of row
+/// data per morsel).
+inline constexpr size_t kScanMorselPages = 64;
+
+/// Qualifying positions per morsel of parallel tuple materialization.
+inline constexpr size_t kMaterializeMorselRows = 1 << 12;
+
+/// A shared, lazily-started worker pool with a morsel-driven ParallelFor.
+///
+/// Scheduling model: ParallelFor splits [begin, end) into dense, contiguous
+/// morsels of at most `grain` elements. Workers (the calling thread plus up
+/// to max_workers - 1 pool threads) claim morsel indices from a shared
+/// atomic counter, so load balances dynamically, yet every morsel knows its
+/// index — callers write per-morsel results into a pre-sized vector and
+/// concatenate in index order, which makes the merged output identical to a
+/// serial left-to-right execution regardless of interleaving.
+///
+/// The calling thread always participates, so a ParallelFor makes progress
+/// even when every pool thread is busy. A ParallelFor issued from inside a
+/// pool worker (nested parallelism) runs its morsels inline on that worker,
+/// which keeps the pool deadlock-free.
+///
+/// Exceptions thrown by `fn` cancel the remaining morsels; the first
+/// exception is rethrown on the calling thread once in-flight morsels have
+/// drained.
+class ThreadPool {
+ public:
+  /// Spawns `total_workers - 1` helper threads (the caller is the remaining
+  /// worker). `total_workers == 1` spawns nothing; ParallelFor runs inline.
+  explicit ThreadPool(size_t total_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, started on first use with DefaultWorkerCount()
+  /// workers.
+  static ThreadPool& Global();
+
+  /// HYTAP_THREADS environment override, else
+  /// max(hardware_concurrency, 8). The floor keeps intra-query parallelism
+  /// (and its race coverage under TSAN) real even on small CI machines; the
+  /// OS time-slices when cores are scarce.
+  static size_t DefaultWorkerCount();
+
+  /// Helper threads owned by the pool (callers add one more).
+  size_t helper_count() const { return helpers_.size(); }
+
+  /// Runtime cap on concurrent workers per ParallelFor, including the
+  /// caller. Setting 1 forces every ParallelFor inline (serial); used by the
+  /// equivalence tests to prove parallel execution does not change results.
+  void set_max_workers(size_t cap) {
+    max_workers_cap_.store(cap == 0 ? 1 : cap, std::memory_order_relaxed);
+  }
+  size_t max_workers() const {
+    return max_workers_cap_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of morsels ParallelFor(begin, end, grain, ...) produces.
+  static size_t MorselCount(size_t begin, size_t end, size_t grain) {
+    return begin >= end ? 0 : (end - begin + grain - 1) / grain;
+  }
+
+  /// Runs fn(morsel_index, morsel_begin, morsel_end) for every morsel of
+  /// [begin, end); morsel m covers
+  /// [begin + m * grain, min(end, begin + (m + 1) * grain)). At most
+  /// `max_workers` workers run concurrently (including the caller). Blocks
+  /// until all morsels finish; rethrows the first exception thrown by fn.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   uint32_t max_workers,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  struct Task;
+
+  void HelperLoop();
+  /// Claims and runs morsels of `task` until none remain (or a morsel
+  /// threw, which forfeits the rest).
+  static void RunMorsels(Task& task);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::shared_ptr<Task>> queue_;  // one entry per helper slot
+  std::vector<std::thread> helpers_;
+  bool stop_ = false;
+  std::atomic<size_t> max_workers_cap_{SIZE_MAX};
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_COMMON_THREAD_POOL_H_

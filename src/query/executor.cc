@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/assert.h"
+#include "common/thread_pool.h"
 #include "query/scan.h"
 
 namespace hytap {
@@ -253,33 +254,68 @@ void QueryExecutor::Materialize(const Query& query, uint32_t threads,
     any_sscg |= table_->location(c) == ColumnLocation::kSecondary;
   }
 
-  // Aggregate accumulators.
-  std::vector<double> sums(query.aggregates.size(), 0.0);
-  std::vector<Row> minmax(1);  // scratch; per-aggregate best values
-  std::vector<std::optional<Value>> best(query.aggregates.size());
+  const PositionList& positions = result->positions;
+  const Sscg* sscg = table_->sscg();
 
+  // Device/cache accounting pass, single-threaded and in position order:
+  // fetches each qualifying tuple's group page through the buffer manager
+  // exactly as the serial reconstruction did, so hit/miss sequences and the
+  // device model's jitter draws are identical for any worker count.
+  if (any_sscg) {
+    HYTAP_ASSERT(sscg != nullptr, "SSCG projection without SSCG");
+    for (RowId row : positions) {
+      if (row < main_rows) {
+        sscg->AccountTupleFetch(row, table_->buffers(), threads,
+                                &result->io);
+      }
+    }
+  }
+
+  // Materialization pass: morsel-parallel over qualifying positions. SSCG
+  // attributes come from raw pages (already cached and accounted above);
+  // MRC/delta attributes cost fixed DRAM touches accumulated per worker and
+  // reduced below — sums of constants, so the total matches serial
+  // execution regardless of the morsel partition.
+  std::vector<Row> fetched_all(positions.size());
+  const size_t morsels =
+      ThreadPool::MorselCount(0, positions.size(), kMaterializeMorselRows);
+  std::vector<IoStats> worker_io(morsels);
+  ThreadPool::Global().ParallelFor(
+      0, positions.size(), kMaterializeMorselRows, threads,
+      [&](size_t m, size_t index_begin, size_t index_end) {
+        IoStats& local_io = worker_io[m];
+        for (size_t i = index_begin; i < index_end; ++i) {
+          const RowId row = positions[i];
+          Row fetched(fetch_cols.size());
+          if (row < main_rows && any_sscg) {
+            Row group = sscg->RawRow(row, *table_->store());
+            for (size_t p = 0; p < fetch_cols.size(); ++p) {
+              const int slot = sscg->layout().SlotOf(fetch_cols[p]);
+              if (slot >= 0) fetched[p] = group[static_cast<size_t>(slot)];
+            }
+          }
+          for (size_t p = 0; p < fetch_cols.size(); ++p) {
+            const ColumnId c = fetch_cols[p];
+            if (row < main_rows &&
+                table_->location(c) == ColumnLocation::kSecondary) {
+              continue;  // already materialized from the group page
+            }
+            fetched[p] = table_->GetValue(c, row, threads, &local_io);
+          }
+          fetched_all[i] = std::move(fetched);
+        }
+      });
+  for (const IoStats& local_io : worker_io) result->io += local_io;
+
+  // Aggregation and row assembly, single-threaded in position order: keeps
+  // floating-point accumulation order (and min/max tie-breaks) identical to
+  // the serial execution.
+  std::vector<double> sums(query.aggregates.size(), 0.0);
+  std::vector<std::optional<Value>> best(query.aggregates.size());
   const bool keep_rows = !query.projections.empty();
-  if (keep_rows) result->rows.reserve(result->positions.size());
-  for (RowId row : result->positions) {
-    Row fetched(fetch_cols.size());
-    if (row < main_rows && any_sscg) {
-      const Sscg* sscg = table_->sscg();
-      HYTAP_ASSERT(sscg != nullptr, "SSCG projection without SSCG");
-      Row group = sscg->ReconstructTuple(row, table_->buffers(), threads,
-                                         &result->io);
-      for (size_t p = 0; p < fetch_cols.size(); ++p) {
-        const int slot = sscg->layout().SlotOf(fetch_cols[p]);
-        if (slot >= 0) fetched[p] = group[static_cast<size_t>(slot)];
-      }
-    }
-    for (size_t p = 0; p < fetch_cols.size(); ++p) {
-      const ColumnId c = fetch_cols[p];
-      if (row < main_rows &&
-          table_->location(c) == ColumnLocation::kSecondary) {
-        continue;  // already materialized from the group page
-      }
-      fetched[p] = table_->GetValue(c, row, threads, &result->io);
-    }
+  if (keep_rows) result->rows.reserve(positions.size());
+  for (size_t i = 0; i < fetched_all.size(); ++i) {
+    Row& fetched = fetched_all[i];
     for (size_t a = 0; a < query.aggregates.size(); ++a) {
       const Aggregate& agg = query.aggregates[a];
       switch (agg.kind) {

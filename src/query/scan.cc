@@ -1,6 +1,7 @@
 #include "query/scan.h"
 
 #include "common/assert.h"
+#include "common/thread_pool.h"
 #include "storage/dictionary_column.h"
 
 namespace hytap {
@@ -16,6 +17,26 @@ uint64_t MrcScanCostNs(const AbstractColumn* column) {
 
 }  // namespace
 
+void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
+                        const Value* hi, uint32_t threads,
+                        PositionList* out) {
+  const size_t n = column.size();
+  const size_t morsels = ThreadPool::MorselCount(0, n, kScanMorselRows);
+  if (morsels <= 1 || threads <= 1) {
+    column.ScanBetweenRange(lo, hi, 0, n, out);
+    return;
+  }
+  std::vector<PositionList> parts(morsels);
+  ThreadPool::Global().ParallelFor(
+      0, n, kScanMorselRows, threads,
+      [&](size_t m, size_t row_begin, size_t row_end) {
+        column.ScanBetweenRange(lo, hi, row_begin, row_end, &parts[m]);
+      });
+  for (const PositionList& part : parts) {
+    out->insert(out->end(), part.begin(), part.end());
+  }
+}
+
 void ScanMainColumn(const Table& table, ColumnId column,
                     const Predicate& pred, uint32_t threads,
                     PositionList* out, IoStats* io) {
@@ -23,7 +44,7 @@ void ScanMainColumn(const Table& table, ColumnId column,
   if (table.location(column) == ColumnLocation::kDram) {
     const AbstractColumn* mrc = table.mrc(column);
     HYTAP_ASSERT(mrc != nullptr, "DRAM column without MRC");
-    mrc->ScanBetween(pred.LoPtr(), pred.HiPtr(), out);
+    ParallelScanColumn(*mrc, pred.LoPtr(), pred.HiPtr(), threads, out);
     if (io != nullptr) io->dram_ns += MrcScanCostNs(mrc);
     return;
   }

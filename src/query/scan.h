@@ -11,9 +11,19 @@ namespace hytap {
 /// with simulated cost accounting. Positions are partition-local.
 
 /// Full scan of a main-partition column (MRC vectorized scan or SSCG
-/// sequential page scan, depending on placement).
+/// sequential page scan, depending on placement). `threads` real workers
+/// split the scan into morsels; the same value feeds the simulated cost
+/// model as the device queue depth.
 void ScanMainColumn(const Table& table, ColumnId column, const Predicate& pred,
                     uint32_t threads, PositionList* out, IoStats* io);
+
+/// Morsel-parallel driver of the MRC vectorized scan: splits
+/// [0, column.size()) into kScanMorselRows morsels executed by up to
+/// `threads` workers and appends the per-morsel position lists to `out` in
+/// ascending order — byte-identical to a serial ScanBetween. Exposed for
+/// benchmarks; adds no simulated cost.
+void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
+                        const Value* hi, uint32_t threads, PositionList* out);
 
 /// Probes main-partition candidate positions (ascending) against a column.
 void ProbeMainColumn(const Table& table, ColumnId column,

@@ -1,8 +1,32 @@
 #include "storage/bit_packed_vector.h"
 
-#include "common/assert.h"
-
 namespace hytap {
+
+namespace {
+
+/// Streams the codes of rows [begin, end): one running 64-bit word cursor,
+/// no per-row word/offset division. Calls emit(row, code) in row order.
+template <typename Emit>
+inline void ForEachCode(const uint64_t* words, uint32_t bits, uint64_t mask,
+                        size_t begin, size_t end, Emit&& emit) {
+  const size_t first_bit = begin * bits;
+  size_t word = first_bit >> 6;
+  uint32_t offset = static_cast<uint32_t>(first_bit & 63);
+  for (size_t row = begin; row < end; ++row) {
+    uint64_t code = words[word] >> offset;
+    const uint32_t consumed = offset + bits;
+    if (consumed > 64) {
+      // The code straddles into the next word (guaranteed to exist: Append
+      // allocated it when the straddling code was written).
+      code |= words[word + 1] << (64 - offset);
+    }
+    emit(row, code & mask);
+    offset = consumed & 63;
+    word += consumed >> 6;
+  }
+}
+
+}  // namespace
 
 BitPackedVector::BitPackedVector(uint32_t bits) : bits_(bits) {
   HYTAP_ASSERT(bits >= 1 && bits <= 64, "bit width must be in [1, 64]");
@@ -33,18 +57,6 @@ void BitPackedVector::Append(uint64_t value) {
   ++size_;
 }
 
-uint64_t BitPackedVector::Get(size_t index) const {
-  HYTAP_ASSERT(index < size_, "BitPackedVector index out of range");
-  const size_t bit_pos = index * bits_;
-  const size_t word = bit_pos / 64;
-  const uint32_t offset = bit_pos % 64;
-  uint64_t result = words_[word] >> offset;
-  if (offset + bits_ > 64) {
-    result |= words_[word + 1] << (64 - offset);
-  }
-  return result & mask_;
-}
-
 void BitPackedVector::Set(size_t index, uint64_t value) {
   HYTAP_ASSERT(index < size_, "BitPackedVector index out of range");
   HYTAP_ASSERT((value & ~mask_) == 0, "value exceeds bit width");
@@ -58,6 +70,35 @@ void BitPackedVector::Set(size_t index, uint64_t value) {
     words_[word + 1] =
         (words_[word + 1] & ~high_mask) | (value >> (64 - offset));
   }
+}
+
+void BitPackedVector::ScanEqual(uint64_t target, size_t row_begin,
+                                size_t row_end, PositionList* out) const {
+  HYTAP_ASSERT(row_end <= size_, "scan range out of bounds");
+  if (row_begin >= row_end) return;
+  ForEachCode(words_.data(), bits_, mask_, row_begin, row_end,
+              [&](size_t row, uint64_t code) {
+                if (code == target) out->push_back(row);
+              });
+}
+
+void BitPackedVector::ScanRange(uint64_t code_lo, uint64_t code_hi,
+                                size_t row_begin, size_t row_end,
+                                PositionList* out) const {
+  HYTAP_ASSERT(row_end <= size_, "scan range out of bounds");
+  if (row_begin >= row_end || code_lo >= code_hi) return;
+  ForEachCode(words_.data(), bits_, mask_, row_begin, row_end,
+              [&](size_t row, uint64_t code) {
+                if (code >= code_lo && code < code_hi) out->push_back(row);
+              });
+}
+
+void BitPackedVector::DecodeRange(size_t row_begin, size_t row_end,
+                                  uint64_t* out) const {
+  HYTAP_ASSERT(row_end <= size_, "decode range out of bounds");
+  if (row_begin >= row_end) return;
+  ForEachCode(words_.data(), bits_, mask_, row_begin, row_end,
+              [&](size_t row, uint64_t code) { out[row - row_begin] = code; });
 }
 
 }  // namespace hytap

@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.h"
+#include "storage/column.h"
+
 namespace hytap {
 
 /// Bit-packed vector of unsigned integers with a fixed bit width.
@@ -12,6 +15,11 @@ namespace hytap {
 /// This is the attribute ("value id") vector of a dictionary-encoded MRC: with
 /// a dictionary of D entries each code occupies ceil(log2(D)) bits. Get() is
 /// branch-free (at most two word reads); Append() is amortized O(1).
+///
+/// Scan-heavy callers should prefer the batch kernels (ScanEqual, ScanRange,
+/// DecodeRange): they stream 64-bit words with a running bit cursor instead
+/// of re-deriving word/offset per row, and they are safe to call concurrently
+/// from multiple threads on arbitrary (even overlapping) row ranges.
 class BitPackedVector {
  public:
   /// `bits` must be in [1, 64].
@@ -21,14 +29,42 @@ class BitPackedVector {
   static uint32_t BitsFor(uint64_t max_value);
 
   void Append(uint64_t value);
-  uint64_t Get(size_t index) const;
+
+  uint64_t Get(size_t index) const {
+    HYTAP_ASSERT(index < size_, "BitPackedVector index out of range");
+    const size_t bit_pos = index * bits_;
+    const size_t word = bit_pos / 64;
+    const uint32_t offset = bit_pos % 64;
+    uint64_t result = words_[word] >> offset;
+    if (offset + bits_ > 64) {
+      result |= words_[word + 1] << (64 - offset);
+    }
+    return result & mask_;
+  }
+
   void Set(size_t index, uint64_t value);
+
+  /// Appends every row in [row_begin, row_end) whose code equals `target`
+  /// to `out` (ascending).
+  void ScanEqual(uint64_t target, size_t row_begin, size_t row_end,
+                 PositionList* out) const;
+
+  /// Appends every row in [row_begin, row_end) whose code lies in the
+  /// half-open interval [code_lo, code_hi) to `out` (ascending).
+  void ScanRange(uint64_t code_lo, uint64_t code_hi, size_t row_begin,
+                 size_t row_end, PositionList* out) const;
+
+  /// Unpacks the codes of rows [row_begin, row_end) into out[0 ..
+  /// row_end - row_begin).
+  void DecodeRange(size_t row_begin, size_t row_end, uint64_t* out) const;
 
   size_t size() const { return size_; }
   uint32_t bits() const { return bits_; }
 
-  /// Heap bytes used by the packed payload.
-  size_t MemoryUsage() const { return words_.capacity() * sizeof(uint64_t); }
+  /// Heap bytes used by the packed payload (occupied words, not vector
+  /// capacity: the capacity figure would inflate the scan cost model and
+  /// the DRAM-budget accounting after Append-heavy builds).
+  size_t MemoryUsage() const { return words_.size() * sizeof(uint64_t); }
 
   void Reserve(size_t count);
 

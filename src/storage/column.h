@@ -1,6 +1,7 @@
 #ifndef HYTAP_STORAGE_COLUMN_H_
 #define HYTAP_STORAGE_COLUMN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,6 +49,24 @@ class AbstractColumn {
   /// Appends rows in [0, size) with lo <= value <= hi to `out` (ascending).
   virtual void ScanBetween(const Value* lo, const Value* hi,
                            PositionList* out) const = 0;
+
+  /// Morsel-sized unit of ScanBetween: appends rows in
+  /// [row_begin, min(row_end, size)) with lo <= value <= hi to `out`
+  /// (ascending). Must be safe to call concurrently on disjoint ranges;
+  /// concatenating the outputs of consecutive ranges equals ScanBetween.
+  /// Encodings with batch kernels override this (DictionaryColumn scans
+  /// bit-packed codes word-at-a-time).
+  virtual void ScanBetweenRange(const Value* lo, const Value* hi,
+                                size_t row_begin, size_t row_end,
+                                PositionList* out) const {
+    row_end = std::min(row_end, size());
+    for (size_t row = row_begin; row < row_end; ++row) {
+      const Value v = GetValue(row);
+      if (lo != nullptr && v < *lo) continue;
+      if (hi != nullptr && *hi < v) continue;
+      out->push_back(row);
+    }
+  }
 
   /// Filters `in` (ascending positions), keeping rows whose value lies in
   /// [lo, hi]; appends survivors to `out`. This is the "probe" path used

@@ -71,20 +71,22 @@ bool DictionaryColumn<T>::CodeRange(const Value* lo, const Value* hi,
 template <typename T>
 void DictionaryColumn<T>::ScanBetween(const Value* lo, const Value* hi,
                                       PositionList* out) const {
+  ScanBetweenRange(lo, hi, 0, codes_.size(), out);
+}
+
+template <typename T>
+void DictionaryColumn<T>::ScanBetweenRange(const Value* lo, const Value* hi,
+                                           size_t row_begin, size_t row_end,
+                                           PositionList* out) const {
   ValueId code_lo, code_hi;
   if (!CodeRange(lo, hi, &code_lo, &code_hi)) return;
-  const size_t n = codes_.size();
+  row_end = std::min(row_end, codes_.size());
+  if (row_begin >= row_end) return;
   if (code_lo + 1 == code_hi) {
     // Equality on a single code: the common OLTP case.
-    const uint64_t target = code_lo;
-    for (size_t row = 0; row < n; ++row) {
-      if (codes_.Get(row) == target) out->push_back(row);
-    }
-    return;
-  }
-  for (size_t row = 0; row < n; ++row) {
-    const uint64_t code = codes_.Get(row);
-    if (code >= code_lo && code < code_hi) out->push_back(row);
+    codes_.ScanEqual(code_lo, row_begin, row_end, out);
+  } else {
+    codes_.ScanRange(code_lo, code_hi, row_begin, row_end, out);
   }
 }
 

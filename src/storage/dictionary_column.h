@@ -31,6 +31,8 @@ class DictionaryColumn : public AbstractColumn {
   Value GetValue(RowId row) const override;
   void ScanBetween(const Value* lo, const Value* hi,
                    PositionList* out) const override;
+  void ScanBetweenRange(const Value* lo, const Value* hi, size_t row_begin,
+                        size_t row_end, PositionList* out) const override;
   void Probe(const Value* lo, const Value* hi, const PositionList& in,
              PositionList* out) const override;
 

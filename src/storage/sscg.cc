@@ -1,6 +1,7 @@
 #include "storage/sscg.h"
 
 #include "common/assert.h"
+#include "common/thread_pool.h"
 
 namespace hytap {
 
@@ -78,7 +79,11 @@ Value Sscg::ProbeValue(RowId row, size_t slot, BufferManager* buffers,
 void Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
                     BufferManager* buffers, uint32_t threads,
                     PositionList* out, IoStats* io) const {
-  RowId row = 0;
+  if (page_ids_.empty()) return;
+  // Accounting pass, single-threaded and in page order: pulls every page
+  // through the cache exactly as the serial scan did, so hit/miss counts,
+  // CLOCK state, and simulated latencies are identical for any worker
+  // count (the `threads` queue depth still scales the modeled latency).
   for (PageId local = 0; local < page_ids_.size(); ++local) {
     BufferManager::Fetch fetch = buffers->FetchPage(
         page_ids_[local], AccessPattern::kSequential, threads);
@@ -91,14 +96,40 @@ void Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
         ++io->page_reads;
       }
     }
-    const size_t rows_here =
-        std::min<size_t>(layout_.rows_per_page(), row_count_ - row);
-    for (size_t r = 0; r < rows_here; ++r, ++row) {
-      const Value v = layout_.DeserializeSlot(
-          fetch.page->data() + layout_.OffsetInPage(row), slot);
-      if (InRange(v, lo, hi)) out->push_back(row);
-    }
   }
+  // Filter pass: morsels of whole pages, each worker deserializing into its
+  // own position list; concatenation in morsel order yields the ascending
+  // serial output. Workers read page payloads via the raw store (identical
+  // bytes, no cache mutation, no timing).
+  const SecondaryStore* store = buffers->store();
+  HYTAP_ASSERT(store != nullptr, "buffer manager without a store");
+  const size_t morsels =
+      ThreadPool::MorselCount(0, page_ids_.size(), kScanMorselPages);
+  std::vector<PositionList> parts(morsels);
+  ThreadPool::Global().ParallelFor(
+      0, page_ids_.size(), kScanMorselPages, threads,
+      [&](size_t m, size_t page_begin, size_t page_end) {
+        PositionList& part = parts[m];
+        for (size_t local = page_begin; local < page_end; ++local) {
+          const SecondaryStore::Page& page = store->RawPage(page_ids_[local]);
+          RowId row = local * layout_.rows_per_page();
+          const size_t rows_here =
+              std::min<size_t>(layout_.rows_per_page(), row_count_ - row);
+          for (size_t r = 0; r < rows_here; ++r, ++row) {
+            const Value v = layout_.DeserializeSlot(
+                page.data() + layout_.OffsetInPage(row), slot);
+            if (InRange(v, lo, hi)) part.push_back(row);
+          }
+        }
+      });
+  for (const PositionList& part : parts) {
+    out->insert(out->end(), part.begin(), part.end());
+  }
+}
+
+void Sscg::AccountTupleFetch(RowId row, BufferManager* buffers,
+                             uint32_t queue_depth, IoStats* io) const {
+  FetchRowPage(row, buffers, AccessPattern::kRandom, queue_depth, io);
 }
 
 Value Sscg::RawValue(RowId row, size_t slot,

@@ -62,6 +62,14 @@ class Sscg {
   Value ProbeValue(RowId row, size_t slot, BufferManager* buffers,
                    uint32_t queue_depth, IoStats* io) const;
 
+  /// Performs and accounts the buffer-manager page fetch of tuple `row`
+  /// exactly as ReconstructTuple would, without materializing values. The
+  /// executor uses this to keep simulated-IO accounting in deterministic
+  /// position order while the materialization itself runs on worker
+  /// threads against raw pages.
+  void AccountTupleFetch(RowId row, BufferManager* buffers,
+                         uint32_t queue_depth, IoStats* io) const;
+
   /// Sequentially scans member slot `slot`, appending qualifying rows
   /// ([lo, hi] closed interval, null = unbounded) to `out`. Reads every page
   /// of the group (row-oriented layout: no projection pushdown).

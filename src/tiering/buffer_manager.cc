@@ -12,6 +12,7 @@ BufferManager::BufferManager(SecondaryStore* store, size_t frame_count)
 BufferManager::Fetch BufferManager::FetchPage(PageId id,
                                               AccessPattern pattern,
                                               uint32_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
     Frame& frame = frames_[it->second];
@@ -38,12 +39,14 @@ BufferManager::Fetch BufferManager::FetchPage(PageId id,
 }
 
 void BufferManager::Pin(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = frame_of_.find(id);
   HYTAP_ASSERT(it != frame_of_.end(), "Pin: page not resident");
   ++frames_[it->second].pin_count;
 }
 
 void BufferManager::Unpin(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = frame_of_.find(id);
   HYTAP_ASSERT(it != frame_of_.end(), "Unpin: page not resident");
   Frame& frame = frames_[it->second];
@@ -73,6 +76,7 @@ size_t BufferManager::FindVictim() {
 }
 
 void BufferManager::Resize(size_t frame_count) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const Frame& frame : frames_) {
     HYTAP_ASSERT(frame.pin_count == 0, "Resize with pinned pages");
   }
@@ -82,6 +86,7 @@ void BufferManager::Resize(size_t frame_count) {
 }
 
 void BufferManager::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& frame : frames_) {
     if (frame.occupied && frame.pin_count == 0) {
       frame_of_.erase(frame.page_id);

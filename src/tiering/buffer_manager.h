@@ -2,6 +2,7 @@
 #define HYTAP_TIERING_BUFFER_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -46,7 +47,9 @@ class BufferManager {
 
   /// Fetches `id`, reading through to the store on a miss. The returned
   /// pointer is valid until the next FetchPage call unless the page is
-  /// pinned.
+  /// pinned. Thread-safe (internally serialized); note that the parallel
+  /// scan operators deliberately keep their FetchPage sequence on a single
+  /// thread so hit/miss accounting stays deterministic.
   Fetch FetchPage(PageId id, AccessPattern pattern, uint32_t queue_depth = 1);
 
   /// Pins `id` (must be resident after a FetchPage); pinned pages are never
@@ -54,10 +57,21 @@ class BufferManager {
   void Pin(PageId id);
   void Unpin(PageId id);
 
-  bool IsResident(PageId id) const { return frame_of_.count(id) > 0; }
+  bool IsResident(PageId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return frame_of_.count(id) > 0;
+  }
+
+  /// The backing store. Parallel scan workers read page payloads directly
+  /// via SecondaryStore::RawPage (timing-free, immutable during reads)
+  /// after the accounting pass fetched them through the cache.
+  SecondaryStore* store() const { return store_; }
 
   size_t frame_count() const { return frames_.size(); }
-  size_t resident_pages() const { return frame_of_.size(); }
+  size_t resident_pages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return frame_of_.size();
+  }
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats(); }
 
@@ -80,6 +94,12 @@ class BufferManager {
   /// Returns the index of a free (or freshly evicted) frame.
   size_t FindVictim();
 
+  /// Minimal locking for thread safety: one mutex over the frame table and
+  /// CLOCK state. The engine's deterministic accounting passes serialize
+  /// their fetches anyway, so this lock is effectively uncontended; it
+  /// exists so independent components (benchmark drivers, future parallel
+  /// probes) can share one cache without data races.
+  mutable std::mutex mutex_;
   SecondaryStore* store_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> frame_of_;

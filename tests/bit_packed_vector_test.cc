@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "common/random.h"
 
 namespace hytap {
@@ -102,6 +105,81 @@ TEST(BitPackedVectorTest, MemoryUsageScalesWithBits) {
     wide.Append(i);
   }
   EXPECT_LT(narrow.MemoryUsage() * 4, wide.MemoryUsage());
+}
+
+TEST(BitPackedVectorTest, MemoryUsageIsExactWordCount) {
+  // Must report the words actually holding data, not vector capacity
+  // (Reserve over-allocates; MemoryUsage feeds the cost model).
+  for (uint32_t bits : {1u, 7u, 32u, 63u, 64u}) {
+    BitPackedVector v(bits);
+    v.Reserve(100000);
+    const size_t n = 1000;
+    for (size_t i = 0; i < n; ++i) v.Append(0);
+    const size_t expected_words = (n * bits + 63) / 64;
+    EXPECT_EQ(v.MemoryUsage(), expected_words * sizeof(uint64_t))
+        << "bits=" << bits;
+  }
+}
+
+// Batch kernels (ScanEqual / ScanRange / DecodeRange) must agree with the
+// per-row Get() reference at every width, including widths that straddle
+// word boundaries and sub-ranges starting/ending mid-word.
+class BitPackedKernelTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitPackedKernelTest, KernelsMatchGetReference) {
+  const uint32_t bits = GetParam();
+  const uint64_t mask = bits == 64 ? ~0ULL : (1ULL << bits) - 1;
+  // Draw from a small domain so ScanEqual/ScanRange get real matches.
+  const uint64_t domain = std::min<uint64_t>(mask, 16);
+  Rng rng(bits * 31 + 5);
+  BitPackedVector v(bits);
+  std::vector<uint64_t> ref;
+  const size_t n = 777;  // not a multiple of any word period
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t value = rng.Next() % (domain + 1);
+    v.Append(value);
+    ref.push_back(value);
+  }
+  // Sub-ranges chosen to start/end mid-word and straddle word boundaries.
+  const std::pair<size_t, size_t> ranges[] = {
+      {0, n}, {0, 0}, {1, 2}, {63, 65}, {64, 128}, {127, 129}, {500, 777}};
+  for (const auto& [begin, end] : ranges) {
+    const uint64_t target = domain / 2;
+    const uint64_t lo = domain / 4, hi = domain / 2 + 2;  // half-open [lo, hi)
+    PositionList eq, range, eq_ref, range_ref;
+    v.ScanEqual(target, begin, end, &eq);
+    v.ScanRange(lo, hi, begin, end, &range);
+    for (size_t i = begin; i < end; ++i) {
+      if (v.Get(i) == target) eq_ref.push_back(i);
+      const uint64_t code = v.Get(i);
+      if (code >= lo && code < hi) range_ref.push_back(i);
+    }
+    EXPECT_EQ(eq, eq_ref) << "bits=" << bits << " [" << begin << "," << end;
+    EXPECT_EQ(range, range_ref)
+        << "bits=" << bits << " [" << begin << "," << end;
+    std::vector<uint64_t> decoded(end - begin);
+    v.DecodeRange(begin, end, decoded.data());
+    for (size_t i = begin; i < end; ++i) {
+      ASSERT_EQ(decoded[i - begin], ref[i])
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StraddleWidths, BitPackedKernelTest,
+                         ::testing::Values(1u, 7u, 32u, 63u, 64u));
+
+TEST(BitPackedKernelTest, FullWidthExtremeValues) {
+  // Width 64: every entry occupies exactly one word; mask must not clip.
+  BitPackedVector v(64);
+  const uint64_t values[] = {0, ~0ULL, 0x8000000000000000ULL, 1};
+  for (uint64_t x : values) v.Append(x);
+  std::vector<uint64_t> decoded(4);
+  v.DecodeRange(0, 4, decoded.data());
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(decoded[i], values[i]);
+  PositionList eq;
+  v.ScanEqual(~0ULL, 0, 4, &eq);
+  EXPECT_EQ(eq, PositionList{1});
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "query/executor.h"
+#include "query/scan.h"
+#include "storage/table.h"
+
+namespace hytap {
+namespace {
+
+/// Proves that real intra-query parallelism is invisible to the engine's
+/// semantics: for any thread count, query results are bit-identical and the
+/// simulated IoStats follow the same deterministic accounting order as the
+/// serial executor. (device_ns/dram_ns depend on the *requested* thread
+/// count through the modeled queue depth — that is cost-model behaviour,
+/// not an execution race — so cross-thread-count runs compare page_reads
+/// and cache_hits, while same-thread-count runs with the worker pool capped
+/// to 1 must match every IoStats field bit for bit.)
+
+constexpr size_t kMainRows = 4000;
+constexpr size_t kDeltaRows = 120;
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"id", DataType::kInt32, 0});
+  schema.push_back({"grp", DataType::kInt32, 0});
+  schema.push_back({"amount", DataType::kDouble, 0});
+  schema.push_back({"qty", DataType::kInt64, 0});
+  return schema;
+}
+
+/// One self-contained engine instance, reproducibly seeded.
+struct Instance {
+  TransactionManager txns;
+  SecondaryStore store;
+  BufferManager buffers;
+  Table table;
+
+  Instance()
+      : store(DeviceKind::kCssd, /*timing_seed=*/7),
+        buffers(&store, /*frame_count=*/32),
+        table("t", TestSchema(), &txns, &store, &buffers) {
+    Rng rng(1234);
+    std::vector<Row> rows;
+    rows.reserve(kMainRows);
+    for (size_t r = 0; r < kMainRows; ++r) {
+      rows.push_back(Row{Value(int32_t(r)),
+                         Value(int32_t(rng.NextInt(0, 50))),
+                         Value(rng.NextDouble(0.0, 1000.0)),
+                         Value(int64_t(rng.NextInt(1, 10000)))});
+    }
+    table.BulkLoad(rows);
+    // Tier half of the columns: grp stays in DRAM, amount + qty go to the
+    // SSCG so scans, probes, and materialization cross both locations.
+    EXPECT_TRUE(table.SetPlacement({true, true, false, false}).ok());
+    // A delta partition on top.
+    Transaction txn = txns.Begin();
+    for (size_t d = 0; d < kDeltaRows; ++d) {
+      EXPECT_TRUE(table
+                      .Insert(txn, Row{Value(int32_t(kMainRows + d)),
+                                       Value(int32_t(rng.NextInt(0, 50))),
+                                       Value(rng.NextDouble(0.0, 1000.0)),
+                                       Value(int64_t(rng.NextInt(1, 10000)))})
+                      .ok());
+    }
+    txns.Commit(&txn);
+  }
+};
+
+std::vector<Query> RandomQueries(size_t count) {
+  Rng rng(99);
+  std::vector<Query> queries;
+  for (size_t q = 0; q < count; ++q) {
+    Query query;
+    // 1-2 predicates over the DRAM and/or tiered columns.
+    const int preds = 1 + int(rng.NextBounded(2));
+    for (int p = 0; p < preds; ++p) {
+      const ColumnId col = ColumnId(1 + rng.NextBounded(3));
+      if (col == 1) {
+        query.predicates.push_back(
+            Predicate::Equals(1, Value(int32_t(rng.NextInt(0, 50)))));
+      } else if (col == 2) {
+        const double lo = rng.NextDouble(0.0, 900.0);
+        query.predicates.push_back(
+            Predicate::Between(2, Value(lo), Value(lo + 150.0)));
+      } else {
+        const int64_t lo = rng.NextInt(0, 8000);
+        query.predicates.push_back(
+            Predicate::Between(3, Value(lo), Value(lo + 2500)));
+      }
+    }
+    // Mixed projections + aggregates so Materialize runs both paths.
+    query.projections = {0, 2};
+    query.aggregates = {Aggregate::Count(), Aggregate::Sum(2),
+                        Aggregate::Min(3), Aggregate::Max(2)};
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::vector<QueryResult> RunAll(Instance& instance,
+                                const std::vector<Query>& queries,
+                                uint32_t threads) {
+  QueryExecutor executor(&instance.table);
+  Transaction txn = instance.txns.Begin();
+  std::vector<QueryResult> results;
+  for (const Query& query : queries) {
+    results.push_back(executor.Execute(txn, query, threads));
+  }
+  instance.txns.Abort(&txn);
+  return results;
+}
+
+void ExpectSameResults(const QueryResult& a, const QueryResult& b,
+                       size_t q, bool expect_identical_ns) {
+  EXPECT_EQ(a.positions, b.positions) << "query " << q;
+  EXPECT_EQ(a.rows, b.rows) << "query " << q;
+  ASSERT_EQ(a.aggregate_values.size(), b.aggregate_values.size());
+  for (size_t i = 0; i < a.aggregate_values.size(); ++i) {
+    EXPECT_TRUE(a.aggregate_values[i] == b.aggregate_values[i])
+        << "query " << q << " aggregate " << i;
+  }
+  EXPECT_EQ(a.candidate_trace, b.candidate_trace) << "query " << q;
+  EXPECT_EQ(a.io.page_reads, b.io.page_reads) << "query " << q;
+  EXPECT_EQ(a.io.cache_hits, b.io.cache_hits) << "query " << q;
+  if (expect_identical_ns) {
+    EXPECT_EQ(a.io.device_ns, b.io.device_ns) << "query " << q;
+    EXPECT_EQ(a.io.dram_ns, b.io.dram_ns) << "query " << q;
+  }
+}
+
+TEST(ParallelEquivalenceTest, ResultsIdenticalAcrossThreadCounts) {
+  const std::vector<Query> queries = RandomQueries(12);
+  // Each thread count gets a freshly-built, identically-seeded instance so
+  // buffer-cache state and device-jitter draws start from the same point.
+  Instance baseline;
+  const std::vector<QueryResult> serial = RunAll(baseline, queries, 1);
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    Instance instance;
+    const std::vector<QueryResult> parallel =
+        RunAll(instance, queries, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t q = 0; q < serial.size(); ++q) {
+      // ns figures legitimately differ across thread counts (queue-depth
+      // dependent cost model); everything else must match bit for bit.
+      ExpectSameResults(serial[q], parallel[q], q,
+                        /*expect_identical_ns=*/false);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, SimulatedIoBitIdenticalToForcedSerial) {
+  const std::vector<Query> queries = RandomQueries(12);
+  const uint32_t threads = 4;
+
+  Instance forced_serial_instance;
+  ThreadPool::Global().set_max_workers(1);  // same code path, zero overlap
+  const std::vector<QueryResult> forced_serial =
+      RunAll(forced_serial_instance, queries, threads);
+  ThreadPool::Global().set_max_workers(SIZE_MAX);
+
+  Instance parallel_instance;
+  const std::vector<QueryResult> parallel =
+      RunAll(parallel_instance, queries, threads);
+
+  ASSERT_EQ(parallel.size(), forced_serial.size());
+  for (size_t q = 0; q < forced_serial.size(); ++q) {
+    ExpectSameResults(forced_serial[q], parallel[q], q,
+                      /*expect_identical_ns=*/true);
+  }
+}
+
+TEST(ParallelEquivalenceTest, ParallelScanColumnMatchesScanBetween) {
+  Instance instance;
+  const AbstractColumn* mrc = instance.table.mrc(1);
+  ASSERT_NE(mrc, nullptr);
+  const Value lo(int32_t{10}), hi(int32_t{30});
+  PositionList serial;
+  mrc->ScanBetween(&lo, &hi, &serial);
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    PositionList parallel;
+    ParallelScanColumn(*mrc, &lo, &hi, threads, &parallel);
+    EXPECT_EQ(parallel, serial) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace hytap

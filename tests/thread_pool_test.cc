@@ -1,0 +1,127 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hytap {
+namespace {
+
+TEST(ThreadPoolTest, MorselCount) {
+  EXPECT_EQ(ThreadPool::MorselCount(0, 0, 16), 0u);
+  EXPECT_EQ(ThreadPool::MorselCount(5, 5, 16), 0u);
+  EXPECT_EQ(ThreadPool::MorselCount(7, 5, 16), 0u);  // empty range
+  EXPECT_EQ(ThreadPool::MorselCount(0, 1, 16), 1u);
+  EXPECT_EQ(ThreadPool::MorselCount(0, 16, 16), 1u);
+  EXPECT_EQ(ThreadPool::MorselCount(0, 17, 16), 2u);
+  EXPECT_EQ(ThreadPool::MorselCount(10, 100, 30), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroLengthRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  ThreadPool::Global().ParallelFor(
+      42, 42, 8, 4, [&](size_t, size_t, size_t) { ++calls; });
+  ThreadPool::Global().ParallelFor(
+      42, 10, 8, 4, [&](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, MorselsPartitionTheRangeExactly) {
+  const size_t begin = 13, end = 1013, grain = 64;
+  const size_t morsels = ThreadPool::MorselCount(begin, end, grain);
+  std::vector<std::pair<size_t, size_t>> ranges(morsels);
+  ThreadPool::Global().ParallelFor(
+      begin, end, grain, 8,
+      [&](size_t m, size_t b, size_t e) { ranges[m] = {b, e}; });
+  size_t expected_begin = begin;
+  for (size_t m = 0; m < morsels; ++m) {
+    EXPECT_EQ(ranges[m].first, expected_begin) << m;
+    EXPECT_GT(ranges[m].second, ranges[m].first) << m;
+    EXPECT_LE(ranges[m].second - ranges[m].first, grain) << m;
+    expected_begin = ranges[m].second;
+  }
+  EXPECT_EQ(expected_begin, end);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  const size_t n = 100000;
+  std::vector<uint64_t> data(n);
+  std::iota(data.begin(), data.end(), 1);
+  const size_t morsels = ThreadPool::MorselCount(0, n, 1024);
+  std::vector<uint64_t> partial(morsels, 0);
+  ThreadPool::Global().ParallelFor(0, n, 1024, 8,
+                                   [&](size_t m, size_t b, size_t e) {
+                                     for (size_t i = b; i < e; ++i) {
+                                       partial[m] += data[i];
+                                     }
+                                   });
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  EXPECT_EQ(total, n * (n + 1) / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  EXPECT_THROW(
+      ThreadPool::Global().ParallelFor(0, 1000, 10, 8,
+                                       [&](size_t m, size_t, size_t) {
+                                         if (m == 7) {
+                                           throw std::runtime_error("boom");
+                                         }
+                                       }),
+      std::runtime_error);
+  // The pool is still usable after a failed ParallelFor.
+  std::atomic<size_t> count{0};
+  ThreadPool::Global().ParallelFor(
+      0, 1000, 10, 8, [&](size_t, size_t b, size_t e) { count += e - b; });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  const size_t outer = 64, inner = 256;
+  std::vector<uint64_t> sums(outer, 0);
+  ThreadPool::Global().ParallelFor(
+      0, outer, 1, 8, [&](size_t, size_t ob, size_t oe) {
+        for (size_t o = ob; o < oe; ++o) {
+          // Nested call: must neither deadlock nor misplace morsels.
+          const size_t im = ThreadPool::MorselCount(0, inner, 32);
+          std::vector<uint64_t> partial(im, 0);
+          ThreadPool::Global().ParallelFor(0, inner, 32, 4,
+                                           [&](size_t m, size_t b, size_t e) {
+                                             for (size_t i = b; i < e; ++i) {
+                                               partial[m] += i;
+                                             }
+                                           });
+          for (uint64_t p : partial) sums[o] += p;
+        }
+      });
+  for (size_t o = 0; o < outer; ++o) {
+    EXPECT_EQ(sums[o], inner * (inner - 1) / 2) << o;
+  }
+}
+
+TEST(ThreadPoolTest, MaxWorkersCapForcesInline) {
+  ThreadPool& pool = ThreadPool::Global();
+  pool.set_max_workers(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(0, 100, 10, 8, [&](size_t m, size_t, size_t) {
+    order.push_back(m);  // unsynchronized: safe only because serial
+  });
+  pool.set_max_workers(SIZE_MAX);
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t m = 0; m < order.size(); ++m) EXPECT_EQ(order[m], m);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentCallsDrainFully) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> count{0};
+    ThreadPool::Global().ParallelFor(
+        0, 4096, 64, 8, [&](size_t, size_t b, size_t e) { count += e - b; });
+    ASSERT_EQ(count.load(), 4096u) << round;
+  }
+}
+
+}  // namespace
+}  // namespace hytap
