@@ -1,0 +1,160 @@
+// Overhead of the reliability layer on the fault-free fast path: CRC32C
+// page-checksum verification on vs off, with fault injection disabled (the
+// production configuration). Verification is lazy — once per write, on the
+// first read-back — so the steady-state cost should be near zero; the
+// acceptance target is <= 3 % end-to-end query overhead. The raw ReadPage
+// microbenchmark is reported for context. Results go to
+// BENCH_fault_overhead.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "query/executor.h"
+#include "storage/table.h"
+#include "tiering/buffer_manager.h"
+#include "tiering/secondary_store.h"
+#include "workload/tpcc.h"
+
+using namespace hytap;
+
+namespace {
+
+struct Sample {
+  const char* workload;
+  double on_seconds;   // verify_checksums = true
+  double off_seconds;  // verify_checksums = false
+  double overhead_pct;
+};
+
+std::vector<Sample> g_samples;
+
+/// Interleaves checksum-on and checksum-off reps (cancelling machine drift)
+/// after one untimed warmup of each, and returns the best run per
+/// configuration. The warmup also absorbs the one-time first-read-back
+/// verification, so both sides measure steady state.
+template <typename SetVerify, typename Fn>
+std::pair<double, double> MeasurePair(int reps, SetVerify&& set_verify,
+                                      Fn&& fn) {
+  set_verify(true);
+  fn();
+  set_verify(false);
+  fn();
+  double best_on = 1e100, best_off = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    set_verify(true);
+    bench::Stopwatch on_watch;
+    fn();
+    best_on = std::min(best_on, on_watch.Seconds());
+    set_verify(false);
+    bench::Stopwatch off_watch;
+    fn();
+    best_off = std::min(best_off, off_watch.Seconds());
+  }
+  return {best_on, best_off};
+}
+
+void Record(const char* workload, double on_seconds, double off_seconds) {
+  const double pct = 100.0 * (on_seconds - off_seconds) / off_seconds;
+  g_samples.push_back(Sample{workload, on_seconds, off_seconds, pct});
+  std::printf("  %-14s checksums on: %9.2f ms   off: %9.2f ms   "
+              "overhead: %+5.2f %%\n",
+              workload, on_seconds * 1e3, off_seconds * 1e3, pct);
+}
+
+void WriteJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < g_samples.size(); ++i) {
+    const Sample& s = g_samples[i];
+    std::fprintf(f,
+                 "  {\"workload\": \"%s\", \"checksum_on_seconds\": %.6f, "
+                 "\"checksum_off_seconds\": %.6f, \"overhead_pct\": %.3f}%s\n",
+                 s.workload, s.on_seconds, s.off_seconds, s.overhead_pct,
+                 i + 1 < g_samples.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool small = argc > 1 && std::string(argv[1]) == "--small";
+
+  // --- Raw ReadPage loop: worst case, nothing amortizes the CRC. ---
+  bench::PrintHeader("raw ReadPage (4 KB pages, fault injection disabled)");
+  {
+    SecondaryStore store(DeviceKind::kXpoint, 42, FaultConfig{});
+    const size_t pages = 256;
+    SecondaryStore::Page data;
+    Rng rng(1);
+    for (size_t p = 0; p < pages; ++p) {
+      for (size_t i = 0; i < data.size(); ++i) {
+        data[i] = uint8_t(rng.NextBounded(256));
+      }
+      store.WritePage(store.AllocatePage(), data);
+    }
+    const size_t sweeps = small ? 50 : 400;
+    auto read_all = [&] {
+      SecondaryStore::Page dest;
+      for (size_t s = 0; s < sweeps; ++s) {
+        for (PageId p = 0; p < pages; ++p) {
+          if (!store.ReadPage(p, &dest, AccessPattern::kSequential).ok()) {
+            std::abort();
+          }
+        }
+      }
+    };
+    const auto [on, off] = MeasurePair(
+        5, [&](bool v) { store.set_verify_checksums(v); }, read_all);
+    Record("raw_read", on, off);
+  }
+
+  // --- End-to-end tiered query: the <= 3 % acceptance target. ---
+  bench::PrintHeader("tiered query end-to-end (ORDERLINE, payload in SSCG)");
+  {
+    OrderlineParams params;
+    params.warehouses = small ? 10 : 40;
+    TransactionManager txns;
+    SecondaryStore store(DeviceKind::kCssd, 42, FaultConfig{});
+    BufferManager buffers(&store, 4096);
+    Table table("orderline", OrderlineSchema(), &txns, &store, &buffers);
+    table.BulkLoad(GenerateOrderlineRows(params));
+    std::vector<bool> placement(OrderlineSchema().size(), false);
+    for (ColumnId c : OrderlinePrimaryKey()) placement[c] = true;
+    if (!table.SetPlacement(placement).ok()) return 1;
+    std::printf("%zu rows\n", table.main_row_count());
+
+    QueryExecutor executor(&table);
+    Transaction txn = txns.Begin();
+    const Query query = ChQuery19(/*warehouse=*/1, /*item_lo=*/0,
+                                  /*item_hi=*/int32_t(params.items),
+                                  /*quantity_lo=*/1, /*quantity_hi=*/6);
+    auto run = [&] {
+      buffers.Clear();  // every SSCG page read re-verifies its checksum
+      QueryResult result = executor.Execute(txn, query, 1);
+      if (!result.status.ok() || result.positions.empty()) std::abort();
+    };
+    const auto [on, off] = MeasurePair(
+        7, [&](bool v) { store.set_verify_checksums(v); }, run);
+    txns.Abort(&txn);
+    Record("query_e2e", on, off);
+
+    const double pct = g_samples.back().overhead_pct;
+    std::printf("\ntarget: <= 3 %% end-to-end -> %s (%+.2f %%)\n",
+                pct <= 3.0 ? "PASS" : "MISS", pct);
+  }
+
+  WriteJson("BENCH_fault_overhead.json");
+  return 0;
+}

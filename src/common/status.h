@@ -18,6 +18,8 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,  // transient/permanent IO failure; the data itself is intact
+  kDataLoss,     // checksum mismatch: stored bytes are corrupt
 };
 
 /// Lightweight status object for recoverable errors (no exceptions).
@@ -45,6 +47,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

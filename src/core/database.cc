@@ -87,8 +87,10 @@ bool Database::MaybeMerge(const std::string& table) {
       double(delta_rows) < options_.merge_threshold * double(main_rows)) {
     return false;
   }
-  entry.table->MergeDelta();
-  return true;
+  const Status merged = entry.table->MergeDelta();
+  // kDataLoss from the pre-merge checksum verify refuses the merge and
+  // leaves the delta in place; report that as "not merged".
+  return merged.ok() || entry.table->delta_row_count() == 0;
 }
 
 PlanCache& Database::plan_cache(const std::string& table) {

@@ -34,7 +34,10 @@ class Migrator {
                            const std::vector<bool>& in_dram) const;
 
   /// Applies the placement if the estimated duration fits the window;
-  /// otherwise returns the estimate with applied = false.
+  /// otherwise returns the estimate with applied = false. Evictions are
+  /// verified by read-back checksum inside the table: a corrupted write
+  /// aborts the migration with kDataLoss and the table is left fully
+  /// DRAM-resident and consistent (see Table::SetPlacement).
   StatusOr<MigrationReport> Apply(TieredTable* table,
                                   const std::vector<bool>& in_dram) const;
 

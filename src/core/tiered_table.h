@@ -59,7 +59,7 @@ class TieredTable {
     return executor_->Execute(txn, query, threads);
   }
 
-  void MergeDelta() { table_->MergeDelta(); }
+  Status MergeDelta() { return table_->MergeDelta(); }
 
   /// Applies a placement (true = DRAM) and resizes the page cache to
   /// `cache_share` of the evicted footprint. Returns migrated bytes.

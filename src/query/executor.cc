@@ -100,11 +100,12 @@ const MainIndex* QueryExecutor::PickIndex(const Query& query,
   return best;
 }
 
-void QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
-                                const std::vector<size_t>& order,
-                                uint32_t threads, QueryResult* result) const {
+Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
+                                  const std::vector<size_t>& order,
+                                  uint32_t threads,
+                                  QueryResult* result) const {
   const size_t main_rows = table_->main_row_count();
-  if (main_rows == 0) return;
+  if (main_rows == 0) return Status::Ok();
   PositionList positions;
   bool first = true;
   // Index access path.
@@ -138,8 +139,9 @@ void QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
     }
     const Predicate& pred = query.predicates[idx];
     if (first) {
-      ScanMainColumn(*table_, pred.column, pred, threads, &positions,
-                     &result->io);
+      Status status = ScanMainColumn(*table_, pred.column, pred, threads,
+                                     &positions, &result->io);
+      if (!status.ok()) return status;
       first = false;
     } else if (positions.empty()) {
       result->candidate_trace.push_back(0);
@@ -153,14 +155,16 @@ void QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
         // Too many candidates for random page probes: sequentially scan the
         // tiered group and intersect (paper §II-B scan-vs-probe switch).
         PositionList scanned;
-        ScanMainColumn(*table_, pred.column, pred, threads, &scanned,
-                       &result->io);
+        Status status = ScanMainColumn(*table_, pred.column, pred, threads,
+                                       &scanned, &result->io);
+        if (!status.ok()) return status;
         std::set_intersection(positions.begin(), positions.end(),
                               scanned.begin(), scanned.end(),
                               std::back_inserter(next));
       } else {
-        ProbeMainColumn(*table_, pred.column, pred, positions, threads,
-                        &next, &result->io);
+        Status status = ProbeMainColumn(*table_, pred.column, pred, positions,
+                                        threads, &next, &result->io);
+        if (!status.ok()) return status;
       }
       positions = std::move(next);
     }
@@ -174,6 +178,7 @@ void QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
   for (RowId row : positions) {
     if (table_->IsVisible(row, txn)) result->positions.push_back(row);
   }
+  return Status::Ok();
 }
 
 void QueryExecutor::ExecuteDelta(const Transaction& txn, const Query& query,
@@ -228,9 +233,11 @@ double NumericAsDouble(const Value& v) {
 
 }  // namespace
 
-void QueryExecutor::Materialize(const Query& query, uint32_t threads,
-                                QueryResult* result) const {
-  if (query.projections.empty() && query.aggregates.empty()) return;
+Status QueryExecutor::Materialize(const Query& query, uint32_t threads,
+                                  QueryResult* result) const {
+  if (query.projections.empty() && query.aggregates.empty()) {
+    return Status::Ok();
+  }
   const size_t main_rows = table_->main_row_count();
   // Fetch set: projections first, then any extra aggregate inputs, so
   // SSCG attributes of one row still share a single page access
@@ -259,14 +266,18 @@ void QueryExecutor::Materialize(const Query& query, uint32_t threads,
 
   // Device/cache accounting pass, single-threaded and in position order:
   // fetches each qualifying tuple's group page through the buffer manager
-  // exactly as the serial reconstruction did, so hit/miss sequences and the
-  // device model's jitter draws are identical for any worker count.
+  // exactly as the serial reconstruction did, so hit/miss sequences, the
+  // device model's jitter draws, and the fault-injection schedule are
+  // identical for any worker count. A page failure aborts here, before any
+  // worker materializes a value — the first failing position wins
+  // deterministically.
   if (any_sscg) {
     HYTAP_ASSERT(sscg != nullptr, "SSCG projection without SSCG");
     for (RowId row : positions) {
       if (row < main_rows) {
-        sscg->AccountTupleFetch(row, table_->buffers(), threads,
-                                &result->io);
+        Status status = sscg->AccountTupleFetch(row, table_->buffers(),
+                                                threads, &result->io);
+        if (!status.ok()) return status;
       }
     }
   }
@@ -280,6 +291,7 @@ void QueryExecutor::Materialize(const Query& query, uint32_t threads,
   const size_t morsels =
       ThreadPool::MorselCount(0, positions.size(), kMaterializeMorselRows);
   std::vector<IoStats> worker_io(morsels);
+  std::vector<Status> worker_status(morsels);
   ThreadPool::Global().ParallelFor(
       0, positions.size(), kMaterializeMorselRows, threads,
       [&](size_t m, size_t index_begin, size_t index_end) {
@@ -300,12 +312,24 @@ void QueryExecutor::Materialize(const Query& query, uint32_t threads,
                 table_->location(c) == ColumnLocation::kSecondary) {
               continue;  // already materialized from the group page
             }
-            fetched[p] = table_->GetValue(c, row, threads, &local_io);
+            auto value = table_->GetValue(c, row, threads, &local_io);
+            // DRAM/delta reads cannot fail today (SSCG pages were fetched
+            // and verified in the accounting pass), but keep the morsel's
+            // first error rather than asserting: the reduction below picks
+            // the winner in morsel order, independent of worker count.
+            if (!value.ok()) {
+              worker_status[m] = value.status();
+              return;
+            }
+            fetched[p] = std::move(*value);
           }
           fetched_all[i] = std::move(fetched);
         }
       });
   for (const IoStats& local_io : worker_io) result->io += local_io;
+  for (const Status& status : worker_status) {
+    if (!status.ok()) return status;
+  }
 
   // Aggregation and row assembly, single-threaded in position order: keeps
   // floating-point accumulation order (and min/max tie-breaks) identical to
@@ -357,6 +381,7 @@ void QueryExecutor::Materialize(const Query& query, uint32_t threads,
         break;
     }
   }
+  return Status::Ok();
 }
 
 QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
@@ -364,9 +389,19 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
   HYTAP_ASSERT(threads >= 1, "thread count must be >= 1");
   QueryResult result;
   const std::vector<size_t> order = PredicateOrder(query);
-  ExecuteMain(txn, query, order, threads, &result);
-  ExecuteDelta(txn, query, order, &result);
-  Materialize(query, threads, &result);
+  result.status = ExecuteMain(txn, query, order, threads, &result);
+  if (result.status.ok()) {
+    ExecuteDelta(txn, query, order, &result);
+    result.status = Materialize(query, threads, &result);
+  }
+  if (!result.status.ok()) {
+    // Degrade cleanly: no partial positions, rows or aggregates ever leave
+    // the executor. The accrued `io` and `status` are the whole result.
+    result.positions.clear();
+    result.rows.clear();
+    result.aggregate_values.clear();
+    result.candidate_trace.clear();
+  }
   return result;
 }
 

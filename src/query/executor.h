@@ -11,6 +11,10 @@ namespace hytap {
 
 /// Result of a query execution.
 struct QueryResult {
+  /// OK, or the first page-read failure hit by the execution (kUnavailable /
+  /// kDataLoss). On error every data member below except `io` is empty: the
+  /// query degrades to a clean failure with no partial results.
+  Status status;
   /// Qualifying global row ids (main rows then delta rows, ascending within
   /// each partition).
   PositionList positions;
@@ -39,7 +43,11 @@ class QueryExecutor {
   explicit QueryExecutor(const Table* table, double probe_threshold = 1e-4);
 
   /// Executes a conjunctive query under `txn`'s snapshot with `threads`
-  /// simulated workers.
+  /// simulated workers. Page-read failures surface via QueryResult::status
+  /// with all result data cleared (`io` keeps the cost accrued up to the
+  /// failure). The reported error is deterministic: page fetches happen in
+  /// the serialized accounting passes, so the same query over the same store
+  /// state reports the same failure at every thread count.
   QueryResult Execute(const Transaction& txn, const Query& query,
                       uint32_t threads = 1) const;
 
@@ -57,14 +65,14 @@ class QueryExecutor {
   const MainIndex* PickIndex(const Query& query,
                              std::vector<size_t>* used) const;
 
-  void ExecuteMain(const Transaction& txn, const Query& query,
-                   const std::vector<size_t>& order, uint32_t threads,
-                   QueryResult* result) const;
+  Status ExecuteMain(const Transaction& txn, const Query& query,
+                     const std::vector<size_t>& order, uint32_t threads,
+                     QueryResult* result) const;
   void ExecuteDelta(const Transaction& txn, const Query& query,
                     const std::vector<size_t>& order,
                     QueryResult* result) const;
-  void Materialize(const Query& query, uint32_t threads,
-                   QueryResult* result) const;
+  Status Materialize(const Query& query, uint32_t threads,
+                     QueryResult* result) const;
 
   const Table* table_;
   double probe_threshold_;

@@ -12,13 +12,15 @@ namespace {
 
 /// Gathers the join-key values for the qualifying rows, batching SSCG page
 /// accesses per row like the executor's materialization path.
-std::vector<Value> GatherKeys(const Table& table, ColumnId column,
-                              const PositionList& rows, uint32_t threads,
-                              IoStats* io) {
+StatusOr<std::vector<Value>> GatherKeys(const Table& table, ColumnId column,
+                                        const PositionList& rows,
+                                        uint32_t threads, IoStats* io) {
   std::vector<Value> keys;
   keys.reserve(rows.size());
   for (RowId row : rows) {
-    keys.push_back(table.GetValue(column, row, threads, io));
+    auto value = table.GetValue(column, row, threads, io);
+    if (!value.ok()) return value.status();
+    keys.push_back(std::move(*value));
   }
   return keys;
 }
@@ -41,6 +43,16 @@ JoinResult HashJoin::Execute(const Transaction& txn, const Query& left_query,
   QueryResult right_rows = right_exec.Execute(txn, right_query, threads);
   result.io += left_rows.io;
   result.io += right_rows.io;
+  // Left input first, then right: a fixed propagation order keeps the
+  // reported error deterministic when both sides fail.
+  if (!left_rows.status.ok()) {
+    result.status = left_rows.status;
+    return result;
+  }
+  if (!right_rows.status.ok()) {
+    result.status = right_rows.status;
+    return result;
+  }
 
   // Build on the smaller qualifying side.
   const bool build_left =
@@ -56,25 +68,33 @@ JoinResult HashJoin::Execute(const Transaction& txn, const Query& left_query,
   const ColumnId probe_key =
       build_left ? spec.right_column : spec.left_column;
 
-  const std::vector<Value> build_keys =
+  auto build_keys =
       GatherKeys(build_table, build_key, build_positions, threads,
                  &result.io);
+  if (!build_keys.ok()) {
+    result.status = build_keys.status();
+    return result;
+  }
   // Hash table: order-preserving key encoding -> build row ids. Hash-table
   // maintenance costs one DRAM touch per entry.
   std::unordered_map<std::string, PositionList> hash_table;
-  hash_table.reserve(build_keys.size());
-  for (size_t i = 0; i < build_keys.size(); ++i) {
-    hash_table[EncodeOrderPreserving(build_keys[i])].push_back(
+  hash_table.reserve(build_keys->size());
+  for (size_t i = 0; i < build_keys->size(); ++i) {
+    hash_table[EncodeOrderPreserving((*build_keys)[i])].push_back(
         build_positions[i]);
   }
-  result.io.dram_ns += build_keys.size() * kDramTouchNs;
+  result.io.dram_ns += build_keys->size() * kDramTouchNs;
 
-  const std::vector<Value> probe_keys =
+  auto probe_keys =
       GatherKeys(probe_table, probe_key, probe_positions, threads,
                  &result.io);
-  result.io.dram_ns += probe_keys.size() * kDramTouchNs;
-  for (size_t i = 0; i < probe_keys.size(); ++i) {
-    auto it = hash_table.find(EncodeOrderPreserving(probe_keys[i]));
+  if (!probe_keys.ok()) {
+    result.status = probe_keys.status();
+    return result;
+  }
+  result.io.dram_ns += probe_keys->size() * kDramTouchNs;
+  for (size_t i = 0; i < probe_keys->size(); ++i) {
+    auto it = hash_table.find(EncodeOrderPreserving((*probe_keys)[i]));
     if (it == hash_table.end()) continue;
     for (RowId build_row : it->second) {
       const RowId left_row = build_left ? build_row : probe_positions[i];
@@ -92,10 +112,24 @@ JoinResult HashJoin::Execute(const Transaction& txn, const Query& left_query,
       out.reserve(spec.left_projections.size() +
                   spec.right_projections.size());
       for (ColumnId c : spec.left_projections) {
-        out.push_back(left_->GetValue(c, left_row, threads, &result.io));
+        auto value = left_->GetValue(c, left_row, threads, &result.io);
+        if (!value.ok()) {
+          result.status = value.status();
+          result.matches.clear();
+          result.rows.clear();
+          return result;
+        }
+        out.push_back(std::move(*value));
       }
       for (ColumnId c : spec.right_projections) {
-        out.push_back(right_->GetValue(c, right_row, threads, &result.io));
+        auto value = right_->GetValue(c, right_row, threads, &result.io);
+        if (!value.ok()) {
+          result.status = value.status();
+          result.matches.clear();
+          result.rows.clear();
+          return result;
+        }
+        out.push_back(std::move(*value));
       }
       result.rows.push_back(std::move(out));
     }

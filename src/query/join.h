@@ -24,6 +24,10 @@ struct JoinSpec {
 };
 
 struct JoinResult {
+  /// OK, or the first page-read failure from either input or the gather
+  /// phases (kUnavailable / kDataLoss). On error `rows` and `matches` are
+  /// empty; `io` keeps the cost accrued up to the failure.
+  Status status;
   /// One row per join match: left projections then right projections.
   std::vector<Row> rows;
   /// Matching (left, right) global row-id pairs.
@@ -38,6 +42,7 @@ class HashJoin {
  public:
   HashJoin(const Table* left, const Table* right);
 
+  /// Page failures surface via JoinResult::status with no partial output.
   JoinResult Execute(const Transaction& txn, const Query& left_query,
                      const Query& right_query, const JoinSpec& spec,
                      uint32_t threads = 1) const;

@@ -37,42 +37,43 @@ void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
   }
 }
 
-void ScanMainColumn(const Table& table, ColumnId column,
-                    const Predicate& pred, uint32_t threads,
-                    PositionList* out, IoStats* io) {
-  if (table.main_row_count() == 0) return;
+Status ScanMainColumn(const Table& table, ColumnId column,
+                      const Predicate& pred, uint32_t threads,
+                      PositionList* out, IoStats* io) {
+  if (table.main_row_count() == 0) return Status::Ok();
   if (table.location(column) == ColumnLocation::kDram) {
     const AbstractColumn* mrc = table.mrc(column);
     HYTAP_ASSERT(mrc != nullptr, "DRAM column without MRC");
     ParallelScanColumn(*mrc, pred.LoPtr(), pred.HiPtr(), threads, out);
     if (io != nullptr) io->dram_ns += MrcScanCostNs(mrc);
-    return;
+    return Status::Ok();
   }
   const Sscg* sscg = table.sscg();
   HYTAP_ASSERT(sscg != nullptr, "SSCG column without SSCG");
   const int slot = sscg->layout().SlotOf(column);
   HYTAP_ASSERT(slot >= 0, "column not in SSCG");
-  sscg->ScanSlot(static_cast<size_t>(slot), pred.LoPtr(), pred.HiPtr(),
-                 table.buffers(), threads, out, io);
+  return sscg->ScanSlot(static_cast<size_t>(slot), pred.LoPtr(), pred.HiPtr(),
+                        table.buffers(), threads, out, io);
 }
 
-void ProbeMainColumn(const Table& table, ColumnId column,
-                     const Predicate& pred, const PositionList& in,
-                     uint32_t queue_depth, PositionList* out, IoStats* io) {
-  if (in.empty()) return;
+Status ProbeMainColumn(const Table& table, ColumnId column,
+                       const Predicate& pred, const PositionList& in,
+                       uint32_t queue_depth, PositionList* out, IoStats* io) {
+  if (in.empty()) return Status::Ok();
   if (table.location(column) == ColumnLocation::kDram) {
     const AbstractColumn* mrc = table.mrc(column);
     HYTAP_ASSERT(mrc != nullptr, "DRAM column without MRC");
     mrc->Probe(pred.LoPtr(), pred.HiPtr(), in, out);
     if (io != nullptr) io->dram_ns += 2 * kDramTouchNs * in.size();
-    return;
+    return Status::Ok();
   }
   const Sscg* sscg = table.sscg();
   HYTAP_ASSERT(sscg != nullptr, "SSCG column without SSCG");
   const int slot = sscg->layout().SlotOf(column);
   HYTAP_ASSERT(slot >= 0, "column not in SSCG");
-  sscg->ProbeSlot(static_cast<size_t>(slot), pred.LoPtr(), pred.HiPtr(), in,
-                  table.buffers(), queue_depth, out, io);
+  return sscg->ProbeSlot(static_cast<size_t>(slot), pred.LoPtr(),
+                         pred.HiPtr(), in, table.buffers(), queue_depth, out,
+                         io);
 }
 
 void ScanDeltaColumn(const Table& table, ColumnId column,

@@ -13,9 +13,11 @@ namespace hytap {
 /// Full scan of a main-partition column (MRC vectorized scan or SSCG
 /// sequential page scan, depending on placement). `threads` real workers
 /// split the scan into morsels; the same value feeds the simulated cost
-/// model as the device queue depth.
-void ScanMainColumn(const Table& table, ColumnId column, const Predicate& pred,
-                    uint32_t threads, PositionList* out, IoStats* io);
+/// model as the device queue depth. An SSCG page error (kUnavailable /
+/// kDataLoss) is returned with `out` untouched; DRAM scans cannot fail.
+Status ScanMainColumn(const Table& table, ColumnId column,
+                      const Predicate& pred, uint32_t threads,
+                      PositionList* out, IoStats* io);
 
 /// Morsel-parallel driver of the MRC vectorized scan: splits
 /// [0, column.size()) into kScanMorselRows morsels executed by up to
@@ -26,9 +28,10 @@ void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
                         const Value* hi, uint32_t threads, PositionList* out);
 
 /// Probes main-partition candidate positions (ascending) against a column.
-void ProbeMainColumn(const Table& table, ColumnId column,
-                     const Predicate& pred, const PositionList& in,
-                     uint32_t queue_depth, PositionList* out, IoStats* io);
+/// An SSCG page error is returned with `out` untouched.
+Status ProbeMainColumn(const Table& table, ColumnId column,
+                       const Predicate& pred, const PositionList& in,
+                       uint32_t queue_depth, PositionList* out, IoStats* io);
 
 /// Full scan of a delta-partition column (always DRAM).
 void ScanDeltaColumn(const Table& table, ColumnId column,

@@ -31,11 +31,13 @@ TupleReconstructor::TupleReconstructor(const Table* table) : table_(table) {
   HYTAP_ASSERT(table != nullptr, "TupleReconstructor requires a table");
 }
 
-uint64_t TupleReconstructor::ReconstructOne(RowId row, uint32_t queue_depth,
-                                            Row* out) const {
+StatusOr<uint64_t> TupleReconstructor::ReconstructOne(RowId row,
+                                                      uint32_t queue_depth,
+                                                      Row* out) const {
   IoStats io;
-  Row tuple = table_->ReconstructRow(row, queue_depth, &io);
-  if (out != nullptr) *out = std::move(tuple);
+  auto tuple = table_->ReconstructRow(row, queue_depth, &io);
+  if (!tuple.ok()) return tuple.status();
+  if (out != nullptr) *out = std::move(*tuple);
   return io.TotalNs();
 }
 
@@ -48,6 +50,14 @@ LatencyStats TupleReconstructor::RunBatch(size_t count,
   Rng rng(seed);
   std::vector<uint64_t> samples;
   samples.reserve(count);
+  size_t failed = 0;
+  auto record = [&](const StatusOr<uint64_t>& sample) {
+    if (sample.ok()) {
+      samples.push_back(*sample);
+    } else {
+      ++failed;  // degraded row: the batch keeps going
+    }
+  };
   if (distribution == AccessDistribution::kZipfian) {
     ZipfGenerator zipf(rows, zipf_alpha);
     // The zipf rank maps through a pseudo-random permutation so popular rows
@@ -56,15 +66,17 @@ LatencyStats TupleReconstructor::RunBatch(size_t count,
     for (size_t i = 0; i < count; ++i) {
       const uint64_t rank = zipf.Next(rng);
       const RowId row = (rank * mix) % rows;
-      samples.push_back(ReconstructOne(row, queue_depth, nullptr));
+      record(ReconstructOne(row, queue_depth, nullptr));
     }
   } else {
     for (size_t i = 0; i < count; ++i) {
       const RowId row = rng.NextBounded(rows);
-      samples.push_back(ReconstructOne(row, queue_depth, nullptr));
+      record(ReconstructOne(row, queue_depth, nullptr));
     }
   }
-  return LatencyStats::FromSamples(samples);
+  LatencyStats stats = LatencyStats::FromSamples(samples);
+  stats.failed_samples = failed;
+  return stats;
 }
 
 }  // namespace hytap

@@ -17,6 +17,9 @@ struct LatencyStats {
   uint64_t p99_ns = 0;
   uint64_t max_ns = 0;
   size_t samples = 0;
+  /// Reconstructions that returned a page-read error instead of a tuple
+  /// (excluded from the latency percentiles above).
+  size_t failed_samples = 0;
 
   /// Computes the summary from raw samples (consumes/sorts the vector).
   static LatencyStats FromSamples(std::vector<uint64_t>& samples_ns);
@@ -34,12 +37,16 @@ class TupleReconstructor {
  public:
   explicit TupleReconstructor(const Table* table);
 
-  /// Reconstructs one tuple; returns its simulated latency in ns.
-  uint64_t ReconstructOne(RowId row, uint32_t queue_depth, Row* out) const;
+  /// Reconstructs one tuple; returns its simulated latency in ns, or the
+  /// page-read error (kUnavailable / kDataLoss) with `out` untouched.
+  StatusOr<uint64_t> ReconstructOne(RowId row, uint32_t queue_depth,
+                                    Row* out) const;
 
   /// Runs `count` full-width reconstructions over main-partition rows drawn
   /// from `distribution` and returns the latency summary. `queue_depth`
   /// models concurrent requesters; `seed` fixes the access sequence.
+  /// Failed reconstructions are counted in LatencyStats::failed_samples and
+  /// excluded from the percentiles (the batch itself always completes).
   LatencyStats RunBatch(size_t count, AccessDistribution distribution,
                         uint32_t queue_depth, uint64_t seed,
                         double zipf_alpha = 1.0) const;

@@ -18,6 +18,7 @@ void AccountFetch(const BufferManager::Fetch& fetch, IoStats* io) {
   } else {
     io->device_ns += fetch.latency_ns;
     ++io->page_reads;
+    io->retries += fetch.retries;
   }
 }
 
@@ -85,47 +86,53 @@ DiskColumn::DiskColumn(const ColumnDefinition& def,
   }
 }
 
-uint32_t DiskColumn::CodeAt(RowId row, BufferManager* buffers,
-                            AccessPattern pattern, uint32_t queue_depth,
-                            IoStats* io) const {
+StatusOr<uint32_t> DiskColumn::CodeAt(RowId row, BufferManager* buffers,
+                                      AccessPattern pattern,
+                                      uint32_t queue_depth,
+                                      IoStats* io) const {
   HYTAP_ASSERT(row < row_count_, "row out of range");
   const size_t page_index = row / codes_per_page_;
-  BufferManager::Fetch fetch =
-      buffers->FetchPage(code_pages_[page_index], pattern, queue_depth);
-  AccountFetch(fetch, io);
+  auto fetch = buffers->FetchPage(code_pages_[page_index], pattern,
+                                  queue_depth);
+  if (!fetch.ok()) return fetch.status();
+  AccountFetch(*fetch, io);
   uint32_t code;
   std::memcpy(&code,
-              fetch.page->data() + (row % codes_per_page_) * sizeof(uint32_t),
+              fetch->page->data() + (row % codes_per_page_) * sizeof(uint32_t),
               sizeof(uint32_t));
   return code;
 }
 
-Value DiskColumn::DictionaryAt(uint32_t code, BufferManager* buffers,
-                               uint32_t queue_depth, IoStats* io) const {
+StatusOr<Value> DiskColumn::DictionaryAt(uint32_t code, BufferManager* buffers,
+                                         uint32_t queue_depth,
+                                         IoStats* io) const {
   HYTAP_ASSERT(code < dictionary_size_, "code out of range");
   const size_t page_index = code / entries_per_page_;
-  BufferManager::Fetch fetch = buffers->FetchPage(
-      dictionary_pages_[page_index], AccessPattern::kRandom, queue_depth);
-  AccountFetch(fetch, io);
+  auto fetch = buffers->FetchPage(dictionary_pages_[page_index],
+                                  AccessPattern::kRandom, queue_depth);
+  if (!fetch.ok()) return fetch.status();
+  AccountFetch(*fetch, io);
   return Value::DeserializeFixed(
-      fetch.page->data() + (code % entries_per_page_) * value_width_, type_,
+      fetch->page->data() + (code % entries_per_page_) * value_width_, type_,
       value_width_);
 }
 
-Value DiskColumn::GetValue(RowId row, BufferManager* buffers,
-                           uint32_t queue_depth, IoStats* io) const {
-  const uint32_t code =
-      CodeAt(row, buffers, AccessPattern::kRandom, queue_depth, io);
-  return DictionaryAt(code, buffers, queue_depth, io);
+StatusOr<Value> DiskColumn::GetValue(RowId row, BufferManager* buffers,
+                                     uint32_t queue_depth, IoStats* io) const {
+  auto code = CodeAt(row, buffers, AccessPattern::kRandom, queue_depth, io);
+  if (!code.ok()) return code.status();
+  return DictionaryAt(*code, buffers, queue_depth, io);
 }
 
-uint32_t DiskColumn::LowerBoundCode(const Value& v, BufferManager* buffers,
-                                    IoStats* io, bool upper) const {
+StatusOr<uint32_t> DiskColumn::LowerBoundCode(const Value& v,
+                                              BufferManager* buffers,
+                                              IoStats* io, bool upper) const {
   uint32_t lo = 0, hi = uint32_t(dictionary_size_);
   while (lo < hi) {
     const uint32_t mid = lo + (hi - lo) / 2;
-    const Value entry = DictionaryAt(mid, buffers, 1, io);
-    const bool go_right = upper ? !(v < entry) : entry < v;
+    auto entry = DictionaryAt(mid, buffers, 1, io);
+    if (!entry.ok()) return entry.status();
+    const bool go_right = upper ? !(v < *entry) : *entry < v;
     if (go_right) {
       lo = mid + 1;
     } else {
@@ -135,28 +142,40 @@ uint32_t DiskColumn::LowerBoundCode(const Value& v, BufferManager* buffers,
   return lo;
 }
 
-void DiskColumn::ScanBetween(const Value* lo, const Value* hi,
-                             BufferManager* buffers, uint32_t threads,
-                             PositionList* out, IoStats* io) const {
+Status DiskColumn::ScanBetween(const Value* lo, const Value* hi,
+                               BufferManager* buffers, uint32_t threads,
+                               PositionList* out, IoStats* io) const {
   uint32_t code_lo = 0;
   uint32_t code_hi = uint32_t(dictionary_size_);
-  if (lo != nullptr) code_lo = LowerBoundCode(*lo, buffers, io, false);
-  if (hi != nullptr) code_hi = LowerBoundCode(*hi, buffers, io, true);
-  if (code_lo >= code_hi) return;
+  if (lo != nullptr) {
+    auto bound = LowerBoundCode(*lo, buffers, io, false);
+    if (!bound.ok()) return bound.status();
+    code_lo = *bound;
+  }
+  if (hi != nullptr) {
+    auto bound = LowerBoundCode(*hi, buffers, io, true);
+    if (!bound.ok()) return bound.status();
+    code_hi = *bound;
+  }
+  if (code_lo >= code_hi) return Status::Ok();
+  PositionList matches;
   RowId row = 0;
   for (PageId local = 0; local < code_pages_.size(); ++local) {
-    BufferManager::Fetch fetch = buffers->FetchPage(
-        code_pages_[local], AccessPattern::kSequential, threads);
-    AccountFetch(fetch, io);
+    auto fetch = buffers->FetchPage(code_pages_[local],
+                                    AccessPattern::kSequential, threads);
+    if (!fetch.ok()) return fetch.status();  // `out` untouched
+    AccountFetch(*fetch, io);
     const size_t rows_here =
         std::min(codes_per_page_, row_count_ - size_t(row));
     for (size_t r = 0; r < rows_here; ++r, ++row) {
       uint32_t code;
-      std::memcpy(&code, fetch.page->data() + r * sizeof(uint32_t),
+      std::memcpy(&code, fetch->page->data() + r * sizeof(uint32_t),
                   sizeof(uint32_t));
-      if (code >= code_lo && code < code_hi) out->push_back(row);
+      if (code >= code_lo && code < code_hi) matches.push_back(row);
     }
   }
+  out->insert(out->end(), matches.begin(), matches.end());
+  return Status::Ok();
 }
 
 }  // namespace hytap

@@ -37,24 +37,27 @@ class DiskColumn {
   size_t StorageBytes() const { return page_count() * kPageSize; }
 
   /// Materializes one cell: one code-page read + one dictionary-page read
-  /// (the two 4 KB accesses of the paper's computation).
-  Value GetValue(RowId row, BufferManager* buffers, uint32_t queue_depth,
-                 IoStats* io) const;
+  /// (the two 4 KB accesses of the paper's computation). Returns the
+  /// page-read error (kUnavailable / kDataLoss) on failure.
+  StatusOr<Value> GetValue(RowId row, BufferManager* buffers,
+                           uint32_t queue_depth, IoStats* io) const;
 
   /// Sequential scan with a [lo, hi] closed-interval predicate: binary
   /// search over dictionary pages to resolve the code range, then a
-  /// sequential pass over the code pages.
-  void ScanBetween(const Value* lo, const Value* hi, BufferManager* buffers,
-                   uint32_t threads, PositionList* out, IoStats* io) const;
+  /// sequential pass over the code pages. On a page error `out` is left
+  /// untouched.
+  Status ScanBetween(const Value* lo, const Value* hi, BufferManager* buffers,
+                     uint32_t threads, PositionList* out, IoStats* io) const;
 
  private:
-  uint32_t CodeAt(RowId row, BufferManager* buffers, AccessPattern pattern,
-                  uint32_t queue_depth, IoStats* io) const;
-  Value DictionaryAt(uint32_t code, BufferManager* buffers,
-                     uint32_t queue_depth, IoStats* io) const;
+  StatusOr<uint32_t> CodeAt(RowId row, BufferManager* buffers,
+                            AccessPattern pattern, uint32_t queue_depth,
+                            IoStats* io) const;
+  StatusOr<Value> DictionaryAt(uint32_t code, BufferManager* buffers,
+                               uint32_t queue_depth, IoStats* io) const;
   /// First code whose value is >= / > `v` (page-at-a-time binary search).
-  uint32_t LowerBoundCode(const Value& v, BufferManager* buffers,
-                          IoStats* io, bool upper) const;
+  StatusOr<uint32_t> LowerBoundCode(const Value& v, BufferManager* buffers,
+                                    IoStats* io, bool upper) const;
 
   DataType type_;
   size_t value_width_;

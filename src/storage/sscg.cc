@@ -39,61 +39,67 @@ Sscg::Sscg(RowLayout layout, const std::vector<Row>& rows,
   }
 }
 
-const SecondaryStore::Page* Sscg::FetchRowPage(RowId row,
-                                               BufferManager* buffers,
-                                               AccessPattern pattern,
-                                               uint32_t queue_depth,
-                                               IoStats* io) const {
+StatusOr<const SecondaryStore::Page*> Sscg::FetchRowPage(
+    RowId row, BufferManager* buffers, AccessPattern pattern,
+    uint32_t queue_depth, IoStats* io) const {
   HYTAP_ASSERT(row < row_count_, "SSCG row out of range");
   const PageId local = layout_.PageOf(row);
   const PageId global = page_ids_[local];
-  BufferManager::Fetch fetch = buffers->FetchPage(global, pattern,
-                                                  queue_depth);
+  auto fetch = buffers->FetchPage(global, pattern, queue_depth);
+  if (!fetch.ok()) return fetch.status();
   if (io != nullptr) {
-    if (fetch.hit) {
-      io->dram_ns += fetch.latency_ns;
+    if (fetch->hit) {
+      io->dram_ns += fetch->latency_ns;
       ++io->cache_hits;
     } else {
-      io->device_ns += fetch.latency_ns;
+      io->device_ns += fetch->latency_ns;
       ++io->page_reads;
+      io->retries += fetch->retries;
     }
   }
-  return fetch.page;
+  return fetch->page;
 }
 
-Row Sscg::ReconstructTuple(RowId row, BufferManager* buffers,
-                           uint32_t queue_depth, IoStats* io) const {
-  const SecondaryStore::Page* page =
+StatusOr<Row> Sscg::ReconstructTuple(RowId row, BufferManager* buffers,
+                                     uint32_t queue_depth, IoStats* io) const {
+  auto page =
       FetchRowPage(row, buffers, AccessPattern::kRandom, queue_depth, io);
-  return layout_.DeserializeRow(page->data() + layout_.OffsetInPage(row));
+  if (!page.ok()) return page.status();
+  return layout_.DeserializeRow((*page)->data() + layout_.OffsetInPage(row));
 }
 
-Value Sscg::ProbeValue(RowId row, size_t slot, BufferManager* buffers,
-                       uint32_t queue_depth, IoStats* io) const {
-  const SecondaryStore::Page* page =
+StatusOr<Value> Sscg::ProbeValue(RowId row, size_t slot, BufferManager* buffers,
+                                 uint32_t queue_depth, IoStats* io) const {
+  auto page =
       FetchRowPage(row, buffers, AccessPattern::kRandom, queue_depth, io);
-  return layout_.DeserializeSlot(page->data() + layout_.OffsetInPage(row),
+  if (!page.ok()) return page.status();
+  return layout_.DeserializeSlot((*page)->data() + layout_.OffsetInPage(row),
                                  slot);
 }
 
-void Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
-                    BufferManager* buffers, uint32_t threads,
-                    PositionList* out, IoStats* io) const {
-  if (page_ids_.empty()) return;
+Status Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
+                      BufferManager* buffers, uint32_t threads,
+                      PositionList* out, IoStats* io) const {
+  if (page_ids_.empty()) return Status::Ok();
   // Accounting pass, single-threaded and in page order: pulls every page
   // through the cache exactly as the serial scan did, so hit/miss counts,
-  // CLOCK state, and simulated latencies are identical for any worker
-  // count (the `threads` queue depth still scales the modeled latency).
+  // CLOCK state, simulated latencies — and the fault-injection schedule —
+  // are identical for any worker count (the `threads` queue depth still
+  // scales the modeled latency). A page error aborts here, before any
+  // position is produced, so the first failure in page order wins
+  // regardless of thread count.
   for (PageId local = 0; local < page_ids_.size(); ++local) {
-    BufferManager::Fetch fetch = buffers->FetchPage(
-        page_ids_[local], AccessPattern::kSequential, threads);
+    auto fetch = buffers->FetchPage(page_ids_[local],
+                                    AccessPattern::kSequential, threads);
+    if (!fetch.ok()) return fetch.status();
     if (io != nullptr) {
-      if (fetch.hit) {
-        io->dram_ns += fetch.latency_ns;
+      if (fetch->hit) {
+        io->dram_ns += fetch->latency_ns;
         ++io->cache_hits;
       } else {
-        io->device_ns += fetch.latency_ns;
+        io->device_ns += fetch->latency_ns;
         ++io->page_reads;
+        io->retries += fetch->retries;
       }
     }
   }
@@ -125,11 +131,13 @@ void Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
   for (const PositionList& part : parts) {
     out->insert(out->end(), part.begin(), part.end());
   }
+  return Status::Ok();
 }
 
-void Sscg::AccountTupleFetch(RowId row, BufferManager* buffers,
-                             uint32_t queue_depth, IoStats* io) const {
-  FetchRowPage(row, buffers, AccessPattern::kRandom, queue_depth, io);
+Status Sscg::AccountTupleFetch(RowId row, BufferManager* buffers,
+                               uint32_t queue_depth, IoStats* io) const {
+  return FetchRowPage(row, buffers, AccessPattern::kRandom, queue_depth, io)
+      .status();
 }
 
 Value Sscg::RawValue(RowId row, size_t slot,
@@ -146,14 +154,18 @@ Row Sscg::RawRow(RowId row, const SecondaryStore& store) const {
   return layout_.DeserializeRow(page.data() + layout_.OffsetInPage(row));
 }
 
-void Sscg::ProbeSlot(size_t slot, const Value* lo, const Value* hi,
-                     const PositionList& in, BufferManager* buffers,
-                     uint32_t queue_depth, PositionList* out,
-                     IoStats* io) const {
+Status Sscg::ProbeSlot(size_t slot, const Value* lo, const Value* hi,
+                       const PositionList& in, BufferManager* buffers,
+                       uint32_t queue_depth, PositionList* out,
+                       IoStats* io) const {
+  PositionList survivors;
   for (RowId row : in) {
-    const Value v = ProbeValue(row, slot, buffers, queue_depth, io);
-    if (InRange(v, lo, hi)) out->push_back(row);
+    auto v = ProbeValue(row, slot, buffers, queue_depth, io);
+    if (!v.ok()) return v.status();  // `out` untouched: no partial results
+    if (InRange(*v, lo, hi)) survivors.push_back(row);
   }
+  out->insert(out->end(), survivors.begin(), survivors.end());
+  return Status::Ok();
 }
 
 }  // namespace hytap

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/row_layout.h"
 #include "tiering/buffer_manager.h"
 #include "tiering/secondary_store.h"
@@ -17,6 +18,7 @@ struct IoStats {
   uint64_t dram_ns = 0;     // DRAM access cost (cache misses)
   uint64_t page_reads = 0;  // secondary-storage page fetches (misses)
   uint64_t cache_hits = 0;  // buffer-manager hits
+  uint64_t retries = 0;     // page-read attempts beyond the first
 
   uint64_t TotalNs() const { return device_ns + dram_ns; }
   /// Wall-clock estimate when `threads` workers split the operation.
@@ -28,6 +30,7 @@ struct IoStats {
     dram_ns += other.dram_ns;
     page_reads += other.page_reads;
     cache_hits += other.cache_hits;
+    retries += other.retries;
     return *this;
   }
 };
@@ -54,46 +57,53 @@ class Sscg {
   size_t StorageBytes() const { return page_ids_.size() * kPageSize; }
 
   /// Reconstructs the group's slice of tuple `row` via `buffers` (random
-  /// access pattern). Returns the values in member order.
-  Row ReconstructTuple(RowId row, BufferManager* buffers,
-                       uint32_t queue_depth, IoStats* io) const;
+  /// access pattern). Returns the values in member order, or the page-read
+  /// error (kUnavailable / kDataLoss).
+  StatusOr<Row> ReconstructTuple(RowId row, BufferManager* buffers,
+                                 uint32_t queue_depth, IoStats* io) const;
 
   /// Reads a single member attribute of tuple `row` (probe path).
-  Value ProbeValue(RowId row, size_t slot, BufferManager* buffers,
-                   uint32_t queue_depth, IoStats* io) const;
+  StatusOr<Value> ProbeValue(RowId row, size_t slot, BufferManager* buffers,
+                             uint32_t queue_depth, IoStats* io) const;
 
   /// Performs and accounts the buffer-manager page fetch of tuple `row`
   /// exactly as ReconstructTuple would, without materializing values. The
   /// executor uses this to keep simulated-IO accounting in deterministic
   /// position order while the materialization itself runs on worker
   /// threads against raw pages.
-  void AccountTupleFetch(RowId row, BufferManager* buffers,
-                         uint32_t queue_depth, IoStats* io) const;
+  Status AccountTupleFetch(RowId row, BufferManager* buffers,
+                           uint32_t queue_depth, IoStats* io) const;
 
   /// Sequentially scans member slot `slot`, appending qualifying rows
   /// ([lo, hi] closed interval, null = unbounded) to `out`. Reads every page
-  /// of the group (row-oriented layout: no projection pushdown).
-  void ScanSlot(size_t slot, const Value* lo, const Value* hi,
-                BufferManager* buffers, uint32_t threads, PositionList* out,
-                IoStats* io) const;
+  /// of the group (row-oriented layout: no projection pushdown). On a page
+  /// error the first failure (in page order) is returned and `out` is left
+  /// untouched; the IO accrued before the failure stays in `io`.
+  Status ScanSlot(size_t slot, const Value* lo, const Value* hi,
+                  BufferManager* buffers, uint32_t threads, PositionList* out,
+                  IoStats* io) const;
 
   /// Probes member slot `slot` for the candidate positions `in` (ascending),
   /// appending survivors to `out`. Consecutive candidates on the same page
-  /// share one fetch.
-  void ProbeSlot(size_t slot, const Value* lo, const Value* hi,
-                 const PositionList& in, BufferManager* buffers,
-                 uint32_t queue_depth, PositionList* out, IoStats* io) const;
+  /// share one fetch. On a page error `out` is left untouched.
+  Status ProbeSlot(size_t slot, const Value* lo, const Value* hi,
+                   const PositionList& in, BufferManager* buffers,
+                   uint32_t queue_depth, PositionList* out, IoStats* io) const;
 
   /// Timing-free raw access for migration/verification: reads directly from
   /// the backing store, bypassing the buffer manager and device model.
   Value RawValue(RowId row, size_t slot, const SecondaryStore& store) const;
   Row RawRow(RowId row, const SecondaryStore& store) const;
 
+  /// Store page ids backing this group (migration verify-after-write).
+  const std::vector<PageId>& page_ids() const { return page_ids_; }
+
  private:
-  const SecondaryStore::Page* FetchRowPage(RowId row, BufferManager* buffers,
-                                           AccessPattern pattern,
-                                           uint32_t queue_depth,
-                                           IoStats* io) const;
+  StatusOr<const SecondaryStore::Page*> FetchRowPage(RowId row,
+                                                     BufferManager* buffers,
+                                                     AccessPattern pattern,
+                                                     uint32_t queue_depth,
+                                                     IoStats* io) const;
 
   RowLayout layout_;
   std::vector<PageId> page_ids_;

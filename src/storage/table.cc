@@ -36,7 +36,10 @@ void Table::BulkLoad(const std::vector<Row>& rows) {
     for (size_t c = 0; c < schema_.size(); ++c) columns[c].push_back(row[c]);
   }
   main_row_count_ = rows.size();
-  RebuildMain(columns, placement_, nullptr);
+  // All columns start DRAM-resident, so no SSCG is written and the rebuild
+  // cannot fail.
+  const Status status = RebuildMain(columns, placement_, nullptr);
+  HYTAP_ASSERT(status.ok(), "all-DRAM bulk load cannot fail");
   main_end_tids_.assign(main_row_count_, kMaxTransactionId);
 }
 
@@ -80,8 +83,8 @@ bool Table::IsVisible(RowId row, const Transaction& txn) const {
          !txns_->IsDeleted(delta_end_tids_[d], txn);
 }
 
-Value Table::GetValue(ColumnId column, RowId row, uint32_t queue_depth,
-                      IoStats* io) const {
+StatusOr<Value> Table::GetValue(ColumnId column, RowId row,
+                                uint32_t queue_depth, IoStats* io) const {
   HYTAP_ASSERT(column < schema_.size(), "column id out of range");
   HYTAP_ASSERT(row < row_count(), "row id out of range");
   if (row >= main_row_count_) {
@@ -100,7 +103,8 @@ Value Table::GetValue(ColumnId column, RowId row, uint32_t queue_depth,
                            queue_depth, io);
 }
 
-Row Table::ReconstructRow(RowId row, uint32_t queue_depth, IoStats* io) const {
+StatusOr<Row> Table::ReconstructRow(RowId row, uint32_t queue_depth,
+                                    IoStats* io) const {
   HYTAP_ASSERT(row < row_count(), "row id out of range");
   Row result(schema_.size());
   if (row >= main_row_count_) {
@@ -113,10 +117,11 @@ Row Table::ReconstructRow(RowId row, uint32_t queue_depth, IoStats* io) const {
   }
   // SSCG part: one page access covers all member attributes.
   if (sscg_ != nullptr && sscg_->layout().member_count() > 0) {
-    Row group = sscg_->ReconstructTuple(row, buffers_, queue_depth, io);
+    auto group = sscg_->ReconstructTuple(row, buffers_, queue_depth, io);
+    if (!group.ok()) return group.status();
     const auto& members = sscg_->layout().member_columns();
     for (size_t slot = 0; slot < members.size(); ++slot) {
-      result[members[slot]] = std::move(group[slot]);
+      result[members[slot]] = std::move((*group)[slot]);
     }
   }
   // MRC part: two DRAM touches per attribute (value vector + dictionary).
@@ -149,9 +154,19 @@ std::vector<Value> Table::CollectColumnValues(ColumnId column) const {
   return values;
 }
 
-void Table::RebuildMain(const std::vector<std::vector<Value>>& columns,
-                        const std::vector<bool>& in_dram,
-                        uint64_t* migrated_bytes) {
+Status Table::VerifySscgPages() const {
+  if (sscg_ == nullptr) return Status::Ok();
+  HYTAP_ASSERT(store_ != nullptr, "SSCG without a store");
+  for (PageId id : sscg_->page_ids()) {
+    Status status = store_->VerifyPage(id);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status Table::RebuildMain(const std::vector<std::vector<Value>>& columns,
+                          const std::vector<bool>& in_dram,
+                          uint64_t* migrated_bytes) {
   HYTAP_ASSERT(columns.size() == schema_.size(), "column count mismatch");
   std::vector<ColumnId> sscg_members;
   for (ColumnId c = 0; c < schema_.size(); ++c) {
@@ -176,7 +191,7 @@ void Table::RebuildMain(const std::vector<std::vector<Value>>& columns,
   placement_ = in_dram;
   if (sscg_members.empty()) {
     sscg_.reset();
-    return;
+    return Status::Ok();
   }
   HYTAP_ASSERT(store_ != nullptr,
                "evicting columns requires a secondary store");
@@ -188,6 +203,19 @@ void Table::RebuildMain(const std::vector<std::vector<Value>>& columns,
     for (ColumnId c : sscg_members) row.push_back(columns[c][r]);
   }
   sscg_ = std::make_unique<Sscg>(std::move(layout), rows, store_);
+  // Verify-after-write: read back every freshly written page's checksum
+  // before the DRAM copy is dropped. A silently corrupted eviction would
+  // otherwise only surface at query time, when the data is unrecoverable.
+  Status verify = VerifySscgPages();
+  if (!verify.ok()) {
+    // Abort the eviction: the column values are still in memory, so rebuild
+    // with everything DRAM-resident (cannot fail — writes no pages).
+    const std::vector<bool> all_dram(schema_.size(), true);
+    const Status fallback = RebuildMain(columns, all_dram, nullptr);
+    HYTAP_ASSERT(fallback.ok(), "all-DRAM rebuild cannot fail");
+    return verify;
+  }
+  return Status::Ok();
 }
 
 Status Table::SetPlacement(const std::vector<bool>& in_dram,
@@ -201,25 +229,36 @@ Status Table::SetPlacement(const std::vector<bool>& in_dram,
     return Status::FailedPrecondition(
         "table has no secondary store / buffer manager");
   }
+  // The gather below reads SSCG pages raw (no checksum on the read path),
+  // so verify them first: silently corrupted bytes must not be laundered
+  // into fresh MRCs.
+  Status verify = VerifySscgPages();
+  if (!verify.ok()) return verify;
   std::vector<std::vector<Value>> columns(schema_.size());
   for (ColumnId c = 0; c < schema_.size(); ++c) {
     columns[c] = CollectColumnValues(c);
   }
-  RebuildMain(columns, in_dram, migrated_bytes);
+  const Status rebuild = RebuildMain(columns, in_dram, migrated_bytes);
+  // Even on a failed (aborted, now all-DRAM) eviction the indexes and
+  // statistics must match the new main partition.
   RebuildIndexes();
   if (statistics_ != nullptr) {
     statistics_ = std::make_unique<TableStatistics>(
         TableStatistics::Build(schema_, columns, statistics_buckets_));
   }
-  return Status::Ok();
+  return rebuild;
 }
 
-void Table::MergeDelta() {
+Status Table::MergeDelta() {
   // Survivors: main rows not invalidated by a committed transaction, then
   // committed delta rows not invalidated. Uses a maximal snapshot.
   Transaction merge_view;
   merge_view.tid = 0;
   merge_view.snapshot_cid = txns_->last_commit_cid();
+  // The gather reads SSCG pages raw; refuse to merge from corrupt bytes
+  // (the table, delta included, is left untouched).
+  Status verify = VerifySscgPages();
+  if (!verify.ok()) return verify;
   std::vector<std::vector<Value>> columns(schema_.size());
   size_t new_count = 0;
   for (RowId r = 0; r < main_row_count_; ++r) {
@@ -245,7 +284,10 @@ void Table::MergeDelta() {
     ++new_count;
   }
   main_row_count_ = new_count;
-  RebuildMain(columns, placement_, nullptr);
+  // On a failed SSCG rewrite the rebuild falls back to all-DRAM: the merge
+  // itself still completes (the gathered values are authoritative), only
+  // the eviction is lost — report that via the returned status.
+  const Status rebuild = RebuildMain(columns, placement_, nullptr);
   RebuildIndexes();
   if (statistics_ != nullptr) {
     statistics_ = std::make_unique<TableStatistics>(
@@ -259,6 +301,7 @@ void Table::MergeDelta() {
   }
   delta_begin_tids_.clear();
   delta_end_tids_.clear();
+  return rebuild;
 }
 
 Status Table::CreateIndex(const std::vector<ColumnId>& columns) {

@@ -66,22 +66,31 @@ class Table {
   bool IsVisible(RowId row, const Transaction& txn) const;
 
   /// Materializes one cell (any location). `io` accrues simulated cost.
-  Value GetValue(ColumnId column, RowId row, uint32_t queue_depth,
-                 IoStats* io) const;
+  /// SSCG-placed cells can fail with kUnavailable / kDataLoss.
+  StatusOr<Value> GetValue(ColumnId column, RowId row, uint32_t queue_depth,
+                           IoStats* io) const;
 
   /// Materializes the full tuple `row`. For main rows the SSCG part costs a
   /// single page read (paper §II-A); MRC attributes cost two DRAM accesses
-  /// each (value vector + dictionary).
-  Row ReconstructRow(RowId row, uint32_t queue_depth, IoStats* io) const;
+  /// each (value vector + dictionary). Fails with the SSCG page error if the
+  /// group's page cannot be read.
+  StatusOr<Row> ReconstructRow(RowId row, uint32_t queue_depth,
+                               IoStats* io) const;
 
   /// Merges all committed, surviving delta rows into the main partition and
   /// clears the delta. Requires no in-flight transactions on this table.
   /// Preserves the current placement (SSCG is rewritten if present).
-  void MergeDelta();
+  /// Returns kDataLoss (table unchanged) if the current SSCG pages fail
+  /// their checksums, or if the rewritten SSCG fails read-back verification
+  /// (then the merge completes with all columns left DRAM-resident).
+  Status MergeDelta();
 
   /// Moves columns between DRAM and the SSCG: `in_dram[i]` selects the new
   /// location of column i. Rebuilds affected structures; accounts the
-  /// migration volume in `migrated_bytes` if non-null.
+  /// migration volume in `migrated_bytes` if non-null. Evictions are
+  /// verified by read-back checksum: if any freshly written SSCG page fails
+  /// verification, the eviction is aborted, the table is left fully
+  /// DRAM-resident and consistent, and kDataLoss is returned.
   Status SetPlacement(const std::vector<bool>& in_dram,
                       uint64_t* migrated_bytes = nullptr);
 
@@ -154,9 +163,17 @@ class Table {
   std::vector<Value> CollectColumnValues(ColumnId column) const;
 
   /// Rebuilds main-partition structures from explicit column contents.
-  void RebuildMain(const std::vector<std::vector<Value>>& columns,
-                   const std::vector<bool>& in_dram,
-                   uint64_t* migrated_bytes);
+  /// If an SSCG is written, every page is verified by read-back checksum;
+  /// on a verify failure the rebuild falls back to all columns
+  /// DRAM-resident (the values are still at hand) and returns kDataLoss.
+  Status RebuildMain(const std::vector<std::vector<Value>>& columns,
+                     const std::vector<bool>& in_dram,
+                     uint64_t* migrated_bytes);
+
+  /// Recomputes the checksum of every current SSCG page (kDataLoss on the
+  /// first mismatch). Guards raw gathers (merge, placement change) against
+  /// silently propagating corrupted bytes.
+  Status VerifySscgPages() const;
 
   std::string name_;
   Schema schema_;

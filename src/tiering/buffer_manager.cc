@@ -9,9 +9,8 @@ BufferManager::BufferManager(SecondaryStore* store, size_t frame_count)
   HYTAP_ASSERT(store != nullptr, "BufferManager requires a store");
 }
 
-BufferManager::Fetch BufferManager::FetchPage(PageId id,
-                                              AccessPattern pattern,
-                                              uint32_t queue_depth) {
+StatusOr<BufferManager::Fetch> BufferManager::FetchPage(
+    PageId id, AccessPattern pattern, uint32_t queue_depth) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
@@ -27,15 +26,23 @@ BufferManager::Fetch BufferManager::FetchPage(PageId id,
   if (frame.occupied) {
     frame_of_.erase(frame.page_id);
     ++stats_.evictions;
+    frame.occupied = false;
+    frame.page_id = kInvalidPageId;
   }
-  const uint64_t latency =
-      store_->ReadPage(id, &frame.data, pattern, queue_depth);
+  auto read = store_->ReadPage(id, &frame.data, pattern, queue_depth);
+  if (!read.ok()) {
+    // The victim frame stays empty; the failed page is never installed, so
+    // a later fetch retries the store (which fails fast if quarantined).
+    ++stats_.read_failures;
+    return read.status();
+  }
+  stats_.read_retries += read->retries;
   frame.page_id = id;
   frame.pin_count = 0;
   frame.referenced = true;
   frame.occupied = true;
   frame_of_[id] = victim;
-  return Fetch{&frame.data, latency, /*hit=*/false};
+  return Fetch{&frame.data, read->latency_ns, /*hit=*/false, read->retries};
 }
 
 void BufferManager::Pin(PageId id) {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "tiering/secondary_store.h"
 
@@ -16,6 +17,8 @@ struct BufferStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t read_failures = 0;  // store reads that returned non-OK
+  uint64_t read_retries = 0;   // store read attempts beyond the first
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -43,14 +46,19 @@ class BufferManager {
     const SecondaryStore::Page* page = nullptr;
     uint64_t latency_ns = 0;
     bool hit = false;
+    uint32_t retries = 0;
   };
 
   /// Fetches `id`, reading through to the store on a miss. The returned
   /// pointer is valid until the next FetchPage call unless the page is
-  /// pinned. Thread-safe (internally serialized); note that the parallel
-  /// scan operators deliberately keep their FetchPage sequence on a single
-  /// thread so hit/miss accounting stays deterministic.
-  Fetch FetchPage(PageId id, AccessPattern pattern, uint32_t queue_depth = 1);
+  /// pinned. On a failed store read (kUnavailable / kDataLoss) the error is
+  /// returned, no frame is installed, and the cache state is as if the call
+  /// never happened (apart from stats). Thread-safe (internally serialized);
+  /// note that the parallel scan operators deliberately keep their FetchPage
+  /// sequence on a single thread so hit/miss accounting — and with it the
+  /// fault schedule — stays deterministic.
+  StatusOr<Fetch> FetchPage(PageId id, AccessPattern pattern,
+                            uint32_t queue_depth = 1);
 
   /// Pins `id` (must be resident after a FetchPage); pinned pages are never
   /// evicted. Pins nest.
@@ -72,8 +80,16 @@ class BufferManager {
     std::lock_guard<std::mutex> lock(mutex_);
     return frame_of_.size();
   }
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats(); }
+  /// Returns a snapshot copy taken under the lock (a reference would let
+  /// callers read the struct while another thread mutates it).
+  BufferStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = BufferStats();
+  }
 
   /// Drops all unpinned pages (used between benchmark phases).
   void Clear();

@@ -1,0 +1,88 @@
+#include "tiering/fault_injector.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hytap {
+
+namespace {
+
+double EnvRate(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return 0.0;
+  const double rate = std::atof(value);
+  if (rate < 0.0) return 0.0;
+  return rate > 1.0 ? 1.0 : rate;
+}
+
+}  // namespace
+
+bool FaultConfig::AnyFaults() const {
+  return read_error_rate > 0.0 || page_failure_rate > 0.0 ||
+         read_corruption_rate > 0.0 || write_corruption_rate > 0.0 ||
+         latency_spike_rate > 0.0;
+}
+
+FaultConfig FaultConfig::FromEnv() {
+  FaultConfig config;
+  if (const char* seed = std::getenv("HYTAP_FAULT_SEED")) {
+    config.seed = std::strtoull(seed, nullptr, 10);
+  }
+  config.read_error_rate = EnvRate("HYTAP_FAULT_READ_ERROR_RATE");
+  config.page_failure_rate = EnvRate("HYTAP_FAULT_PAGE_FAILURE_RATE");
+  config.read_corruption_rate = EnvRate("HYTAP_FAULT_READ_CORRUPTION_RATE");
+  config.write_corruption_rate = EnvRate("HYTAP_FAULT_WRITE_CORRUPTION_RATE");
+  config.latency_spike_rate = EnvRate("HYTAP_FAULT_LATENCY_SPIKE_RATE");
+  return config;
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed) {}
+
+FaultInjector::ReadFault FaultInjector::NextReadFault() {
+  // One draw per attempt against stacked thresholds keeps the schedule a
+  // pure function of (seed, attempt index).
+  const double u = rng_.NextDouble();
+  double threshold = config_.page_failure_rate;
+  if (u < threshold) return ReadFault::kPageDead;
+  threshold += config_.read_error_rate;
+  if (u < threshold) return ReadFault::kTransientError;
+  threshold += config_.read_corruption_rate;
+  if (u < threshold) return ReadFault::kCorruptBits;
+  threshold += config_.latency_spike_rate;
+  if (u < threshold) return ReadFault::kLatencySpike;
+  return ReadFault::kNone;
+}
+
+void FaultInjector::CorruptBits(uint8_t* data, size_t size) {
+  const size_t flips = 1 + rng_.NextBounded(8);
+  for (size_t f = 0; f < flips; ++f) {
+    const size_t bit = rng_.NextBounded(size * 8);
+    data[bit / 8] ^= uint8_t(1u << (bit % 8));
+  }
+}
+
+bool FaultInjector::WritePage(const uint8_t* src, uint8_t* stored,
+                              size_t size) {
+  if (config_.write_corruption_rate <= 0.0 ||
+      !rng_.NextBool(config_.write_corruption_rate)) {
+    std::memcpy(stored, src, size);
+    return false;
+  }
+  if (rng_.NextBool(0.5)) {
+    // Torn write: only the first half of the new payload reaches the media.
+    std::memcpy(stored, src, size / 2);
+  } else {
+    std::memcpy(stored, src, size);
+    CorruptBits(stored, size);
+  }
+  while (std::memcmp(stored, src, size) == 0) {
+    // The tear happened to be a no-op (old tail == new tail) or the flips
+    // cancelled out; force a real corruption so every injected fault is
+    // observable.
+    CorruptBits(stored, size);
+  }
+  return true;
+}
+
+}  // namespace hytap

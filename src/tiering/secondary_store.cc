@@ -1,45 +1,177 @@
 #include "tiering/secondary_store.h"
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/assert.h"
+#include "common/crc32.h"
 
 namespace hytap {
 
-SecondaryStore::SecondaryStore(DeviceKind device, uint64_t timing_seed)
-    : device_(device), timing_rng_(timing_seed) {}
+namespace {
+
+std::string PageMessage(const char* what, PageId id) {
+  return std::string(what) + " (page " + std::to_string(id) + ")";
+}
+
+}  // namespace
+
+uint32_t SecondaryStore::DefaultMaxReadRetries() {
+  if (const char* env = std::getenv("HYTAP_MAX_READ_RETRIES")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 0 && value <= 64) return uint32_t(value);
+  }
+  return 4;
+}
+
+SecondaryStore::SecondaryStore(DeviceKind device, uint64_t timing_seed,
+                               FaultConfig fault_config)
+    : device_(device),
+      timing_rng_(timing_seed),
+      max_read_retries_(DefaultMaxReadRetries()) {
+  if (fault_config.AnyFaults()) {
+    injector_ = std::make_unique<FaultInjector>(fault_config);
+  }
+}
+
+void SecondaryStore::ConfigureFaults(FaultConfig config) {
+  injector_ = config.AnyFaults() ? std::make_unique<FaultInjector>(config)
+                                 : nullptr;
+  quarantine_.clear();
+  fault_stats_ = FaultStats();
+}
 
 PageId SecondaryStore::AllocatePage() {
   pages_.push_back(std::make_unique<Page>());
   pages_.back()->fill(0);
+  // Checksum of an all-zero page (same for every fresh allocation).
+  static const uint32_t kZeroPageCrc = [] {
+    Page zero;
+    zero.fill(0);
+    return Crc32c(zero.data(), kPageSize);
+  }();
+  checksums_.push_back(kZeroPageCrc);
+  verified_.push_back(true);  // freshly zeroed media trivially matches
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 void SecondaryStore::WritePage(PageId id, const Page& data) {
   HYTAP_ASSERT(id < pages_.size(), "WritePage: page id out of range");
+  // The checksum always covers the *intended* payload; a corrupted write
+  // leaves the media and the checksum disagreeing, which is exactly how
+  // silent corruption is detected on read-back.
+  checksums_[id] = Crc32c(data.data(), kPageSize);
+  verified_[id] = false;  // read-back verifies the media once
+  if (injector_ != nullptr) {
+    if (injector_->WritePage(data.data(), pages_[id]->data(), kPageSize)) {
+      ++fault_stats_.corrupted_writes;
+    }
+    return;
+  }
   *pages_[id] = data;
 }
 
-uint64_t SecondaryStore::ReadPage(PageId id, Page* dest,
-                                  AccessPattern pattern,
-                                  uint32_t queue_depth) {
+StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
+    PageId id, Page* dest, AccessPattern pattern, uint32_t queue_depth) {
   HYTAP_ASSERT(id < pages_.size(), "ReadPage: page id out of range");
-  std::memcpy(dest->data(), pages_[id]->data(), kPageSize);
-  uint64_t latency_ns;
-  if (pattern == AccessPattern::kRandom) {
-    // Per-requester latency among `queue_depth` concurrent requesters;
-    // dividing the summed latencies by the thread count yields wall time.
-    latency_ns = device_.RandomReadLatencyNs(queue_depth, timing_rng_);
-  } else {
-    // SequentialReadNs is already aggregate elapsed time for the batch, so
-    // scale by the requester count to keep the same "summed device time"
-    // convention as random reads (IoStats::WallNs divides it back out).
-    latency_ns = device_.SequentialReadNs(/*pages=*/1, queue_depth) *
-                 queue_depth;
-  }
-  total_read_ns_ += latency_ns;
   ++reads_;
-  return latency_ns;
+  if (auto it = quarantine_.find(id); it != quarantine_.end()) {
+    ++fault_stats_.fast_fail_reads;
+    return it->second == StatusCode::kDataLoss
+               ? Status::DataLoss(PageMessage("quarantined: corrupt", id))
+               : Status::Unavailable(PageMessage("quarantined: dead", id));
+  }
+
+  ReadOutcome outcome;
+  uint64_t backoff_ns = kRetryBackoffBaseNs;
+  bool checksum_failed = false;
+  for (uint32_t attempt = 0; attempt <= max_read_retries_; ++attempt) {
+    if (attempt > 0) {
+      outcome.latency_ns += backoff_ns;
+      backoff_ns *= 2;
+      ++outcome.retries;
+      ++fault_stats_.retries;
+    }
+    uint64_t latency_ns;
+    if (pattern == AccessPattern::kRandom) {
+      // Per-requester latency among `queue_depth` concurrent requesters;
+      // dividing the summed latencies by the thread count yields wall time.
+      latency_ns = device_.RandomReadLatencyNs(queue_depth, timing_rng_);
+    } else {
+      // SequentialReadNs is already aggregate elapsed time for the batch, so
+      // scale by the requester count to keep the same "summed device time"
+      // convention as random reads (IoStats::WallNs divides it back out).
+      latency_ns = device_.SequentialReadNs(/*pages=*/1, queue_depth) *
+                   queue_depth;
+    }
+    const FaultInjector::ReadFault fault =
+        injector_ != nullptr ? injector_->NextReadFault()
+                             : FaultInjector::ReadFault::kNone;
+    if (fault == FaultInjector::ReadFault::kLatencySpike) {
+      latency_ns = uint64_t(double(latency_ns) *
+                            injector_->config().latency_spike_multiplier);
+      ++fault_stats_.latency_spikes;
+    }
+    outcome.latency_ns += latency_ns;
+    if (fault == FaultInjector::ReadFault::kPageDead) {
+      // Grown bad block: the device reports the page permanently
+      // unreadable; retrying cannot help.
+      total_read_ns_ += outcome.latency_ns;
+      ++fault_stats_.dead_pages;
+      ++fault_stats_.failed_reads;
+      ++fault_stats_.quarantined_pages;
+      quarantine_.emplace(id, StatusCode::kUnavailable);
+      return Status::Unavailable(PageMessage("page failed permanently", id));
+    }
+    if (fault == FaultInjector::ReadFault::kTransientError) {
+      ++fault_stats_.transient_errors;
+      checksum_failed = false;
+      continue;
+    }
+    std::memcpy(dest->data(), pages_[id]->data(), kPageSize);
+    if (fault == FaultInjector::ReadFault::kCorruptBits) {
+      injector_->CorruptBits(dest->data(), kPageSize);
+      ++fault_stats_.corrupted_reads;
+    }
+    // With no injector armed the memory-backed media cannot change between
+    // writes, so one verification per write amortizes the CRC to zero on
+    // the fault-free fast path. An armed injector can corrupt bytes in
+    // transit, so then every delivered buffer is re-verified.
+    const bool must_verify =
+        verify_checksums_ && (injector_ != nullptr || !verified_[id]);
+    if (must_verify) {
+      if (Crc32c(dest->data(), kPageSize) != checksums_[id]) {
+        // In-transit corruption clears on a re-read; corruption of the
+        // stored bytes fails every retry and is declared data loss below.
+        ++fault_stats_.checksum_failures;
+        checksum_failed = true;
+        continue;
+      }
+      if (injector_ == nullptr) verified_[id] = true;
+    }
+    total_read_ns_ += outcome.latency_ns;
+    return outcome;
+  }
+  total_read_ns_ += outcome.latency_ns;
+  ++fault_stats_.failed_reads;
+  ++fault_stats_.quarantined_pages;
+  if (checksum_failed) {
+    quarantine_.emplace(id, StatusCode::kDataLoss);
+    return Status::DataLoss(
+        PageMessage("checksum mismatch persisted across retries", id));
+  }
+  quarantine_.emplace(id, StatusCode::kUnavailable);
+  return Status::Unavailable(
+      PageMessage("read failed after max retries", id));
+}
+
+Status SecondaryStore::VerifyPage(PageId id) const {
+  HYTAP_ASSERT(id < pages_.size(), "VerifyPage: page id out of range");
+  if (Crc32c(pages_[id]->data(), kPageSize) != checksums_[id]) {
+    return Status::DataLoss(PageMessage("stored page fails checksum", id));
+  }
+  return Status::Ok();
 }
 
 const SecondaryStore::Page& SecondaryStore::RawPage(PageId id) const {
@@ -50,6 +182,8 @@ const SecondaryStore::Page& SecondaryStore::RawPage(PageId id) const {
 void SecondaryStore::ResetStats() {
   total_read_ns_ = 0;
   reads_ = 0;
+  fault_stats_ = FaultStats();
+  fault_stats_.quarantined_pages = quarantine_.size();
 }
 
 }  // namespace hytap

@@ -4,26 +4,59 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "tiering/device_model.h"
+#include "tiering/fault_injector.h"
 
 namespace hytap {
 
 /// Access pattern hint for device timing.
 enum class AccessPattern { kSequential, kRandom };
 
+/// Simulated backoff charged before the first retry of a failed page read;
+/// doubles per subsequent retry (exponential backoff). Calibrated to a few
+/// device service times so retried reads stay visible in latency tails
+/// without dominating them.
+inline constexpr uint64_t kRetryBackoffBaseNs = 100000;  // 100 us
+
 /// A paged secondary-storage volume backed by memory with device-model
 /// timing. Stands in for the paper's SSD/HDD/3D XPoint volumes: page
 /// contents are real (reads return the stored bytes); only the timing is
 /// simulated (see DeviceModel).
+///
+/// Reliability model: every page carries a CRC32C checksum computed on
+/// WritePage and verified on ReadPage — lazily (once per write, on the
+/// first read-back) while the volume is fault-free, since the memory-backed
+/// media cannot change between writes, and on every read while a
+/// FaultInjector is armed (in-transit corruption). The optional seeded
+/// injector makes the volume fail like real hardware (transient read
+/// errors, grown bad blocks, in-transit and written-out corruption, latency
+/// spikes).
+/// ReadPage retries transient failures with exponential backoff charged to
+/// the simulated latency; pages that fail permanently or hold corrupt bytes
+/// are quarantined and fail fast on later reads.
 class SecondaryStore {
  public:
   using Page = std::array<uint8_t, kPageSize>;
 
-  explicit SecondaryStore(DeviceKind device, uint64_t timing_seed = 42);
+  /// Outcome of a successful page read.
+  struct ReadOutcome {
+    /// Simulated latency (device time + retry backoff) for one requester
+    /// among `queue_depth` concurrent ones.
+    uint64_t latency_ns = 0;
+    /// Read attempts beyond the first.
+    uint32_t retries = 0;
+  };
+
+  /// Fault injection defaults to the HYTAP_FAULT_* environment knobs (all
+  /// disabled when unset), so production builds pay only the checksum.
+  explicit SecondaryStore(DeviceKind device, uint64_t timing_seed = 42,
+                          FaultConfig fault_config = FaultConfig::FromEnv());
 
   SecondaryStore(const SecondaryStore&) = delete;
   SecondaryStore& operator=(const SecondaryStore&) = delete;
@@ -31,31 +64,77 @@ class SecondaryStore {
   /// Allocates a zeroed page; returns its id.
   PageId AllocatePage();
 
-  /// Writes a full page. Timing is accounted separately via
-  /// DeviceModel::SequentialWriteNs during migration.
+  /// Writes a full page and records its checksum. The write may be silently
+  /// corrupted by the fault injector (torn half-page / bit flips) — that is
+  /// the point: corruption is only *detected* by ReadPage / VerifyPage.
+  /// Timing is accounted separately via DeviceModel::SequentialWriteNs
+  /// during migration.
   void WritePage(PageId id, const Page& data);
 
-  /// Reads a page into `dest`; returns the simulated read latency in ns for
-  /// one requester among `queue_depth` concurrent ones.
-  uint64_t ReadPage(PageId id, Page* dest, AccessPattern pattern,
-                    uint32_t queue_depth = 1);
+  /// Reads a page into `dest` with bounded retry + exponential backoff.
+  /// Returns the simulated latency/retry outcome, or:
+  ///  - kUnavailable: the page is permanently dead or transient errors
+  ///    persisted through every retry (the page is quarantined);
+  ///  - kDataLoss: the stored bytes fail their checksum on every retry
+  ///    (silent corruption detected; the page is quarantined).
+  /// On any error `dest` holds no valid data and no state other than the
+  /// quarantine set and stats is modified.
+  StatusOr<ReadOutcome> ReadPage(PageId id, Page* dest, AccessPattern pattern,
+                                 uint32_t queue_depth = 1);
 
-  /// Direct (timing-free) access for verification and migration.
+  /// Recomputes the stored page's checksum (timing-free, no fault
+  /// injection). Used by migration verify-after-write; returns kDataLoss on
+  /// mismatch.
+  Status VerifyPage(PageId id) const;
+
+  /// Direct (timing-free) access for verification and migration and for the
+  /// parallel data passes, which only touch pages a serial accounting pass
+  /// already fetched and checksum-verified through ReadPage.
   const Page& RawPage(PageId id) const;
+
+  /// Replaces the fault injector (e.g. to start injecting after a clean
+  /// load phase) and clears the quarantine set and fault stats.
+  void ConfigureFaults(FaultConfig config);
+
+  /// Disables/enables checksum verification on reads (overhead benchmarks
+  /// only; verification is on by default).
+  void set_verify_checksums(bool verify) { verify_checksums_ = verify; }
+  bool verify_checksums() const { return verify_checksums_; }
+
+  /// Maximum read retries after a failed attempt (HYTAP_MAX_READ_RETRIES
+  /// environment override, default 4).
+  void set_max_read_retries(uint32_t retries) { max_read_retries_ = retries; }
+  uint32_t max_read_retries() const { return max_read_retries_; }
 
   size_t page_count() const { return pages_.size(); }
   uint64_t total_read_ns() const { return total_read_ns_; }
   uint64_t reads() const { return reads_; }
   const DeviceModel& device() const { return device_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  bool IsQuarantined(PageId id) const {
+    return quarantine_.find(id) != quarantine_.end();
+  }
 
   void ResetStats();
 
  private:
+  static uint32_t DefaultMaxReadRetries();
+
   DeviceModel device_;
   Rng timing_rng_;
+  std::unique_ptr<FaultInjector> injector_;  // null = fault-free
   std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<uint32_t> checksums_;
+  /// Media verified since its last write (fault-free reads skip the CRC).
+  std::vector<bool> verified_;
+  /// Pages that failed permanently, with the status code to fail fast with
+  /// (kUnavailable or kDataLoss).
+  std::unordered_map<PageId, StatusCode> quarantine_;
+  uint32_t max_read_retries_;
+  bool verify_checksums_ = true;
   uint64_t total_read_ns_ = 0;
   uint64_t reads_ = 0;
+  FaultStats fault_stats_;
 };
 
 }  // namespace hytap

@@ -25,12 +25,14 @@ class BufferManagerTest : public ::testing::Test {
 TEST_F(BufferManagerTest, MissThenHit) {
   BufferManager bm(&store_, 4);
   auto fetch1 = bm.FetchPage(3, AccessPattern::kRandom);
-  EXPECT_FALSE(fetch1.hit);
-  EXPECT_GT(fetch1.latency_ns, 1000u);  // device latency
-  EXPECT_EQ((*fetch1.page)[0], 4);
+  ASSERT_TRUE(fetch1.ok());
+  EXPECT_FALSE(fetch1->hit);
+  EXPECT_GT(fetch1->latency_ns, 1000u);  // device latency
+  EXPECT_EQ((*fetch1->page)[0], 4);
   auto fetch2 = bm.FetchPage(3, AccessPattern::kRandom);
-  EXPECT_TRUE(fetch2.hit);
-  EXPECT_LT(fetch2.latency_ns, 1000u);  // DRAM
+  ASSERT_TRUE(fetch2.ok());
+  EXPECT_TRUE(fetch2->hit);
+  EXPECT_LT(fetch2->latency_ns, 1000u);  // DRAM
   EXPECT_EQ(bm.stats().hits, 1u);
   EXPECT_EQ(bm.stats().misses, 1u);
 }
@@ -146,7 +148,8 @@ TEST_F(BufferManagerTest, ContentsMatchStore) {
   BufferManager bm(&store_, 4);
   for (PageId id = 0; id < 16; ++id) {
     auto fetch = bm.FetchPage(id, AccessPattern::kRandom);
-    EXPECT_EQ(0, std::memcmp(fetch.page->data(), store_.RawPage(id).data(),
+    ASSERT_TRUE(fetch.ok());
+    EXPECT_EQ(0, std::memcmp(fetch->page->data(), store_.RawPage(id).data(),
                              kPageSize));
   }
 }

@@ -73,15 +73,15 @@ TEST(DatabaseTest, HashJoinMatchesNaive) {
   for (RowId o = 0; o < ol->row_count(); ++o) {
     bool ok = true;
     for (const Predicate& p : join.orderline.predicates) {
-      if (!p.Matches(ol->GetValue(p.column, o, 1, nullptr))) ok = false;
+      if (!p.Matches(*ol->GetValue(p.column, o, 1, nullptr))) ok = false;
     }
     if (!ok) continue;
-    const Value key = ol->GetValue(kOlIId, o, 1, nullptr);
+    const Value key = *ol->GetValue(kOlIId, o, 1, nullptr);
     for (RowId i = 0; i < item->row_count(); ++i) {
-      if (item->GetValue(kIId, i, 1, nullptr) != key) continue;
+      if (*item->GetValue(kIId, i, 1, nullptr) != key) continue;
       bool iok = true;
       for (const Predicate& p : join.item.predicates) {
-        if (!p.Matches(item->GetValue(p.column, i, 1, nullptr))) iok = false;
+        if (!p.Matches(*item->GetValue(p.column, i, 1, nullptr))) iok = false;
       }
       if (iok) ++expected;
     }

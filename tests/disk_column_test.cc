@@ -25,7 +25,7 @@ TEST_F(DiskColumnTest, RoundTrip) {
   EXPECT_EQ(column.row_count(), 6u);
   EXPECT_EQ(column.distinct_count(), 4u);
   for (RowId r = 0; r < 6; ++r) {
-    EXPECT_EQ(column.GetValue(r, &buffers_, 1, nullptr), values[r]) << r;
+    EXPECT_EQ(*column.GetValue(r, &buffers_, 1, nullptr), values[r]) << r;
   }
 }
 
@@ -84,7 +84,7 @@ TEST_F(DiskColumnTest, StringsSupported) {
   std::vector<Value> values{Value("pear"), Value("fig"), Value("apple"),
                             Value("fig")};
   DiskColumn column(def, values, &store_);
-  EXPECT_EQ(column.GetValue(2, &buffers_, 1, nullptr),
+  EXPECT_EQ(*column.GetValue(2, &buffers_, 1, nullptr),
             Value(std::string("apple")));
   Value lo(std::string("apple")), hi(std::string("fig"));
   PositionList out;
@@ -129,7 +129,7 @@ TEST_F(DiskColumnTest, WideTupleReconstructionMuchWorseThanSscg) {
   for (size_t c = 0; c < attrs; ++c) {
     columns[c].GetValue(row, &cold1, 1, &disk_io);
   }
-  Row tuple = sscg.ReconstructTuple(row, &cold2, 1, &sscg_io);
+  Row tuple = *sscg.ReconstructTuple(row, &cold2, 1, &sscg_io);
   EXPECT_EQ(tuple, data[row]);
   EXPECT_EQ(sscg_io.page_reads, 1u);
   // ~2 reads per attribute (dictionary pages may repeat-hit in the tiny

@@ -44,7 +44,7 @@ class ExecutorTest : public ::testing::Test {
       if (!table_.IsVisible(r, txn)) continue;
       bool ok = true;
       for (const Predicate& p : query.predicates) {
-        if (!p.Matches(table_.GetValue(p.column, r, 1, nullptr))) {
+        if (!p.Matches(*table_.GetValue(p.column, r, 1, nullptr))) {
           ok = false;
           break;
         }
@@ -272,7 +272,7 @@ TEST_P(ExecutorPropertyTest, RandomQueriesMatchNaive) {
       if (!table.IsVisible(r, txn)) continue;
       bool ok = true;
       for (const Predicate& p : query.predicates) {
-        if (!p.Matches(table.GetValue(p.column, r, 1, nullptr))) {
+        if (!p.Matches(*table.GetValue(p.column, r, 1, nullptr))) {
           ok = false;
           break;
         }

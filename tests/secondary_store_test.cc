@@ -20,10 +20,10 @@ TEST(SecondaryStoreTest, AllocateWriteRead) {
   page.fill(0xAB);
   store.WritePage(b, page);
   SecondaryStore::Page dest;
-  store.ReadPage(b, &dest, AccessPattern::kRandom);
+  ASSERT_TRUE(store.ReadPage(b, &dest, AccessPattern::kRandom).ok());
   EXPECT_EQ(0, std::memcmp(dest.data(), page.data(), kPageSize));
   // Page a stays zeroed.
-  store.ReadPage(a, &dest, AccessPattern::kRandom);
+  ASSERT_TRUE(store.ReadPage(a, &dest, AccessPattern::kRandom).ok());
   EXPECT_EQ(dest[0], 0);
 }
 
@@ -31,10 +31,12 @@ TEST(SecondaryStoreTest, TimingAccrues) {
   SecondaryStore store(DeviceKind::kCssd);
   const PageId id = store.AllocatePage();
   SecondaryStore::Page dest;
-  const uint64_t lat = store.ReadPage(id, &dest, AccessPattern::kRandom);
-  EXPECT_GT(lat, 40'000u);  // NAND-scale latency
+  auto read = store.ReadPage(id, &dest, AccessPattern::kRandom);
+  ASSERT_TRUE(read.ok());
+  EXPECT_GT(read->latency_ns, 40'000u);  // NAND-scale latency
+  EXPECT_EQ(read->retries, 0u);          // fault-free store never retries
   EXPECT_EQ(store.reads(), 1u);
-  EXPECT_EQ(store.total_read_ns(), lat);
+  EXPECT_EQ(store.total_read_ns(), read->latency_ns);
   store.ResetStats();
   EXPECT_EQ(store.reads(), 0u);
 }
@@ -45,8 +47,8 @@ TEST(SecondaryStoreTest, SequentialCheaperThanRandom) {
   SecondaryStore::Page dest;
   uint64_t seq = 0, rnd = 0;
   for (int i = 0; i < 50; ++i) {
-    seq += store.ReadPage(id, &dest, AccessPattern::kSequential, 1);
-    rnd += store.ReadPage(id, &dest, AccessPattern::kRandom, 1);
+    seq += store.ReadPage(id, &dest, AccessPattern::kSequential, 1)->latency_ns;
+    rnd += store.ReadPage(id, &dest, AccessPattern::kRandom, 1)->latency_ns;
   }
   EXPECT_LT(seq, rnd);
 }
@@ -58,8 +60,8 @@ TEST(SecondaryStoreTest, DeterministicTiming) {
   b.AllocatePage();
   SecondaryStore::Page dest;
   for (int i = 0; i < 20; ++i) {
-    EXPECT_EQ(a.ReadPage(0, &dest, AccessPattern::kRandom),
-              b.ReadPage(0, &dest, AccessPattern::kRandom));
+    EXPECT_EQ(a.ReadPage(0, &dest, AccessPattern::kRandom)->latency_ns,
+              b.ReadPage(0, &dest, AccessPattern::kRandom)->latency_ns);
   }
 }
 
@@ -85,13 +87,16 @@ TEST(IoStatsTest, Accumulation) {
   a.device_ns = 100;
   a.dram_ns = 10;
   a.page_reads = 1;
+  a.retries = 3;
   b.device_ns = 200;
   b.cache_hits = 2;
+  b.retries = 1;
   a += b;
   EXPECT_EQ(a.device_ns, 300u);
   EXPECT_EQ(a.dram_ns, 10u);
   EXPECT_EQ(a.page_reads, 1u);
   EXPECT_EQ(a.cache_hits, 2u);
+  EXPECT_EQ(a.retries, 4u);
   EXPECT_EQ(a.TotalNs(), 310u);
 }
 

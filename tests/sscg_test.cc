@@ -55,7 +55,7 @@ TEST_F(SscgTest, ReconstructTupleMatches) {
   for (int trial = 0; trial < 50; ++trial) {
     const RowId r = rng.NextBounded(500);
     IoStats io;
-    Row got = sscg.ReconstructTuple(r, &buffers_, 1, &io);
+    Row got = *sscg.ReconstructTuple(r, &buffers_, 1, &io);
     ASSERT_EQ(got.size(), 4u);
     EXPECT_EQ(got, rows[r]);
   }
@@ -91,8 +91,8 @@ TEST_F(SscgTest, ProbeValue) {
         return subset;
       }(), &store_);
   IoStats io;
-  EXPECT_EQ(sscg.ProbeValue(42, 0, &buffers_, 1, &io), Value(int32_t{2}));
-  EXPECT_EQ(sscg.ProbeValue(42, 1, &buffers_, 1, &io), Value(21.0));
+  EXPECT_EQ(*sscg.ProbeValue(42, 0, &buffers_, 1, &io), Value(int32_t{2}));
+  EXPECT_EQ(*sscg.ProbeValue(42, 1, &buffers_, 1, &io), Value(21.0));
 }
 
 TEST_F(SscgTest, ScanSlotFindsMatches) {

@@ -28,6 +28,17 @@ TEST(StatusTest, Factories) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, FaultCodesToString) {
+  EXPECT_EQ(Status::Unavailable("page 3 dead").ToString(),
+            "UNAVAILABLE: page 3 dead");
+  EXPECT_EQ(Status::DataLoss("checksum mismatch").ToString(),
+            "DATA_LOSS: checksum mismatch");
+  EXPECT_EQ(Status::Unavailable("").ToString(), "UNAVAILABLE");
+  EXPECT_EQ(Status::DataLoss("").ToString(), "DATA_LOSS");
 }
 
 TEST(StatusOrTest, HoldsValue) {

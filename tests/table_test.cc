@@ -47,8 +47,8 @@ TEST_F(TableTest, BulkLoadAllDram) {
     EXPECT_EQ(table_.location(c), ColumnLocation::kDram);
     EXPECT_GT(table_.ColumnDramBytes(c), 0u);
   }
-  EXPECT_EQ(table_.GetValue(0, 42, 1, nullptr), Value(int32_t{42}));
-  EXPECT_EQ(table_.GetValue(2, 10, 1, nullptr), Value(15.0));
+  EXPECT_EQ(*table_.GetValue(0, 42, 1, nullptr), Value(int32_t{42}));
+  EXPECT_EQ(*table_.GetValue(2, 10, 1, nullptr), Value(15.0));
 }
 
 TEST_F(TableTest, InsertGoesToDelta) {
@@ -61,7 +61,7 @@ TEST_F(TableTest, InsertGoesToDelta) {
   txns_.Commit(&txn);
   EXPECT_EQ(table_.delta_row_count(), 1u);
   EXPECT_EQ(table_.row_count(), 11u);
-  EXPECT_EQ(table_.GetValue(0, 10, 1, nullptr), Value(int32_t{100}));
+  EXPECT_EQ(*table_.GetValue(0, 10, 1, nullptr), Value(int32_t{100}));
 }
 
 TEST_F(TableTest, InsertArityAndTypeChecked) {
@@ -112,8 +112,8 @@ TEST_F(TableTest, SetPlacementEvictsToSscg) {
   ASSERT_NE(table_.sscg(), nullptr);
   EXPECT_EQ(table_.sscg()->layout().member_count(), 2u);
   // Values still correct from the SSCG.
-  EXPECT_EQ(table_.GetValue(2, 10, 1, nullptr), Value(15.0));
-  EXPECT_EQ(table_.GetValue(3, 4, 1, nullptr), Value("n1"));
+  EXPECT_EQ(*table_.GetValue(2, 10, 1, nullptr), Value(15.0));
+  EXPECT_EQ(*table_.GetValue(3, 4, 1, nullptr), Value("n1"));
   // DRAM footprint shrank.
   EXPECT_EQ(table_.MainDramBytes(),
             table_.ColumnDramBytes(0) + table_.ColumnDramBytes(1));
@@ -125,8 +125,8 @@ TEST_F(TableTest, PlacementRoundTripRestoresMrc) {
   ASSERT_TRUE(table_.SetPlacement({true, true, true, true}, nullptr).ok());
   EXPECT_EQ(table_.sscg(), nullptr);
   for (RowId r = 0; r < 100; r += 17) {
-    EXPECT_EQ(table_.GetValue(1, r, 1, nullptr), Value(int32_t(r % 7)));
-    EXPECT_EQ(table_.GetValue(2, r, 1, nullptr), Value(double(r) * 1.5));
+    EXPECT_EQ(*table_.GetValue(1, r, 1, nullptr), Value(int32_t(r % 7)));
+    EXPECT_EQ(*table_.GetValue(2, r, 1, nullptr), Value(double(r) * 1.5));
   }
 }
 
@@ -135,7 +135,7 @@ TEST_F(TableTest, ReconstructRowAcrossLocations) {
   table_.BulkLoad(rows);
   ASSERT_TRUE(table_.SetPlacement({true, false, false, false}, nullptr).ok());
   IoStats io;
-  Row got = table_.ReconstructRow(33, 1, &io);
+  Row got = *table_.ReconstructRow(33, 1, &io);
   EXPECT_EQ(got, rows[33]);
   // One page read for the three SSCG attributes + DRAM touches for the MRC.
   EXPECT_EQ(io.page_reads + io.cache_hits, 1u);
@@ -148,7 +148,7 @@ TEST_F(TableTest, ReconstructDeltaRow) {
   Row fresh{Value(int32_t{500}), Value(int32_t{5}), Value(9.5), Value("new")};
   ASSERT_TRUE(table_.Insert(txn, fresh).ok());
   txns_.Commit(&txn);
-  EXPECT_EQ(table_.ReconstructRow(5, 1, nullptr), fresh);
+  EXPECT_EQ(*table_.ReconstructRow(5, 1, nullptr), fresh);
 }
 
 TEST_F(TableTest, MergeDeltaMovesRowsToMain) {
@@ -165,7 +165,7 @@ TEST_F(TableTest, MergeDeltaMovesRowsToMain) {
   table_.MergeDelta();
   EXPECT_EQ(table_.main_row_count(), 15u);
   EXPECT_EQ(table_.delta_row_count(), 0u);
-  EXPECT_EQ(table_.GetValue(0, 12, 1, nullptr), Value(int32_t{102}));
+  EXPECT_EQ(*table_.GetValue(0, 12, 1, nullptr), Value(int32_t{102}));
 }
 
 TEST_F(TableTest, MergeDropsDeletedAndUncommitted) {
@@ -186,8 +186,8 @@ TEST_F(TableTest, MergeDropsDeletedAndUncommitted) {
   Transaction reader = txns_.Begin();
   for (RowId r = 0; r < table_.main_row_count(); ++r) {
     EXPECT_TRUE(table_.IsVisible(r, reader));
-    EXPECT_NE(table_.GetValue(0, r, 1, nullptr), Value(int32_t{3}));
-    EXPECT_NE(table_.GetValue(0, r, 1, nullptr), Value(int32_t{999}));
+    EXPECT_NE(*table_.GetValue(0, r, 1, nullptr), Value(int32_t{3}));
+    EXPECT_NE(*table_.GetValue(0, r, 1, nullptr), Value(int32_t{999}));
   }
 }
 
@@ -203,8 +203,8 @@ TEST_F(TableTest, MergePreservesPlacement) {
   table_.MergeDelta();
   EXPECT_EQ(table_.location(2), ColumnLocation::kSecondary);
   EXPECT_EQ(table_.main_row_count(), 21u);
-  EXPECT_EQ(table_.GetValue(2, 20, 1, nullptr), Value(2.5));
-  EXPECT_EQ(table_.GetValue(3, 20, 1, nullptr), Value("m"));
+  EXPECT_EQ(*table_.GetValue(2, 20, 1, nullptr), Value(2.5));
+  EXPECT_EQ(*table_.GetValue(3, 20, 1, nullptr), Value("m"));
 }
 
 TEST_F(TableTest, SelectivityEstimateIsInverseDistinct) {
