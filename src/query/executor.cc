@@ -89,7 +89,10 @@ const MainIndex* QueryExecutor::PickIndex(const Query& query,
   for (size_t i = 0; i < query.predicates.size(); ++i) {
     const MainIndex* index = table_->FindIndex(query.predicates[i].column);
     if (index == nullptr) continue;
-    const double s = table_->SelectivityEstimate(query.predicates[i].column);
+    // Histogram-backed, predicate-aware estimate: a wide range over a
+    // low-cardinality index should lose to a tight range over a wide one,
+    // which the static per-column 1/distinct default cannot express.
+    const double s = EstimateSelectivity(query.predicates[i]);
     if (s < best_selectivity) {
       best_selectivity = s;
       best = index;
@@ -154,9 +157,12 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
           table_->location(pred.column) == ColumnLocation::kSecondary) {
         // Too many candidates for random page probes: sequentially scan the
         // tiered group and intersect (paper §II-B scan-vs-probe switch).
+        // The rescan is restricted to the page span covered by the
+        // surviving candidates — pages outside it cannot contribute to the
+        // intersection.
         PositionList scanned;
         Status status = ScanMainColumn(*table_, pred.column, pred, threads,
-                                       &scanned, &result->io);
+                                       &scanned, &result->io, &positions);
         if (!status.ok()) return status;
         std::set_intersection(positions.begin(), positions.end(),
                               scanned.begin(), scanned.end(),

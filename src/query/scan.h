@@ -15,17 +15,30 @@ namespace hytap {
 /// split the scan into morsels; the same value feeds the simulated cost
 /// model as the device queue depth. An SSCG page error (kUnavailable /
 /// kDataLoss) is returned with `out` untouched; DRAM scans cannot fail.
+///
+/// While `ZoneMapsEnabled()`, data skipping applies: MRC morsels whose zone
+/// maps exclude the predicate are never decoded (io->morsels_pruned) and
+/// their DRAM cost is not charged; SSCG pages whose slot synopsis excludes
+/// it are never fetched (io->pages_pruned). A non-null `restrict_to`
+/// (ascending candidate positions, SSCG placement only) further limits the
+/// sequential pass to the page span covered by the candidates — the
+/// executor's candidate-restricted rescan on the scan side of the
+/// scan-vs-probe switch.
 Status ScanMainColumn(const Table& table, ColumnId column,
                       const Predicate& pred, uint32_t threads,
-                      PositionList* out, IoStats* io);
+                      PositionList* out, IoStats* io,
+                      const PositionList* restrict_to = nullptr);
 
 /// Morsel-parallel driver of the MRC vectorized scan: splits
 /// [0, column.size()) into kScanMorselRows morsels executed by up to
 /// `threads` workers and appends the per-morsel position lists to `out` in
-/// ascending order — byte-identical to a serial ScanBetween. Exposed for
+/// ascending order — byte-identical to a serial ScanBetween. Morsels whose
+/// zone maps exclude [lo, hi] are skipped before decode and counted in
+/// `io->morsels_pruned` (zero while HYTAP_ZONE_MAPS is off). Exposed for
 /// benchmarks; adds no simulated cost.
 void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
-                        const Value* hi, uint32_t threads, PositionList* out);
+                        const Value* hi, uint32_t threads, PositionList* out,
+                        IoStats* io = nullptr);
 
 /// Probes main-partition candidate positions (ascending) against a column.
 /// An SSCG page error is returned with `out` untouched.

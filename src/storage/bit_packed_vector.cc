@@ -54,6 +54,7 @@ void BitPackedVector::Append(uint64_t value) {
     // Spills into the next word.
     words_.push_back(value >> (64 - offset));
   }
+  zone_map_.Update(size_, value);
   ++size_;
 }
 
@@ -70,6 +71,10 @@ void BitPackedVector::Set(size_t index, uint64_t value) {
     words_[word + 1] =
         (words_[word + 1] & ~high_mask) | (value >> (64 - offset));
   }
+  // Overwrites only widen the zone bounds (recomputing the exact min/max
+  // would cost a zone rescan); the map stays a conservative cover, which is
+  // all pruning correctness requires.
+  zone_map_.Update(index, value);
 }
 
 void BitPackedVector::ScanEqual(uint64_t target, size_t row_begin,

@@ -7,6 +7,7 @@
 
 #include "common/assert.h"
 #include "storage/column.h"
+#include "storage/zone_map.h"
 
 namespace hytap {
 
@@ -63,16 +64,24 @@ class BitPackedVector {
 
   /// Heap bytes used by the packed payload (occupied words, not vector
   /// capacity: the capacity figure would inflate the scan cost model and
-  /// the DRAM-budget accounting after Append-heavy builds).
+  /// the DRAM-budget accounting after Append-heavy builds). Zone-map
+  /// metadata (~0.003 %) is excluded and reported separately.
   size_t MemoryUsage() const { return words_.size() * sizeof(uint64_t); }
 
   void Reserve(size_t count);
+
+  /// Per-`kZoneMapRows`-block min/max codes, maintained on Append and
+  /// conservatively widened on Set. Scans consult it (when
+  /// `ZoneMapsEnabled()`) to skip whole blocks whose code bounds miss the
+  /// predicate's code interval.
+  const ZoneMap& zone_map() const { return zone_map_; }
 
  private:
   uint32_t bits_;
   uint64_t mask_;
   size_t size_ = 0;
   std::vector<uint64_t> words_;
+  ZoneMap zone_map_;
 };
 
 }  // namespace hytap

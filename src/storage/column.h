@@ -73,6 +73,21 @@ class AbstractColumn {
   /// after earlier predicates reduced the candidate set (paper §II-B).
   virtual void Probe(const Value* lo, const Value* hi, const PositionList& in,
                      PositionList* out) const = 0;
+
+  /// Conservative pre-filter consulted by the scan driver before any decode
+  /// work is scheduled: true when encoding metadata (dictionary domain, zone
+  /// maps) proves no row in [row_begin, row_end) satisfies [lo, hi]. False
+  /// means "may match" — never a correctness statement. Implementations must
+  /// honor the HYTAP_ZONE_MAPS knob and return false while skipping is off,
+  /// so pruning counters read zero on the baseline path.
+  virtual bool CanSkipRange(const Value* lo, const Value* hi,
+                            size_t row_begin, size_t row_end) const {
+    (void)lo;
+    (void)hi;
+    (void)row_begin;
+    (void)row_end;
+    return false;
+  }
 };
 
 }  // namespace hytap

@@ -79,15 +79,48 @@ void DictionaryColumn<T>::ScanBetweenRange(const Value* lo, const Value* hi,
                                            size_t row_begin, size_t row_end,
                                            PositionList* out) const {
   ValueId code_lo, code_hi;
+  // Dictionary-domain short-circuit: a predicate interval that misses
+  // [dict.min, dict.max] — or falls between two adjacent dictionary values —
+  // yields an empty code interval and never touches the code vector.
   if (!CodeRange(lo, hi, &code_lo, &code_hi)) return;
   row_end = std::min(row_end, codes_.size());
   if (row_begin >= row_end) return;
-  if (code_lo + 1 == code_hi) {
-    // Equality on a single code: the common OLTP case.
-    codes_.ScanEqual(code_lo, row_begin, row_end, out);
-  } else {
-    codes_.ScanRange(code_lo, code_hi, row_begin, row_end, out);
+  const bool equality = code_lo + 1 == code_hi;
+  if (!ZoneMapsEnabled()) {
+    if (equality) {
+      // Equality on a single code: the common OLTP case.
+      codes_.ScanEqual(code_lo, row_begin, row_end, out);
+    } else {
+      codes_.ScanRange(code_lo, code_hi, row_begin, row_end, out);
+    }
+    return;
   }
+  // Zone-aligned chunks: a zone whose [min, max] code bounds miss the
+  // predicate's code interval is skipped without decoding a single word.
+  const ZoneMap& zones = codes_.zone_map();
+  for (size_t chunk_begin = row_begin; chunk_begin < row_end;) {
+    const size_t zone = chunk_begin / kZoneMapRows;
+    const size_t chunk_end = std::min(row_end, (zone + 1) * kZoneMapRows);
+    if (!zones.Prunes(chunk_begin, chunk_end, code_lo, code_hi)) {
+      if (equality) {
+        codes_.ScanEqual(code_lo, chunk_begin, chunk_end, out);
+      } else {
+        codes_.ScanRange(code_lo, code_hi, chunk_begin, chunk_end, out);
+      }
+    }
+    chunk_begin = chunk_end;
+  }
+}
+
+template <typename T>
+bool DictionaryColumn<T>::CanSkipRange(const Value* lo, const Value* hi,
+                                       size_t row_begin,
+                                       size_t row_end) const {
+  if (!ZoneMapsEnabled()) return false;
+  ValueId code_lo, code_hi;
+  if (!CodeRange(lo, hi, &code_lo, &code_hi)) return true;
+  return codes_.zone_map().Prunes(row_begin, std::min(row_end, codes_.size()),
+                                  code_lo, code_hi);
 }
 
 template <typename T>

@@ -35,6 +35,8 @@ class DictionaryColumn : public AbstractColumn {
                         size_t row_end, PositionList* out) const override;
   void Probe(const Value* lo, const Value* hi, const PositionList& in,
              PositionList* out) const override;
+  bool CanSkipRange(const Value* lo, const Value* hi, size_t row_begin,
+                    size_t row_end) const override;
 
   /// Typed accessor used by hot loops (no Value boxing).
   const T& Get(RowId row) const {

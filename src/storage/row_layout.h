@@ -32,6 +32,9 @@ class RowLayout {
   /// not a member of this group.
   int SlotOf(ColumnId column) const;
 
+  /// Data type stored in member slot `slot`.
+  DataType slot_type(size_t slot) const { return slots_[slot].type; }
+
   /// Page that holds `row`, and the byte offset of the row inside the page.
   PageId PageOf(RowId row) const { return row / rows_per_page_; }
   size_t OffsetInPage(RowId row) const {

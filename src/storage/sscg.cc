@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "common/thread_pool.h"
+#include "storage/zone_map.h"
 
 namespace hytap {
 
@@ -17,7 +18,9 @@ bool InRange(const Value& v, const Value* lo, const Value* hi) {
 
 Sscg::Sscg(RowLayout layout, const std::vector<Row>& rows,
            SecondaryStore* store, uint64_t* out_write_ns)
-    : layout_(std::move(layout)), row_count_(rows.size()) {
+    : layout_(std::move(layout)),
+      synopsis_(layout_, rows),
+      row_count_(rows.size()) {
   HYTAP_ASSERT(store != nullptr, "SSCG requires a store");
   const size_t pages = layout_.PageCountFor(rows.size());
   page_ids_.reserve(pages);
@@ -80,15 +83,41 @@ StatusOr<Value> Sscg::ProbeValue(RowId row, size_t slot, BufferManager* buffers,
 Status Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
                       BufferManager* buffers, uint32_t threads,
                       PositionList* out, IoStats* io) const {
-  if (page_ids_.empty()) return Status::Ok();
-  // Accounting pass, single-threaded and in page order: pulls every page
-  // through the cache exactly as the serial scan did, so hit/miss counts,
-  // CLOCK state, simulated latencies — and the fault-injection schedule —
-  // are identical for any worker count (the `threads` queue depth still
-  // scales the modeled latency). A page error aborts here, before any
-  // position is produced, so the first failure in page order wins
-  // regardless of thread count.
-  for (PageId local = 0; local < page_ids_.size(); ++local) {
+  return ScanSlotPages(slot, lo, hi, 0, page_ids_.size(), buffers, threads,
+                       out, io);
+}
+
+Status Sscg::ScanSlotPages(size_t slot, const Value* lo, const Value* hi,
+                           size_t page_begin, size_t page_end,
+                           BufferManager* buffers, uint32_t threads,
+                           PositionList* out, IoStats* io) const {
+  page_end = std::min(page_end, page_ids_.size());
+  if (page_begin >= page_end) return Status::Ok();
+  // Survivor set, decided serially in page order: each pruning decision is a
+  // pure function of the immutable per-page synopsis, so the surviving page
+  // sequence — and with it every fetch, fault draw, and counter below — is
+  // identical at any worker count, and a pruned page consumes nothing: no
+  // buffer-manager fetch, no device latency, no checksum verify, no fault
+  // draw.
+  const bool skipping = ZoneMapsEnabled() && synopsis_.has_slot(slot);
+  std::vector<size_t> survivors;
+  survivors.reserve(page_end - page_begin);
+  for (size_t local = page_begin; local < page_end; ++local) {
+    if (skipping && synopsis_.Prunes(local, slot, lo, hi)) continue;
+    survivors.push_back(local);
+  }
+  if (io != nullptr) {
+    io->pages_pruned += (page_end - page_begin) - survivors.size();
+  }
+  if (survivors.empty()) return Status::Ok();
+  // Accounting pass, single-threaded and in page order: pulls every
+  // surviving page through the cache exactly as the serial scan did, so
+  // hit/miss counts, CLOCK state, simulated latencies — and the
+  // fault-injection schedule — are identical for any worker count (the
+  // `threads` queue depth still scales the modeled latency). A page error
+  // aborts here, before any position is produced, so the first failure in
+  // page order wins regardless of thread count.
+  for (size_t local : survivors) {
     auto fetch = buffers->FetchPage(page_ids_[local],
                                     AccessPattern::kSequential, threads);
     if (!fetch.ok()) return fetch.status();
@@ -103,20 +132,22 @@ Status Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
       }
     }
   }
-  // Filter pass: morsels of whole pages, each worker deserializing into its
-  // own position list; concatenation in morsel order yields the ascending
-  // serial output. Workers read page payloads via the raw store (identical
-  // bytes, no cache mutation, no timing).
+  // Filter pass: morsels of whole surviving pages, each worker
+  // deserializing into its own position list; concatenation in morsel order
+  // yields the ascending serial output (survivors are ascending). Workers
+  // read page payloads via the raw store (identical bytes, no cache
+  // mutation, no timing).
   const SecondaryStore* store = buffers->store();
   HYTAP_ASSERT(store != nullptr, "buffer manager without a store");
   const size_t morsels =
-      ThreadPool::MorselCount(0, page_ids_.size(), kScanMorselPages);
+      ThreadPool::MorselCount(0, survivors.size(), kScanMorselPages);
   std::vector<PositionList> parts(morsels);
   ThreadPool::Global().ParallelFor(
-      0, page_ids_.size(), kScanMorselPages, threads,
-      [&](size_t m, size_t page_begin, size_t page_end) {
+      0, survivors.size(), kScanMorselPages, threads,
+      [&](size_t m, size_t s_begin, size_t s_end) {
         PositionList& part = parts[m];
-        for (size_t local = page_begin; local < page_end; ++local) {
+        for (size_t s = s_begin; s < s_end; ++s) {
+          const size_t local = survivors[s];
           const SecondaryStore::Page& page = store->RawPage(page_ids_[local]);
           RowId row = local * layout_.rows_per_page();
           const size_t rows_here =
@@ -128,6 +159,9 @@ Status Sscg::ScanSlot(size_t slot, const Value* lo, const Value* hi,
           }
         }
       });
+  size_t total = out->size();
+  for (const PositionList& part : parts) total += part.size();
+  out->reserve(total);
   for (const PositionList& part : parts) {
     out->insert(out->end(), part.begin(), part.end());
   }

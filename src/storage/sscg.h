@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "storage/row_layout.h"
+#include "storage/slot_synopsis.h"
 #include "tiering/buffer_manager.h"
 #include "tiering/secondary_store.h"
 
@@ -14,11 +15,14 @@ namespace hytap {
 
 /// Aggregated simulated-IO accounting for one engine operation.
 struct IoStats {
-  uint64_t device_ns = 0;   // summed per-requester device time
-  uint64_t dram_ns = 0;     // DRAM access cost (cache misses)
-  uint64_t page_reads = 0;  // secondary-storage page fetches (misses)
-  uint64_t cache_hits = 0;  // buffer-manager hits
-  uint64_t retries = 0;     // page-read attempts beyond the first
+  uint64_t device_ns = 0;      // summed per-requester device time
+  uint64_t dram_ns = 0;        // DRAM access cost (cache misses)
+  uint64_t page_reads = 0;     // secondary-storage page fetches (misses)
+  uint64_t cache_hits = 0;     // buffer-manager hits
+  uint64_t retries = 0;        // page-read attempts beyond the first
+  uint64_t morsels_pruned = 0; // MRC scan morsels skipped via zone maps
+  uint64_t pages_pruned = 0;   // SSCG pages skipped (synopsis / candidate
+                               // range) — no fetch, no latency, no CRC
 
   uint64_t TotalNs() const { return device_ns + dram_ns; }
   /// Wall-clock estimate when `threads` workers split the operation.
@@ -31,6 +35,8 @@ struct IoStats {
     page_reads += other.page_reads;
     cache_hits += other.cache_hits;
     retries += other.retries;
+    morsels_pruned += other.morsels_pruned;
+    pages_pruned += other.pages_pruned;
     return *this;
   }
 };
@@ -76,12 +82,24 @@ class Sscg {
 
   /// Sequentially scans member slot `slot`, appending qualifying rows
   /// ([lo, hi] closed interval, null = unbounded) to `out`. Reads every page
-  /// of the group (row-oriented layout: no projection pushdown). On a page
-  /// error the first failure (in page order) is returned and `out` is left
-  /// untouched; the IO accrued before the failure stays in `io`.
+  /// of the group (row-oriented layout: no projection pushdown) except pages
+  /// whose slot synopsis proves them irrelevant while `ZoneMapsEnabled()`:
+  /// those are skipped entirely — no buffer-manager fetch, no device
+  /// latency, no checksum verify — and counted in `io->pages_pruned`. On a
+  /// page error the first failure (in page order) is returned and `out` is
+  /// left untouched; the IO accrued before the failure stays in `io`.
   Status ScanSlot(size_t slot, const Value* lo, const Value* hi,
                   BufferManager* buffers, uint32_t threads, PositionList* out,
                   IoStats* io) const;
+
+  /// ScanSlot restricted to local pages [page_begin, page_end) — the
+  /// executor's candidate-restricted scan limits the sequential pass to the
+  /// page span covered by the surviving candidate positions. Appends
+  /// qualifying rows of those pages only (global row ids, ascending).
+  Status ScanSlotPages(size_t slot, const Value* lo, const Value* hi,
+                       size_t page_begin, size_t page_end,
+                       BufferManager* buffers, uint32_t threads,
+                       PositionList* out, IoStats* io) const;
 
   /// Probes member slot `slot` for the candidate positions `in` (ascending),
   /// appending survivors to `out`. Consecutive candidates on the same page
@@ -98,6 +116,10 @@ class Sscg {
   /// Store page ids backing this group (migration verify-after-write).
   const std::vector<PageId>& page_ids() const { return page_ids_; }
 
+  /// Per-page min/max bounds of the numeric member slots, built from the
+  /// intended row contents at construction (RebuildMain / merge) time.
+  const SlotSynopsis& synopsis() const { return synopsis_; }
+
  private:
   StatusOr<const SecondaryStore::Page*> FetchRowPage(RowId row,
                                                      BufferManager* buffers,
@@ -106,6 +128,7 @@ class Sscg {
                                                      IoStats* io) const;
 
   RowLayout layout_;
+  SlotSynopsis synopsis_;
   std::vector<PageId> page_ids_;
   size_t row_count_;
 };

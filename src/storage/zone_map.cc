@@ -1,0 +1,31 @@
+#include "storage/zone_map.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hytap {
+
+namespace {
+
+bool InitFromEnv() {
+  const char* env = std::getenv("HYTAP_ZONE_MAPS");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "false") != 0;
+}
+
+std::atomic<bool>& Flag() {
+  static std::atomic<bool> enabled{InitFromEnv()};
+  return enabled;
+}
+
+}  // namespace
+
+bool ZoneMapsEnabled() { return Flag().load(std::memory_order_relaxed); }
+
+void SetZoneMapsEnabled(bool enabled) {
+  Flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace hytap

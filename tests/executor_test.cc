@@ -228,6 +228,24 @@ TEST_F(ExecutorTest, CandidateTraceShrinks) {
   EXPECT_GE(result.candidate_trace[0], result.candidate_trace[1]);
 }
 
+TEST_F(ExecutorTest, PickIndexUsesHistogramEstimate) {
+  ASSERT_TRUE(table_.CreateIndex({0}).ok());  // id: 1000 distinct
+  ASSERT_TRUE(table_.CreateIndex({1}).ok());  // grp: 10 distinct
+  table_.BuildStatistics();
+  Query query;
+  // Wide range over the high-cardinality id (~0.9 selectivity) vs equality
+  // on grp (0.1). The static 1/distinct default would pick the id index and
+  // pull ~900 candidates; the histogram-backed estimate picks grp.
+  query.predicates.push_back(
+      Predicate::Between(0, Value(int32_t{0}), Value(int32_t{899})));
+  query.predicates.push_back(Predicate::Equals(1, Value(int32_t{3})));
+  Transaction txn = txns_.Begin();
+  QueryResult result = executor_.Execute(txn, query);
+  EXPECT_EQ(result.positions, Naive(query, txn));
+  ASSERT_FALSE(result.candidate_trace.empty());
+  EXPECT_EQ(result.candidate_trace[0], 100u);
+}
+
 // Property: random conjunctive queries match naive evaluation across mixed
 // placements and delta contents.
 class ExecutorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
