@@ -196,5 +196,6 @@ int main() {
   AblateBeta();
   AblateProbeThreshold();
   AblateSecondaryFormat();
+  bench::MaybeWriteMetricsSnapshot("ablation_selection");
   return 0;
 }

@@ -248,5 +248,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("acceptance gate passed: >= 5x page_reads reduction\n");
+  bench::MaybeWriteMetricsSnapshot("data_skipping");
   return 0;
 }

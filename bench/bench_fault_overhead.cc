@@ -156,5 +156,6 @@ int main(int argc, char** argv) {
   }
 
   WriteJson("BENCH_fault_overhead.json");
+  bench::MaybeWriteMetricsSnapshot("fault_overhead");
   return 0;
 }

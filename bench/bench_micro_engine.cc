@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "selection/selectors.h"
 #include "storage/bit_packed_vector.h"
@@ -144,4 +145,13 @@ BENCHMARK(BM_IntegerSelection)->Arg(1000);
 }  // namespace
 }  // namespace hytap
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the optional metrics snapshot can be written
+// after the benchmark run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  hytap::bench::MaybeWriteMetricsSnapshot("micro_engine");
+  return 0;
+}

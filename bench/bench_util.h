@@ -3,6 +3,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/metrics.h"
 
 namespace hytap::bench {
 
@@ -22,6 +27,29 @@ class Stopwatch {
 
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+/// Dumps the process-wide metrics registry to METRICS_<bench_name>.json when
+/// HYTAP_BENCH_METRICS is set ("1"/"on"/"true"); a no-op otherwise. Every
+/// bench main calls this last, so any benchmark run can emit an
+/// observability snapshot alongside its BENCH_*.json result.
+inline void MaybeWriteMetricsSnapshot(const char* bench_name) {
+  const char* env = std::getenv("HYTAP_BENCH_METRICS");
+  if (env == nullptr ||
+      (std::strcmp(env, "1") != 0 && std::strcmp(env, "on") != 0 &&
+       std::strcmp(env, "true") != 0)) {
+    return;
+  }
+  const std::string path = std::string("METRICS_") + bench_name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("metrics snapshot written to %s\n", path.c_str());
 }
 
 }  // namespace hytap::bench

@@ -1,8 +1,49 @@
 #include "core/migrator.h"
 
 #include "common/assert.h"
+#include "common/metrics.h"
 
 namespace hytap {
+
+namespace {
+
+/// Registry handles resolved once; Add() is gated on the HYTAP_METRICS knob.
+/// The predicted/observed pairs let dashboards track the cost-model error of
+/// the advisor's migration estimates.
+struct MigratorMetrics {
+  Counter* started;
+  Counter* applied;
+  Counter* rejected;  // estimate exceeded the maintenance window
+  Counter* aborted;   // physical move failed (verify-after-write)
+  Counter* predicted_moved_bytes;
+  Counter* observed_moved_bytes;
+  Counter* predicted_duration_ns;
+  Counter* observed_duration_ns;
+
+  static MigratorMetrics& Get() {
+    static MigratorMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  MigratorMetrics() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    started = registry.GetCounter("hytap_migrations_started_total");
+    applied = registry.GetCounter("hytap_migrations_applied_total");
+    rejected = registry.GetCounter("hytap_migrations_rejected_total");
+    aborted = registry.GetCounter("hytap_migrations_aborted_total");
+    predicted_moved_bytes =
+        registry.GetCounter("hytap_migration_predicted_moved_bytes_total");
+    observed_moved_bytes =
+        registry.GetCounter("hytap_migration_observed_moved_bytes_total");
+    predicted_duration_ns =
+        registry.GetCounter("hytap_migration_predicted_duration_ns_total");
+    observed_duration_ns =
+        registry.GetCounter("hytap_migration_observed_duration_ns_total");
+  }
+};
+
+}  // namespace
 
 MigrationReport Migrator::Estimate(const TieredTable& table,
                                    const std::vector<bool>& in_dram) const {
@@ -28,14 +69,28 @@ MigrationReport Migrator::Estimate(const TieredTable& table,
 
 StatusOr<MigrationReport> Migrator::Apply(
     TieredTable* table, const std::vector<bool>& in_dram) const {
+  MigratorMetrics& metrics = MigratorMetrics::Get();
+  metrics.started->Add();
   MigrationReport report = Estimate(*table, in_dram);
+  metrics.predicted_moved_bytes->Add(report.moved_bytes);
+  metrics.predicted_duration_ns->Add(report.duration_ns);
   if (max_window_ns_ != 0 && report.duration_ns > max_window_ns_) {
+    metrics.rejected->Add();
     return report;  // too expensive for the maintenance window
   }
   StatusOr<uint64_t> moved = table->ApplyPlacement(in_dram);
-  if (!moved.ok()) return moved.status();
+  if (!moved.ok()) {
+    metrics.aborted->Add();
+    return moved.status();
+  }
   report.moved_bytes = *moved;
   report.applied = true;
+  metrics.applied->Add();
+  metrics.observed_moved_bytes->Add(report.moved_bytes);
+  const uint64_t observed_pages =
+      (report.moved_bytes + kPageSize - 1) / kPageSize;
+  metrics.observed_duration_ns->Add(table->store().device().SequentialWriteNs(
+      observed_pages, /*threads=*/1));
   return report;
 }
 

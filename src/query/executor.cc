@@ -1,13 +1,158 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <optional>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "query/scan.h"
 
 namespace hytap {
+
+namespace {
+
+/// Registry handles resolved once; updates are gated on the HYTAP_METRICS
+/// knob.
+struct QueryMetrics {
+  Counter* queries;
+  Counter* query_failures;
+  Counter* index_lookups;
+  Counter* probe_steps;
+  Counter* scan_to_probe_switches;
+  Counter* rescan_steps;
+  HistogramMetric* query_sim_ns;
+  HistogramMetric* query_result_rows;
+
+  static QueryMetrics& Get() {
+    static QueryMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  QueryMetrics() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    queries = registry.GetCounter("hytap_query_executions_total");
+    query_failures = registry.GetCounter("hytap_query_failures_total");
+    index_lookups = registry.GetCounter("hytap_query_index_lookups_total");
+    probe_steps = registry.GetCounter("hytap_query_probe_steps_total");
+    scan_to_probe_switches =
+        registry.GetCounter("hytap_query_scan_to_probe_switches_total");
+    rescan_steps = registry.GetCounter("hytap_query_rescan_steps_total");
+    query_sim_ns = registry.GetHistogram("hytap_query_simulated_ns",
+                                         DurationNsBuckets());
+    query_result_rows =
+        registry.GetHistogram("hytap_query_result_rows", RowCountBuckets());
+  }
+};
+
+/// Steady-clock ns for TraceSpan::wall_ns (only sampled while tracing).
+uint64_t WallClockNs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/// Starts a child span of `parent` (no-op when `parent` is null) and, on
+/// Finish, stamps the simulated/wall deltas, annotates the IoStats counter
+/// deltas accrued during the step, and moves the child into the parent.
+/// The child is a local value until Finish — never a pointer into the
+/// parent's `children` vector, which reallocates.
+/// Sums an integer annotation over a span subtree (absent = 0).
+uint64_t SubtreeAnnotationSum(const TraceSpan& span, const char* key) {
+  uint64_t total = 0;
+  const std::string& value = span.Annotation(key);
+  if (!value.empty()) total += std::strtoull(value.c_str(), nullptr, 10);
+  for (const TraceSpan& child : span.children) {
+    total += SubtreeAnnotationSum(child, key);
+  }
+  return total;
+}
+
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSpan* parent, const char* name, const IoStats* io)
+      : parent_(parent), io_(io) {
+    if (parent_ == nullptr) return;
+    span_.name = name;
+    io_before_ = *io_;
+    wall_before_ = WallClockNs();
+  }
+
+  /// Finishes on scope exit so early `return status` paths still record the
+  /// (partial) step; an explicit Finish() earlier wins and makes this a
+  /// no-op.
+  ~ScopedSpan() { Finish(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return parent_ != nullptr; }
+  /// The span under construction (null while inactive) — passed down as the
+  /// parent for nested steps. Valid until Finish().
+  TraceSpan* span() { return parent_ != nullptr ? &span_ : nullptr; }
+  void Annotate(std::string key, std::string value) {
+    if (parent_ != nullptr) span_.Annotate(std::move(key), std::move(value));
+  }
+
+  void Finish() {
+    if (parent_ == nullptr) return;
+    span_.simulated_ns = io_->TotalNs() - io_before_.TotalNs();
+    span_.wall_ns = WallClockNs() - wall_before_;
+    const IoStats& after = *io_;
+    // Counter annotations are exclusive (self-only): nested steps already
+    // annotated their share, so subtract each child subtree. The per-span
+    // values then partition the query's IoStats — summing them over the
+    // whole tree reproduces QueryResult::io exactly.
+    auto delta = [&](const char* key, uint64_t before_v, uint64_t after_v) {
+      uint64_t d = after_v - before_v;
+      for (const TraceSpan& child : span_.children) {
+        d -= SubtreeAnnotationSum(child, key);
+      }
+      if (d != 0) span_.Annotate(key, std::to_string(d));
+    };
+    delta("page_reads", io_before_.page_reads, after.page_reads);
+    delta("cache_hits", io_before_.cache_hits, after.cache_hits);
+    delta("retries", io_before_.retries, after.retries);
+    delta("morsels_pruned", io_before_.morsels_pruned, after.morsels_pruned);
+    delta("pages_pruned", io_before_.pages_pruned, after.pages_pruned);
+    delta("checksum_failures", io_before_.checksum_failures,
+          after.checksum_failures);
+    delta("quarantined_pages", io_before_.quarantined_pages,
+          after.quarantined_pages);
+    parent_->children.push_back(std::move(span_));
+    parent_ = nullptr;
+  }
+
+ private:
+  TraceSpan* parent_;
+  const IoStats* io_;
+  TraceSpan span_;
+  IoStats io_before_;
+  uint64_t wall_before_ = 0;
+};
+
+/// Standard per-predicate-step annotations: which column, the planner's
+/// estimated selectivity vs. the observed one (survivors / candidates), and
+/// the raw candidate counts.
+void AnnotatePredicateStep(ScopedSpan& span, const std::string& column,
+                           double est_selectivity, size_t candidates_in,
+                           size_t candidates_out) {
+  if (!span.active()) return;
+  span.Annotate("column", column);
+  span.Annotate("est_selectivity", TraceFormatDouble(est_selectivity));
+  span.Annotate("actual_selectivity",
+                TraceFormatDouble(candidates_in == 0
+                                      ? 0.0
+                                      : double(candidates_out) /
+                                            double(candidates_in)));
+  span.Annotate("candidates_in", std::to_string(candidates_in));
+  span.Annotate("candidates_out", std::to_string(candidates_out));
+}
+
+}  // namespace
 
 QueryExecutor::QueryExecutor(const Table* table, double probe_threshold)
     : table_(table), probe_threshold_(probe_threshold) {
@@ -105,8 +250,8 @@ const MainIndex* QueryExecutor::PickIndex(const Query& query,
 
 Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
                                   const std::vector<size_t>& order,
-                                  uint32_t threads,
-                                  QueryResult* result) const {
+                                  uint32_t threads, QueryResult* result,
+                                  TraceSpan* trace) const {
   const size_t main_rows = table_->main_row_count();
   if (main_rows == 0) return Status::Ok();
   PositionList positions;
@@ -115,6 +260,7 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
   std::vector<size_t> used_predicates;
   if (!query.predicates.empty()) {
     if (const MainIndex* index = PickIndex(query, &used_predicates)) {
+      ScopedSpan span(trace, "index", &result->io);
       if (index->columns().size() > 1) {
         Row key(index->columns().size());
         for (size_t k = 0; k < index->columns().size(); ++k) {
@@ -132,6 +278,17 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
       result->io.dram_ns += IndexLookupCostNs(index->size(),
                                               positions.size());
       result->candidate_trace.push_back(positions.size());
+      QueryMetrics::Get().index_lookups->Add();
+      if (span.active()) {
+        std::string columns;
+        for (ColumnId c : index->columns()) {
+          if (!columns.empty()) columns += ',';
+          columns += table_->schema()[c].name;
+        }
+        span.Annotate("columns", std::move(columns));
+        span.Annotate("candidates_out", std::to_string(positions.size()));
+      }
+      span.Finish();
       first = false;
     }
   }
@@ -141,9 +298,17 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
       continue;  // already answered by the index
     }
     const Predicate& pred = query.predicates[idx];
+    const size_t candidates_in = positions.size();
+    const char* step = nullptr;
     if (first) {
+      step = "scan";
+      ScopedSpan span(trace, step, &result->io);
       Status status = ScanMainColumn(*table_, pred.column, pred, threads,
                                      &positions, &result->io);
+      AnnotatePredicateStep(span, table_->schema()[pred.column].name,
+                            span.active() ? EstimateSelectivity(pred) : 0.0,
+                            main_rows, positions.size());
+      span.Finish();
       if (!status.ok()) return status;
       first = false;
     } else if (positions.empty()) {
@@ -153,26 +318,60 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
       const double fraction =
           static_cast<double>(positions.size()) / double(main_rows);
       PositionList next;
-      if (fraction >= probe_threshold_ &&
-          table_->location(pred.column) == ColumnLocation::kSecondary) {
+      const bool rescan =
+          fraction >= probe_threshold_ &&
+          table_->location(pred.column) == ColumnLocation::kSecondary;
+      step = rescan ? "rescan" : "probe";
+      ScopedSpan span(trace, step, &result->io);
+      if (span.active()) {
+        // The scan-vs-probe switch (paper §II-B): annotate the decision
+        // inputs so EXPLAIN shows *why* this step scanned or probed.
+        span.Annotate("qualifying_fraction", TraceFormatDouble(fraction));
+        span.Annotate("probe_threshold", TraceFormatDouble(probe_threshold_));
+        span.Annotate("decision", rescan ? "scan" : "probe");
+      }
+      if (rescan) {
         // Too many candidates for random page probes: sequentially scan the
         // tiered group and intersect (paper §II-B scan-vs-probe switch).
         // The rescan is restricted to the page span covered by the
         // surviving candidates — pages outside it cannot contribute to the
         // intersection.
+        QueryMetrics::Get().rescan_steps->Add();
         PositionList scanned;
         Status status = ScanMainColumn(*table_, pred.column, pred, threads,
                                        &scanned, &result->io, &positions);
-        if (!status.ok()) return status;
+        if (!status.ok()) {
+          AnnotatePredicateStep(span, table_->schema()[pred.column].name,
+                                span.active() ? EstimateSelectivity(pred)
+                                              : 0.0,
+                                candidates_in, 0);
+          span.Finish();
+          return status;
+        }
         std::set_intersection(positions.begin(), positions.end(),
                               scanned.begin(), scanned.end(),
                               std::back_inserter(next));
       } else {
+        QueryMetrics::Get().probe_steps->Add();
+        if (table_->location(pred.column) == ColumnLocation::kSecondary) {
+          QueryMetrics::Get().scan_to_probe_switches->Add();
+        }
         Status status = ProbeMainColumn(*table_, pred.column, pred, positions,
                                         threads, &next, &result->io);
-        if (!status.ok()) return status;
+        if (!status.ok()) {
+          AnnotatePredicateStep(span, table_->schema()[pred.column].name,
+                                span.active() ? EstimateSelectivity(pred)
+                                              : 0.0,
+                                candidates_in, 0);
+          span.Finish();
+          return status;
+        }
       }
       positions = std::move(next);
+      AnnotatePredicateStep(span, table_->schema()[pred.column].name,
+                            span.active() ? EstimateSelectivity(pred) : 0.0,
+                            candidates_in, positions.size());
+      span.Finish();
     }
     result->candidate_trace.push_back(positions.size());
   }
@@ -189,9 +388,11 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
 
 void QueryExecutor::ExecuteDelta(const Transaction& txn, const Query& query,
                                  const std::vector<size_t>& order,
-                                 QueryResult* result) const {
+                                 QueryResult* result,
+                                 TraceSpan* trace) const {
   const size_t delta_rows = table_->delta_row_count();
   if (delta_rows == 0) return;
+  ScopedSpan span(trace, "delta", &result->io);
   PositionList positions;
   bool first = true;
   for (size_t idx : order) {
@@ -213,10 +414,20 @@ void QueryExecutor::ExecuteDelta(const Transaction& txn, const Query& query,
     for (RowId r = 0; r < delta_rows; ++r) positions[r] = r;
   }
   const size_t main_rows = table_->main_row_count();
+  size_t visible = 0;
   for (RowId local : positions) {
     const RowId global = main_rows + local;
-    if (table_->IsVisible(global, txn)) result->positions.push_back(global);
+    if (table_->IsVisible(global, txn)) {
+      result->positions.push_back(global);
+      ++visible;
+    }
   }
+  if (span.active()) {
+    span.Annotate("delta_rows", std::to_string(delta_rows));
+    span.Annotate("qualifying", std::to_string(positions.size()));
+    span.Annotate("visible", std::to_string(visible));
+  }
+  span.Finish();
 }
 
 namespace {
@@ -240,9 +451,16 @@ double NumericAsDouble(const Value& v) {
 }  // namespace
 
 Status QueryExecutor::Materialize(const Query& query, uint32_t threads,
-                                  QueryResult* result) const {
+                                  QueryResult* result,
+                                  TraceSpan* trace) const {
   if (query.projections.empty() && query.aggregates.empty()) {
     return Status::Ok();
+  }
+  ScopedSpan span(trace, "materialize", &result->io);
+  if (span.active()) {
+    span.Annotate("positions", std::to_string(result->positions.size()));
+    span.Annotate("projections", std::to_string(query.projections.size()));
+    span.Annotate("aggregates", std::to_string(query.aggregates.size()));
   }
   const size_t main_rows = table_->main_row_count();
   // Fetch set: projections first, then any extra aggregate inputs, so
@@ -395,10 +613,32 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
   HYTAP_ASSERT(threads >= 1, "thread count must be >= 1");
   QueryResult result;
   const std::vector<size_t> order = PredicateOrder(query);
-  result.status = ExecuteMain(txn, query, order, threads, &result);
+  std::unique_ptr<TraceSpan> root;
+  uint64_t wall_before = 0;
+  if (TraceEnabled()) {
+    root = std::make_unique<TraceSpan>();
+    root->name = "execute";
+    root->Annotate("threads", std::to_string(threads));
+    std::string order_names;
+    for (size_t idx : order) {
+      if (!order_names.empty()) order_names += ',';
+      order_names += table_->schema()[query.predicates[idx].column].name;
+    }
+    root->Annotate("predicate_order", std::move(order_names));
+    wall_before = WallClockNs();
+  }
+  {
+    ScopedSpan main_span(root.get(), "main", &result.io);
+    if (main_span.active()) {
+      main_span.Annotate("main_rows",
+                         std::to_string(table_->main_row_count()));
+    }
+    result.status = ExecuteMain(txn, query, order, threads, &result,
+                                main_span.span());
+  }
   if (result.status.ok()) {
-    ExecuteDelta(txn, query, order, &result);
-    result.status = Materialize(query, threads, &result);
+    ExecuteDelta(txn, query, order, &result, root.get());
+    result.status = Materialize(query, threads, &result, root.get());
   }
   if (!result.status.ok()) {
     // Degrade cleanly: no partial positions, rows or aggregates ever leave
@@ -408,7 +648,38 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
     result.aggregate_values.clear();
     result.candidate_trace.clear();
   }
+  QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.queries->Add();
+  if (!result.status.ok()) metrics.query_failures->Add();
+  metrics.query_sim_ns->Observe(result.io.TotalNs());
+  metrics.query_result_rows->Observe(result.positions.size());
+  if (root != nullptr) {
+    root->simulated_ns = result.io.TotalNs();
+    root->wall_ns = WallClockNs() - wall_before;
+    root->Annotate("status", result.status.ok()
+                                 ? std::string("ok")
+                                 : result.status.ToString());
+    root->Annotate("result_rows", std::to_string(result.positions.size()));
+    result.trace = std::shared_ptr<const TraceSpan>(root.release());
+  }
   return result;
+}
+
+ExplainResult QueryExecutor::Explain(const Transaction& txn,
+                                     const Query& query,
+                                     uint32_t threads) const {
+  // Force tracing for this call only; the global knob (and with it any
+  // concurrent caller's behavior) is restored before returning.
+  const bool was_enabled = TraceEnabled();
+  SetTraceEnabled(true);
+  ExplainResult out;
+  out.result = Execute(txn, query, threads);
+  SetTraceEnabled(was_enabled);
+  if (out.result.trace != nullptr) {
+    out.text = RenderTraceText(*out.result.trace);
+    out.json = RenderTraceJson(*out.result.trace);
+  }
+  return out;
 }
 
 }  // namespace hytap

@@ -1,8 +1,11 @@
 #ifndef HYTAP_QUERY_EXECUTOR_H_
 #define HYTAP_QUERY_EXECUTOR_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "query/predicate.h"
 #include "storage/table.h"
 #include "txn/transaction_manager.h"
@@ -28,6 +31,20 @@ struct QueryResult {
   /// Candidate count after each executed predicate (execution order), for
   /// diagnostics and tests of the predicate-ordering logic.
   std::vector<size_t> candidate_trace;
+  /// Operator/step tree of this execution, populated while `TraceEnabled()`
+  /// (null otherwise). Kept even when `status` is an error — the partial
+  /// trace up to the failing step is the main diagnostic for failed
+  /// queries. Shared so QueryResult stays cheaply copyable.
+  std::shared_ptr<const TraceSpan> trace;
+};
+
+/// Execute() plus rendered trace — what EXPLAIN ANALYZE returns.
+struct ExplainResult {
+  QueryResult result;
+  /// Human-readable operator tree (RenderTraceText).
+  std::string text;
+  /// Machine-readable operator tree (RenderTraceJson).
+  std::string json;
 };
 
 /// Placement-aware query executor (paper §II-B).
@@ -51,6 +68,15 @@ class QueryExecutor {
   QueryResult Execute(const Transaction& txn, const Query& query,
                       uint32_t threads = 1) const;
 
+  /// Execute() with tracing forced on for the duration of the call (the
+  /// global HYTAP_TRACE state is restored afterwards), returning the result
+  /// together with the rendered operator tree. The trace reports the chosen
+  /// predicate order with estimated vs. actual selectivities, index usage,
+  /// every scan-vs-probe decision (candidate fraction vs. threshold), and
+  /// per-step pruning/IO counters that sum to the result's IoStats.
+  ExplainResult Explain(const Transaction& txn, const Query& query,
+                        uint32_t threads = 1) const;
+
   /// The predicate execution order for `query` (indices into
   /// query.predicates). Exposed for tests and the plan cache.
   std::vector<size_t> PredicateOrder(const Query& query) const;
@@ -65,14 +91,17 @@ class QueryExecutor {
   const MainIndex* PickIndex(const Query& query,
                              std::vector<size_t>* used) const;
 
+  /// The `trace` parameters receive child spans when non-null (tracing on);
+  /// spans are built only on these serial control paths, never inside
+  /// worker morsels, so the tree is invariant under the worker count.
   Status ExecuteMain(const Transaction& txn, const Query& query,
                      const std::vector<size_t>& order, uint32_t threads,
-                     QueryResult* result) const;
+                     QueryResult* result, TraceSpan* trace) const;
   void ExecuteDelta(const Transaction& txn, const Query& query,
-                    const std::vector<size_t>& order,
-                    QueryResult* result) const;
-  Status Materialize(const Query& query, uint32_t threads,
-                     QueryResult* result) const;
+                    const std::vector<size_t>& order, QueryResult* result,
+                    TraceSpan* trace) const;
+  Status Materialize(const Query& query, uint32_t threads, QueryResult* result,
+                     TraceSpan* trace) const;
 
   const Table* table_;
   double probe_threshold_;

@@ -1,6 +1,7 @@
 #include "query/scan.h"
 
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "storage/dictionary_column.h"
 #include "storage/zone_map.h"
@@ -20,6 +21,27 @@ uint64_t MrcScanCostNs(const AbstractColumn* column) {
   const uint64_t bytes = column->MemoryUsage();
   return bytes / kDramScanBytesPerNs + 1;
 }
+
+/// Registry handles resolved once; Add() is gated on the HYTAP_METRICS knob.
+struct ScanMetrics {
+  Counter* morsels_scanned;
+  Counter* morsels_pruned;
+  Counter* rescan_pages_pruned;
+
+  static ScanMetrics& Get() {
+    static ScanMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  ScanMetrics() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    morsels_scanned = registry.GetCounter("hytap_scan_morsels_scanned_total");
+    morsels_pruned = registry.GetCounter("hytap_scan_morsels_pruned_total");
+    rescan_pages_pruned =
+        registry.GetCounter("hytap_scan_rescan_pages_pruned_total");
+  }
+};
 
 }  // namespace
 
@@ -41,6 +63,8 @@ void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
     survivors.push_back(m);
   }
   if (io != nullptr) io->morsels_pruned += morsels - survivors.size();
+  ScanMetrics::Get().morsels_pruned->Add(morsels - survivors.size());
+  ScanMetrics::Get().morsels_scanned->Add(survivors.size());
   if (survivors.empty()) return;
   if (survivors.size() <= 1 || threads <= 1) {
     for (size_t m : survivors) {
@@ -105,6 +129,8 @@ Status ScanMainColumn(const Table& table, ColumnId column,
     if (io != nullptr) {
       io->pages_pruned += sscg->page_count() - (page_end - page_begin);
     }
+    ScanMetrics::Get().rescan_pages_pruned->Add(sscg->page_count() -
+                                                (page_end - page_begin));
   }
   return sscg->ScanSlotPages(static_cast<size_t>(slot), pred.LoPtr(),
                              pred.HiPtr(), page_begin, page_end,

@@ -1,6 +1,7 @@
 #include "storage/sscg.h"
 
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "storage/zone_map.h"
 
@@ -12,6 +13,51 @@ bool InRange(const Value& v, const Value* lo, const Value* hi) {
   if (lo != nullptr && v < *lo) return false;
   if (hi != nullptr && *hi < v) return false;
   return true;
+}
+
+/// Registry handles resolved once; Add() is gated on the HYTAP_METRICS knob.
+struct SscgMetrics {
+  Counter* pages_scanned;
+  Counter* pages_pruned;
+  Counter* probe_rows;
+
+  static SscgMetrics& Get() {
+    static SscgMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  SscgMetrics() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    pages_scanned = registry.GetCounter("hytap_sscg_pages_scanned_total");
+    pages_pruned = registry.GetCounter("hytap_sscg_pages_pruned_total");
+    probe_rows = registry.GetCounter("hytap_sscg_probe_rows_total");
+  }
+};
+
+/// Folds one successful buffer-manager fetch into `io`. Recovered-by-retry
+/// CRC mismatches ride along on the miss path; unrecoverable ones surface as
+/// fetch errors and are charged by AccountFetchError instead.
+void AccountFetch(const BufferManager::Fetch& fetch, IoStats* io) {
+  if (io == nullptr) return;
+  if (fetch.hit) {
+    io->dram_ns += fetch.latency_ns;
+    ++io->cache_hits;
+  } else {
+    io->device_ns += fetch.latency_ns;
+    ++io->page_reads;
+    io->retries += fetch.retries;
+    io->checksum_failures += fetch.checksum_failures;
+  }
+}
+
+/// Charges a failed fetch of store page `id`: if the page is (now)
+/// quarantined — newly declared dead/corrupt by this very read, or already
+/// dead and fast-failed — the operation records it in `quarantined_pages`.
+void AccountFetchError(PageId id, BufferManager* buffers, IoStats* io) {
+  if (io != nullptr && buffers->store()->IsQuarantined(id)) {
+    ++io->quarantined_pages;
+  }
 }
 
 }  // namespace
@@ -49,17 +95,11 @@ StatusOr<const SecondaryStore::Page*> Sscg::FetchRowPage(
   const PageId local = layout_.PageOf(row);
   const PageId global = page_ids_[local];
   auto fetch = buffers->FetchPage(global, pattern, queue_depth);
-  if (!fetch.ok()) return fetch.status();
-  if (io != nullptr) {
-    if (fetch->hit) {
-      io->dram_ns += fetch->latency_ns;
-      ++io->cache_hits;
-    } else {
-      io->device_ns += fetch->latency_ns;
-      ++io->page_reads;
-      io->retries += fetch->retries;
-    }
+  if (!fetch.ok()) {
+    AccountFetchError(global, buffers, io);
+    return fetch.status();
   }
+  AccountFetch(*fetch, io);
   return fetch->page;
 }
 
@@ -109,6 +149,9 @@ Status Sscg::ScanSlotPages(size_t slot, const Value* lo, const Value* hi,
   if (io != nullptr) {
     io->pages_pruned += (page_end - page_begin) - survivors.size();
   }
+  SscgMetrics::Get().pages_pruned->Add((page_end - page_begin) -
+                                       survivors.size());
+  SscgMetrics::Get().pages_scanned->Add(survivors.size());
   if (survivors.empty()) return Status::Ok();
   // Accounting pass, single-threaded and in page order: pulls every
   // surviving page through the cache exactly as the serial scan did, so
@@ -120,17 +163,11 @@ Status Sscg::ScanSlotPages(size_t slot, const Value* lo, const Value* hi,
   for (size_t local : survivors) {
     auto fetch = buffers->FetchPage(page_ids_[local],
                                     AccessPattern::kSequential, threads);
-    if (!fetch.ok()) return fetch.status();
-    if (io != nullptr) {
-      if (fetch->hit) {
-        io->dram_ns += fetch->latency_ns;
-        ++io->cache_hits;
-      } else {
-        io->device_ns += fetch->latency_ns;
-        ++io->page_reads;
-        io->retries += fetch->retries;
-      }
+    if (!fetch.ok()) {
+      AccountFetchError(page_ids_[local], buffers, io);
+      return fetch.status();
     }
+    AccountFetch(*fetch, io);
   }
   // Filter pass: morsels of whole surviving pages, each worker
   // deserializing into its own position list; concatenation in morsel order
@@ -192,6 +229,7 @@ Status Sscg::ProbeSlot(size_t slot, const Value* lo, const Value* hi,
                        const PositionList& in, BufferManager* buffers,
                        uint32_t queue_depth, PositionList* out,
                        IoStats* io) const {
+  SscgMetrics::Get().probe_rows->Add(in.size());
   PositionList survivors;
   for (RowId row : in) {
     auto v = ProbeValue(row, slot, buffers, queue_depth, io);

@@ -23,11 +23,31 @@ struct IoStats {
   uint64_t morsels_pruned = 0; // MRC scan morsels skipped via zone maps
   uint64_t pages_pruned = 0;   // SSCG pages skipped (synopsis / candidate
                                // range) — no fetch, no latency, no CRC
+  uint64_t checksum_failures = 0;  // CRC mismatches detected (and retried)
+                                   // by this operation's page reads
+  uint64_t quarantined_pages = 0;  // page fetches that failed on a
+                                   // quarantined page (newly dead or
+                                   // fast-failed)
 
   uint64_t TotalNs() const { return device_ns + dram_ns; }
+
+  /// The single place `threads`/queue-depth arguments are clamped — callers
+  /// must not re-implement the `threads == 0 ? 1 : threads` ternary.
+  static uint32_t ClampThreads(uint32_t threads) {
+    return threads == 0 ? 1 : threads;
+  }
+
   /// Wall-clock estimate when `threads` workers split the operation.
+  ///
+  /// Approximation: assumes the summed device/DRAM time divides uniformly
+  /// across workers. Pruned morsels and pages contribute *zero* to TotalNs
+  /// (skipped work is never charged), so the estimate stays consistent
+  /// under data skipping — but when pruning leaves only a few surviving
+  /// morsels, fewer than `threads` workers may carry them and the true
+  /// critical path can exceed TotalNs() / threads. The divisor models
+  /// aggregate capacity, not the critical path.
   uint64_t WallNs(uint32_t threads) const {
-    return TotalNs() / (threads == 0 ? 1 : threads);
+    return TotalNs() / ClampThreads(threads);
   }
   IoStats& operator+=(const IoStats& other) {
     device_ns += other.device_ns;
@@ -37,6 +57,8 @@ struct IoStats {
     retries += other.retries;
     morsels_pruned += other.morsels_pruned;
     pages_pruned += other.pages_pruned;
+    checksum_failures += other.checksum_failures;
+    quarantined_pages += other.quarantined_pages;
     return *this;
   }
 };

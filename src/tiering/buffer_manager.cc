@@ -1,8 +1,36 @@
 #include "tiering/buffer_manager.h"
 
 #include "common/assert.h"
+#include "common/metrics.h"
 
 namespace hytap {
+
+namespace {
+
+/// Registry handles resolved once; Add() itself is gated on the
+/// HYTAP_METRICS knob.
+struct BufferMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* read_failures;
+
+  static BufferMetrics& Get() {
+    static BufferMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  BufferMetrics() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    hits = registry.GetCounter("hytap_buffer_hits_total");
+    misses = registry.GetCounter("hytap_buffer_misses_total");
+    evictions = registry.GetCounter("hytap_buffer_evictions_total");
+    read_failures = registry.GetCounter("hytap_buffer_read_failures_total");
+  }
+};
+
+}  // namespace
 
 BufferManager::BufferManager(SecondaryStore* store, size_t frame_count)
     : store_(store), frames_(frame_count == 0 ? 1 : frame_count) {
@@ -17,23 +45,39 @@ StatusOr<BufferManager::Fetch> BufferManager::FetchPage(
     Frame& frame = frames_[it->second];
     frame.referenced = true;
     ++stats_.hits;
+    BufferMetrics::Get().hits->Add();
     // A cached page costs roughly one DRAM page touch.
     return Fetch{&frame.data, 200, /*hit=*/true};
   }
   ++stats_.misses;
+  BufferMetrics::Get().misses->Add();
   const size_t victim = FindVictim();
   Frame& frame = frames_[victim];
   if (frame.occupied) {
     frame_of_.erase(frame.page_id);
     ++stats_.evictions;
+    BufferMetrics::Get().evictions->Add();
     frame.occupied = false;
     frame.page_id = kInvalidPageId;
   }
+  // The store's fault counters move only under this cache's mutex, so the
+  // deltas across one ReadPage attribute its checksum failures and any new
+  // quarantine to this fetch — including on the failure path, where no
+  // ReadOutcome is returned.
+  const FaultStats& fault_stats = store_->fault_stats();
+  const uint64_t crc_before = fault_stats.checksum_failures;
+  const uint64_t quarantined_before = fault_stats.quarantined_pages;
   auto read = store_->ReadPage(id, &frame.data, pattern, queue_depth);
+  const uint32_t crc_delta =
+      uint32_t(fault_stats.checksum_failures - crc_before);
+  stats_.checksum_failures += crc_delta;
+  stats_.quarantined_pages +=
+      fault_stats.quarantined_pages - quarantined_before;
   if (!read.ok()) {
     // The victim frame stays empty; the failed page is never installed, so
     // a later fetch retries the store (which fails fast if quarantined).
     ++stats_.read_failures;
+    BufferMetrics::Get().read_failures->Add();
     return read.status();
   }
   stats_.read_retries += read->retries;
@@ -42,7 +86,8 @@ StatusOr<BufferManager::Fetch> BufferManager::FetchPage(
   frame.referenced = true;
   frame.occupied = true;
   frame_of_[id] = victim;
-  return Fetch{&frame.data, read->latency_ns, /*hit=*/false, read->retries};
+  return Fetch{&frame.data, read->latency_ns, /*hit=*/false, read->retries,
+               crc_delta};
 }
 
 void BufferManager::Pin(PageId id) {

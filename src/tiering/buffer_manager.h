@@ -19,6 +19,12 @@ struct BufferStats {
   uint64_t evictions = 0;
   uint64_t read_failures = 0;  // store reads that returned non-OK
   uint64_t read_retries = 0;   // store read attempts beyond the first
+  /// CRC mismatches the store detected during reads issued by this cache
+  /// (recovered by retry unless the read also shows up in read_failures).
+  uint64_t checksum_failures = 0;
+  /// Pages the store newly quarantined during reads issued by this cache —
+  /// the per-cache view of SecondaryStore's PR 2 failure handling.
+  uint64_t quarantined_pages = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -47,6 +53,8 @@ class BufferManager {
     uint64_t latency_ns = 0;
     bool hit = false;
     uint32_t retries = 0;
+    /// CRC mismatches detected (and recovered by retry) during this fetch.
+    uint32_t checksum_failures = 0;
   };
 
   /// Fetches `id`, reading through to the store on a miss. The returned

@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "common/crc32.h"
+#include "common/metrics.h"
 
 namespace hytap {
 
@@ -14,6 +15,50 @@ namespace {
 std::string PageMessage(const char* what, PageId id) {
   return std::string(what) + " (page " + std::to_string(id) + ")";
 }
+
+/// Registry handles resolved once; Add()/Observe() are gated on the
+/// HYTAP_METRICS knob.
+struct StoreMetrics {
+  Counter* reads;
+  Counter* read_failures;
+  Counter* fast_fail_reads;
+  Counter* retries;
+  Counter* backoff_ns;
+  Counter* checksum_failures;
+  Counter* quarantined_pages;
+  Counter* latency_spikes;
+  Counter* transient_errors;
+  Counter* page_writes;
+  Counter* corrupted_writes;
+  HistogramMetric* read_latency_ns;
+
+  static StoreMetrics& Get() {
+    static StoreMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  StoreMetrics() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    reads = registry.GetCounter("hytap_store_reads_total");
+    read_failures = registry.GetCounter("hytap_store_read_failures_total");
+    fast_fail_reads = registry.GetCounter("hytap_store_fast_fail_reads_total");
+    retries = registry.GetCounter("hytap_store_read_retries_total");
+    backoff_ns = registry.GetCounter("hytap_store_retry_backoff_ns_total");
+    checksum_failures =
+        registry.GetCounter("hytap_store_checksum_failures_total");
+    quarantined_pages =
+        registry.GetCounter("hytap_store_quarantined_pages_total");
+    latency_spikes = registry.GetCounter("hytap_store_latency_spikes_total");
+    transient_errors =
+        registry.GetCounter("hytap_store_transient_errors_total");
+    page_writes = registry.GetCounter("hytap_store_page_writes_total");
+    corrupted_writes =
+        registry.GetCounter("hytap_store_corrupted_writes_total");
+    read_latency_ns = registry.GetHistogram("hytap_store_read_latency_ns",
+                                            DurationNsBuckets());
+  }
+};
 
 }  // namespace
 
@@ -63,9 +108,11 @@ void SecondaryStore::WritePage(PageId id, const Page& data) {
   // silent corruption is detected on read-back.
   checksums_[id] = Crc32c(data.data(), kPageSize);
   verified_[id] = false;  // read-back verifies the media once
+  StoreMetrics::Get().page_writes->Add();
   if (injector_ != nullptr) {
     if (injector_->WritePage(data.data(), pages_[id]->data(), kPageSize)) {
       ++fault_stats_.corrupted_writes;
+      StoreMetrics::Get().corrupted_writes->Add();
     }
     return;
   }
@@ -76,8 +123,11 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
     PageId id, Page* dest, AccessPattern pattern, uint32_t queue_depth) {
   HYTAP_ASSERT(id < pages_.size(), "ReadPage: page id out of range");
   ++reads_;
+  StoreMetrics& metrics = StoreMetrics::Get();
+  metrics.reads->Add();
   if (auto it = quarantine_.find(id); it != quarantine_.end()) {
     ++fault_stats_.fast_fail_reads;
+    metrics.fast_fail_reads->Add();
     return it->second == StatusCode::kDataLoss
                ? Status::DataLoss(PageMessage("quarantined: corrupt", id))
                : Status::Unavailable(PageMessage("quarantined: dead", id));
@@ -89,6 +139,8 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
   for (uint32_t attempt = 0; attempt <= max_read_retries_; ++attempt) {
     if (attempt > 0) {
       outcome.latency_ns += backoff_ns;
+      metrics.retries->Add();
+      metrics.backoff_ns->Add(backoff_ns);
       backoff_ns *= 2;
       ++outcome.retries;
       ++fault_stats_.retries;
@@ -112,6 +164,7 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
       latency_ns = uint64_t(double(latency_ns) *
                             injector_->config().latency_spike_multiplier);
       ++fault_stats_.latency_spikes;
+      metrics.latency_spikes->Add();
     }
     outcome.latency_ns += latency_ns;
     if (fault == FaultInjector::ReadFault::kPageDead) {
@@ -121,11 +174,14 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
       ++fault_stats_.dead_pages;
       ++fault_stats_.failed_reads;
       ++fault_stats_.quarantined_pages;
+      metrics.read_failures->Add();
+      metrics.quarantined_pages->Add();
       quarantine_.emplace(id, StatusCode::kUnavailable);
       return Status::Unavailable(PageMessage("page failed permanently", id));
     }
     if (fault == FaultInjector::ReadFault::kTransientError) {
       ++fault_stats_.transient_errors;
+      metrics.transient_errors->Add();
       checksum_failed = false;
       continue;
     }
@@ -145,17 +201,21 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
         // In-transit corruption clears on a re-read; corruption of the
         // stored bytes fails every retry and is declared data loss below.
         ++fault_stats_.checksum_failures;
+        metrics.checksum_failures->Add();
         checksum_failed = true;
         continue;
       }
       if (injector_ == nullptr) verified_[id] = true;
     }
     total_read_ns_ += outcome.latency_ns;
+    metrics.read_latency_ns->Observe(outcome.latency_ns);
     return outcome;
   }
   total_read_ns_ += outcome.latency_ns;
   ++fault_stats_.failed_reads;
   ++fault_stats_.quarantined_pages;
+  metrics.read_failures->Add();
+  metrics.quarantined_pages->Add();
   if (checksum_failed) {
     quarantine_.emplace(id, StatusCode::kDataLoss);
     return Status::DataLoss(

@@ -1,13 +1,39 @@
 #include "txn/transaction_manager.h"
 
 #include "common/assert.h"
+#include "common/metrics.h"
 
 namespace hytap {
+
+namespace {
+
+/// Registry handles resolved once; Add() is gated on the HYTAP_METRICS knob.
+struct TxnMetrics {
+  Counter* begins;
+  Counter* commits;
+  Counter* aborts;
+
+  static TxnMetrics& Get() {
+    static TxnMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  TxnMetrics() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    begins = registry.GetCounter("hytap_txn_begins_total");
+    commits = registry.GetCounter("hytap_txn_commits_total");
+    aborts = registry.GetCounter("hytap_txn_aborts_total");
+  }
+};
+
+}  // namespace
 
 Transaction TransactionManager::Begin() {
   Transaction txn;
   txn.tid = next_tid_++;
   txn.snapshot_cid = next_cid_ - 1;
+  TxnMetrics::Get().begins->Add();
   return txn;
 }
 
@@ -15,11 +41,13 @@ void TransactionManager::Commit(Transaction* txn) {
   HYTAP_ASSERT(!txn->finished, "transaction already finished");
   commit_cids_[txn->tid] = next_cid_++;
   txn->finished = true;
+  TxnMetrics::Get().commits->Add();
 }
 
 void TransactionManager::Abort(Transaction* txn) {
   HYTAP_ASSERT(!txn->finished, "transaction already finished");
   txn->finished = true;
+  TxnMetrics::Get().aborts->Add();
 }
 
 bool TransactionManager::IsVisible(TransactionId writer_tid,

@@ -1,0 +1,186 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hytap {
+namespace {
+
+/// The registry is process-global, so every test uses metric names unique to
+/// this file and restores the master switch it flipped.
+
+TEST(MetricsTest, CounterAddAndReset) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test_counter_basic");
+  EXPECT_EQ(counter->Value(), 0u);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42u);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("test_counter_stable");
+  Counter* b = registry.GetCounter("test_counter_stable");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("test_gauge_stable");
+  Gauge* g2 = registry.GetGauge("test_gauge_stable");
+  EXPECT_EQ(g1, g2);
+  HistogramMetric* h1 = registry.GetHistogram("test_histogram_stable", {1, 2, 3});
+  HistogramMetric* h2 = registry.GetHistogram("test_histogram_stable", {1, 2, 3});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsTest, GaugeSetAndReset) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge("test_gauge_basic");
+  gauge->Set(-7);
+  EXPECT_EQ(gauge->Value(), -7);
+  gauge->Set(123);
+  EXPECT_EQ(gauge->Value(), 123);
+  gauge->Reset();
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST(MetricsTest, HistogramBucketAssignmentIsDeterministic) {
+  HistogramMetric* histogram = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_buckets", {10, 100, 1000});
+  // Boundary semantics: bucket i counts samples <= bounds[i]; larger samples
+  // land in the overflow bucket. Same samples -> same buckets, always.
+  histogram->Observe(0);
+  histogram->Observe(10);    // == bound 0
+  histogram->Observe(11);    // first sample past bound 0
+  histogram->Observe(100);   // == bound 1
+  histogram->Observe(999);
+  histogram->Observe(1000);  // == bound 2
+  histogram->Observe(1001);  // overflow
+  const std::vector<uint64_t> counts = histogram->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram->Count(), 7u);
+  EXPECT_EQ(histogram->Sum(), 0u + 10 + 11 + 100 + 999 + 1000 + 1001);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreExact) {
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test_counter_concurrent");
+  HistogramMetric* histogram = MetricsRegistry::Global().GetHistogram(
+      "test_histogram_concurrent", {100, 10000});
+  constexpr size_t kItems = 100000;
+  ThreadPool::Global().ParallelFor(
+      0, kItems, /*grain=*/1024, /*threads=*/8,
+      [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          counter->Add();
+          histogram->Observe(i % 200);  // half <= 100, half in bucket 1
+        }
+      });
+  EXPECT_EQ(counter->Value(), kItems);
+  EXPECT_EQ(histogram->Count(), kItems);
+  const std::vector<uint64_t> counts = histogram->BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  // i % 200 in [0, 100] -> bucket 0 (101 of every 200); rest -> bucket 1.
+  EXPECT_EQ(counts[0], kItems / 200 * 101);
+  EXPECT_EQ(counts[1], kItems / 200 * 99);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(MetricsTest, DisabledKnobMakesUpdatesNoOps) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test_counter_knob");
+  Gauge* gauge = registry.GetGauge("test_gauge_knob");
+  HistogramMetric* histogram = registry.GetHistogram("test_histogram_knob", {10});
+  const bool was_enabled = MetricsEnabled();
+  SetMetricsEnabled(false);
+  counter->Add(5);
+  gauge->Set(5);
+  histogram->Observe(5);
+  SetMetricsEnabled(was_enabled);
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(), 0u);
+  EXPECT_EQ(histogram->Sum(), 0u);
+}
+
+TEST(MetricsTest, SnapshotReflectsRegisteredMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_snapshot_counter")->Reset();
+  registry.GetCounter("test_snapshot_counter")->Add(3);
+  registry.GetGauge("test_snapshot_gauge")->Set(-1);
+  HistogramMetric* histogram =
+      registry.GetHistogram("test_snapshot_histogram", {5, 50});
+  histogram->Reset();
+  histogram->Observe(4);
+  histogram->Observe(60);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_TRUE(snapshot.counters.count("test_snapshot_counter"));
+  EXPECT_EQ(snapshot.counters.at("test_snapshot_counter"), 3u);
+  ASSERT_TRUE(snapshot.gauges.count("test_snapshot_gauge"));
+  EXPECT_EQ(snapshot.gauges.at("test_snapshot_gauge"), -1);
+  ASSERT_TRUE(snapshot.histograms.count("test_snapshot_histogram"));
+  const MetricsSnapshot::HistogramData& data =
+      snapshot.histograms.at("test_snapshot_histogram");
+  EXPECT_EQ(data.bounds, (std::vector<uint64_t>{5, 50}));
+  EXPECT_EQ(data.counts, (std::vector<uint64_t>{1, 0, 1}));
+  EXPECT_EQ(data.count, 2u);
+  EXPECT_EQ(data.sum, 64u);
+}
+
+TEST(MetricsTest, PrometheusTextFormat) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_prom_counter")->Reset();
+  registry.GetCounter("test_prom_counter")->Add(7);
+  HistogramMetric* histogram = registry.GetHistogram("test_prom_histogram", {10});
+  histogram->Reset();
+  histogram->Observe(3);
+  histogram->Observe(30);
+
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE test_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_histogram histogram\n"),
+            std::string::npos);
+  // Cumulative `le` buckets: the bucket at le="10" holds 1; +Inf holds all.
+  EXPECT_NE(text.find("test_prom_histogram_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histogram_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_histogram_sum 33\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_histogram_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonExportContainsSections) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test_json_counter")->Reset();
+  registry.GetCounter("test_json_counter")->Add(9);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_counter\": 9"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllZeroesEverything) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter = registry.GetCounter("test_resetall_counter");
+  counter->Add(11);
+  HistogramMetric* histogram = registry.GetHistogram("test_resetall_histogram", {1});
+  histogram->Observe(2);
+  registry.ResetAll();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(histogram->Count(), 0u);
+  // Registrations survive the reset.
+  EXPECT_EQ(registry.GetCounter("test_resetall_counter"), counter);
+}
+
+}  // namespace
+}  // namespace hytap

@@ -3,8 +3,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "query/executor.h"
 #include "query/scan.h"
 #include "storage/table.h"
@@ -40,7 +42,7 @@ struct Instance {
   BufferManager buffers;
   Table table;
 
-  Instance()
+  explicit Instance(FaultConfig faults = FaultConfig())
       : store(DeviceKind::kCssd, /*timing_seed=*/7),
         buffers(&store, /*frame_count=*/32),
         table("t", TestSchema(), &txns, &store, &buffers) {
@@ -57,6 +59,9 @@ struct Instance {
     // Tier half of the columns: grp stays in DRAM, amount + qty go to the
     // SSCG so scans, probes, and materialization cross both locations.
     EXPECT_TRUE(table.SetPlacement({true, true, false, false}).ok());
+    // Arm fault injection (if any) only after the clean load + placement so
+    // the instance state at query time is identical across runs.
+    if (faults.AnyFaults()) store.ConfigureFaults(faults);
     // A delta partition on top.
     Transaction txn = txns.Begin();
     for (size_t d = 0; d < kDeltaRows; ++d) {
@@ -127,10 +132,28 @@ void ExpectSameResults(const QueryResult& a, const QueryResult& b,
   EXPECT_EQ(a.candidate_trace, b.candidate_trace) << "query " << q;
   EXPECT_EQ(a.io.page_reads, b.io.page_reads) << "query " << q;
   EXPECT_EQ(a.io.cache_hits, b.io.cache_hits) << "query " << q;
+  EXPECT_EQ(a.io.retries, b.io.retries) << "query " << q;
+  EXPECT_EQ(a.io.morsels_pruned, b.io.morsels_pruned) << "query " << q;
+  EXPECT_EQ(a.io.pages_pruned, b.io.pages_pruned) << "query " << q;
+  EXPECT_EQ(a.io.checksum_failures, b.io.checksum_failures) << "query " << q;
+  EXPECT_EQ(a.io.quarantined_pages, b.io.quarantined_pages) << "query " << q;
   if (expect_identical_ns) {
     EXPECT_EQ(a.io.device_ns, b.io.device_ns) << "query " << q;
     EXPECT_EQ(a.io.dram_ns, b.io.dram_ns) << "query " << q;
   }
+}
+
+void ExpectSameFaultStats(const FaultStats& a, const FaultStats& b) {
+  EXPECT_EQ(a.transient_errors, b.transient_errors);
+  EXPECT_EQ(a.corrupted_reads, b.corrupted_reads);
+  EXPECT_EQ(a.corrupted_writes, b.corrupted_writes);
+  EXPECT_EQ(a.dead_pages, b.dead_pages);
+  EXPECT_EQ(a.latency_spikes, b.latency_spikes);
+  EXPECT_EQ(a.checksum_failures, b.checksum_failures);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failed_reads, b.failed_reads);
+  EXPECT_EQ(a.fast_fail_reads, b.fast_fail_reads);
+  EXPECT_EQ(a.quarantined_pages, b.quarantined_pages);
 }
 
 TEST(ParallelEquivalenceTest, ResultsIdenticalAcrossThreadCounts) {
@@ -171,6 +194,74 @@ TEST(ParallelEquivalenceTest, SimulatedIoBitIdenticalToForcedSerial) {
   for (size_t q = 0; q < forced_serial.size(); ++q) {
     ExpectSameResults(forced_serial[q], parallel[q], q,
                       /*expect_identical_ns=*/true);
+  }
+}
+
+// Metrics and traces are pure observers: with the knobs on or off, query
+// results and the simulated cost model must be bit-identical at the same
+// thread count — including every ns field, since neither subsystem may add,
+// remove, or reorder a single page fetch or fault draw.
+TEST(ParallelEquivalenceTest, ObservabilityKnobsDoNotPerturbExecution) {
+  const std::vector<Query> queries = RandomQueries(12);
+  const bool metrics_were_enabled = MetricsEnabled();
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    Instance off_instance;
+    SetMetricsEnabled(false);
+    SetTraceEnabled(false);
+    const std::vector<QueryResult> off =
+        RunAll(off_instance, queries, threads);
+
+    Instance on_instance;
+    SetMetricsEnabled(true);
+    SetTraceEnabled(true);
+    const std::vector<QueryResult> on = RunAll(on_instance, queries, threads);
+    SetTraceEnabled(false);
+    SetMetricsEnabled(metrics_were_enabled);
+
+    ASSERT_EQ(on.size(), off.size());
+    for (size_t q = 0; q < off.size(); ++q) {
+      ExpectSameResults(off[q], on[q], q, /*expect_identical_ns=*/true);
+      EXPECT_EQ(off[q].trace, nullptr);
+      EXPECT_NE(on[q].trace, nullptr);
+    }
+  }
+}
+
+// Same property under an armed fault injector: the observability layer must
+// not shift the seeded fault schedule by a single draw — statuses and the
+// store's FaultStats match field for field.
+TEST(ParallelEquivalenceTest, ObservabilityKnobsDoNotPerturbFaultSchedules) {
+  FaultConfig faults;
+  faults.seed = 11;
+  faults.read_error_rate = 0.08;
+  faults.read_corruption_rate = 0.03;
+  faults.page_failure_rate = 0.004;
+  faults.latency_spike_rate = 0.05;
+  const std::vector<Query> queries = RandomQueries(12);
+  const bool metrics_were_enabled = MetricsEnabled();
+  for (uint32_t threads : {1u, 4u}) {
+    Instance off_instance(faults);
+    SetMetricsEnabled(false);
+    SetTraceEnabled(false);
+    const std::vector<QueryResult> off =
+        RunAll(off_instance, queries, threads);
+
+    Instance on_instance(faults);
+    SetMetricsEnabled(true);
+    SetTraceEnabled(true);
+    const std::vector<QueryResult> on = RunAll(on_instance, queries, threads);
+    SetTraceEnabled(false);
+    SetMetricsEnabled(metrics_were_enabled);
+
+    ASSERT_EQ(on.size(), off.size());
+    for (size_t q = 0; q < off.size(); ++q) {
+      EXPECT_EQ(off[q].status.code(), on[q].status.code()) << "query " << q;
+      EXPECT_EQ(off[q].status.message(), on[q].status.message())
+          << "query " << q;
+      ExpectSameResults(off[q], on[q], q, /*expect_identical_ns=*/true);
+    }
+    ExpectSameFaultStats(off_instance.store.fault_stats(),
+                         on_instance.store.fault_stats());
   }
 }
 

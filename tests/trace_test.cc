@@ -1,0 +1,306 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/executor.h"
+#include "storage/table.h"
+
+namespace hytap {
+namespace {
+
+/// Trace spans are built only on the executor's serial control path, so the
+/// span tree — everything except wall_ns and the queue-depth-dependent
+/// simulated_ns — must be identical at every worker count, with and without
+/// a seeded fault schedule.
+
+constexpr size_t kMainRows = 3000;
+
+Schema TestSchema() {
+  Schema schema;
+  schema.push_back({"id", DataType::kInt32, 0});
+  schema.push_back({"grp", DataType::kInt32, 0});
+  schema.push_back({"amount", DataType::kDouble, 0});
+  schema.push_back({"qty", DataType::kInt64, 0});
+  return schema;
+}
+
+struct Instance {
+  TransactionManager txns;
+  SecondaryStore store;
+  BufferManager buffers;
+  Table table;
+
+  explicit Instance(FaultConfig faults = FaultConfig())
+      : store(DeviceKind::kCssd, /*timing_seed=*/7),
+        buffers(&store, /*frame_count=*/32),
+        table("t", TestSchema(), &txns, &store, &buffers) {
+    Rng rng(4321);
+    std::vector<Row> rows;
+    rows.reserve(kMainRows);
+    for (size_t r = 0; r < kMainRows; ++r) {
+      rows.push_back(Row{Value(int32_t(r)),
+                         Value(int32_t(rng.NextInt(0, 40))),
+                         Value(rng.NextDouble(0.0, 1000.0)),
+                         Value(int64_t(rng.NextInt(1, 10000)))});
+    }
+    table.BulkLoad(rows);
+    EXPECT_TRUE(table.SetPlacement({true, true, false, false}).ok());
+    if (faults.AnyFaults()) store.ConfigureFaults(faults);
+    Transaction txn = txns.Begin();
+    for (size_t d = 0; d < 60; ++d) {
+      EXPECT_TRUE(table
+                      .Insert(txn, Row{Value(int32_t(kMainRows + d)),
+                                       Value(int32_t(rng.NextInt(0, 40))),
+                                       Value(rng.NextDouble(0.0, 1000.0)),
+                                       Value(int64_t(rng.NextInt(1, 10000)))})
+                      .ok());
+    }
+    txns.Commit(&txn);
+  }
+};
+
+std::vector<Query> TestQueries() {
+  std::vector<Query> queries;
+  {
+    // DRAM scan -> SSCG step over both tiered columns: exercises the
+    // scan-vs-probe decision and materialization across locations.
+    Query query;
+    query.predicates.push_back(
+        Predicate::Equals(1, Value(int32_t{7})));
+    query.predicates.push_back(
+        Predicate::Between(2, Value(100.0), Value(700.0)));
+    query.projections = {0, 2};
+    query.aggregates = {Aggregate::Count(), Aggregate::Sum(2)};
+    queries.push_back(std::move(query));
+  }
+  {
+    // Wide SSCG-first predicate: stays on the scan (rescan) side.
+    Query query;
+    query.predicates.push_back(
+        Predicate::Between(3, Value(int64_t{100}), Value(int64_t{9000})));
+    query.predicates.push_back(
+        Predicate::Between(2, Value(0.0), Value(900.0)));
+    query.aggregates = {Aggregate::Count()};
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+/// Strips the fields that legitimately vary with the requested thread count:
+/// the timing fields and the root's "threads" request annotation.
+TraceSpan Normalize(const TraceSpan& root) {
+  TraceSpan out = StripTimes(root);
+  auto& annotations = out.annotations;
+  for (auto it = annotations.begin(); it != annotations.end(); ++it) {
+    if (it->first == "threads") {
+      annotations.erase(it);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<TraceSpan> RunTraced(Instance& instance, uint32_t threads) {
+  SetTraceEnabled(true);
+  QueryExecutor executor(&instance.table);
+  Transaction txn = instance.txns.Begin();
+  std::vector<TraceSpan> traces;
+  for (const Query& query : TestQueries()) {
+    QueryResult result = executor.Execute(txn, query, threads);
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_NE(result.trace, nullptr);
+    if (result.trace != nullptr) traces.push_back(*result.trace);
+  }
+  instance.txns.Abort(&txn);
+  SetTraceEnabled(false);
+  return traces;
+}
+
+TEST(TraceTest, NoTraceWhileDisabled) {
+  Instance instance;
+  SetTraceEnabled(false);
+  QueryExecutor executor(&instance.table);
+  Transaction txn = instance.txns.Begin();
+  QueryResult result = executor.Execute(txn, TestQueries()[0], 2);
+  instance.txns.Abort(&txn);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.trace, nullptr);
+}
+
+TEST(TraceTest, SpanTreeStableAcrossThreadCounts) {
+  Instance baseline;
+  const std::vector<TraceSpan> serial = RunTraced(baseline, 1);
+  for (uint32_t threads : {2u, 4u}) {
+    Instance instance;
+    const std::vector<TraceSpan> parallel = RunTraced(instance, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t q = 0; q < serial.size(); ++q) {
+      EXPECT_TRUE(Normalize(parallel[q]) == Normalize(serial[q]))
+          << "query " << q << " at " << threads << " threads:\n"
+          << RenderTraceText(parallel[q]) << "vs serial:\n"
+          << RenderTraceText(serial[q]);
+    }
+  }
+}
+
+TEST(TraceTest, SpanTreeStableUnderSeededFaultSchedule) {
+  FaultConfig faults;
+  faults.seed = 5;
+  faults.read_error_rate = 0.05;
+  faults.read_corruption_rate = 0.02;
+  faults.latency_spike_rate = 0.05;
+  Instance baseline(faults);
+  const std::vector<TraceSpan> serial = RunTraced(baseline, 1);
+  for (uint32_t threads : {2u, 4u}) {
+    Instance instance(faults);
+    const std::vector<TraceSpan> parallel = RunTraced(instance, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t q = 0; q < serial.size(); ++q) {
+      EXPECT_TRUE(Normalize(parallel[q]) == Normalize(serial[q]))
+          << "query " << q << " at " << threads << " threads:\n"
+          << RenderTraceText(parallel[q]) << "vs serial:\n"
+          << RenderTraceText(serial[q]);
+    }
+  }
+}
+
+/// Finds the first descendant span with the given name (depth-first).
+const TraceSpan* FindSpan(const TraceSpan& root, const std::string& name) {
+  if (root.name == name) return &root;
+  for (const TraceSpan& child : root.children) {
+    if (const TraceSpan* found = FindSpan(child, name)) return found;
+  }
+  return nullptr;
+}
+
+/// Sums an integer annotation over the whole tree (absent = 0).
+uint64_t SumAnnotation(const TraceSpan& root, const std::string& key) {
+  uint64_t total = 0;
+  const std::string& value = root.Annotation(key);
+  if (!value.empty()) total += std::stoull(value);
+  for (const TraceSpan& child : root.children) {
+    total += SumAnnotation(child, key);
+  }
+  return total;
+}
+
+TEST(TraceTest, ExplainRecordsSelectivitiesAndDecision) {
+  Instance instance;
+  QueryExecutor executor(&instance.table);
+  Transaction txn = instance.txns.Begin();
+  const ExplainResult explain =
+      executor.Explain(txn, TestQueries()[0], /*threads=*/2);
+  instance.txns.Abort(&txn);
+  ASSERT_TRUE(explain.result.status.ok());
+  ASSERT_NE(explain.result.trace, nullptr);
+  const TraceSpan& root = *explain.result.trace;
+  EXPECT_EQ(root.name, "execute");
+  EXPECT_FALSE(root.Annotation("predicate_order").empty());
+  EXPECT_EQ(root.Annotation("status"), "ok");
+
+  const TraceSpan* main_span = FindSpan(root, "main");
+  ASSERT_NE(main_span, nullptr);
+  const TraceSpan* scan = FindSpan(*main_span, "scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_FALSE(scan->Annotation("est_selectivity").empty());
+  EXPECT_FALSE(scan->Annotation("actual_selectivity").empty());
+  EXPECT_EQ(scan->Annotation("column"), "grp");
+
+  // The second predicate hits a tiered column: the trace must show the
+  // scan-vs-probe decision with its inputs.
+  const TraceSpan* probe = FindSpan(*main_span, "probe");
+  const TraceSpan* rescan = FindSpan(*main_span, "rescan");
+  ASSERT_TRUE(probe != nullptr || rescan != nullptr);
+  const TraceSpan* decision = probe != nullptr ? probe : rescan;
+  EXPECT_FALSE(decision->Annotation("qualifying_fraction").empty());
+  EXPECT_FALSE(decision->Annotation("probe_threshold").empty());
+  EXPECT_FALSE(decision->Annotation("decision").empty());
+
+  // Per-span IoStats deltas must sum back to the result's IoStats.
+  EXPECT_EQ(SumAnnotation(root, "page_reads"), explain.result.io.page_reads);
+  EXPECT_EQ(SumAnnotation(root, "cache_hits"), explain.result.io.cache_hits);
+  EXPECT_EQ(SumAnnotation(root, "pages_pruned"),
+            explain.result.io.pages_pruned);
+  EXPECT_EQ(SumAnnotation(root, "morsels_pruned"),
+            explain.result.io.morsels_pruned);
+
+  // Rendered outputs reference the tree.
+  EXPECT_NE(explain.text.find("execute"), std::string::npos);
+  EXPECT_NE(explain.text.find("main"), std::string::npos);
+  EXPECT_FALSE(explain.json.empty());
+}
+
+TEST(TraceTest, ExplainRestoresTraceKnob) {
+  Instance instance;
+  SetTraceEnabled(false);
+  QueryExecutor executor(&instance.table);
+  Transaction txn = instance.txns.Begin();
+  (void)executor.Explain(txn, TestQueries()[0]);
+  EXPECT_FALSE(TraceEnabled());
+  // Plain Execute afterwards attaches no trace.
+  QueryResult result = executor.Execute(txn, TestQueries()[0]);
+  EXPECT_EQ(result.trace, nullptr);
+  instance.txns.Abort(&txn);
+}
+
+TEST(TraceTest, JsonRoundTrips) {
+  Instance instance;
+  QueryExecutor executor(&instance.table);
+  Transaction txn = instance.txns.Begin();
+  for (const Query& query : TestQueries()) {
+    const ExplainResult explain = executor.Explain(txn, query, 2);
+    ASSERT_NE(explain.result.trace, nullptr);
+    TraceSpan parsed;
+    ASSERT_TRUE(ParseTraceJson(explain.json, &parsed)) << explain.json;
+    EXPECT_TRUE(parsed == *explain.result.trace);
+  }
+  instance.txns.Abort(&txn);
+}
+
+TEST(TraceTest, JsonRoundTripsEscapedStrings) {
+  TraceSpan root;
+  root.name = "weird \"name\"\twith\nescapes\\";
+  root.simulated_ns = 17;
+  root.wall_ns = 23;
+  root.Annotate("key \"x\"", "value\n\t\\ \"y\"");
+  TraceSpan child;
+  child.name = "child";
+  child.Annotate("a", "b");
+  root.children.push_back(std::move(child));
+
+  TraceSpan parsed;
+  ASSERT_TRUE(ParseTraceJson(RenderTraceJson(root), &parsed));
+  EXPECT_TRUE(parsed == root);
+}
+
+TEST(TraceTest, ParseRejectsMalformedJson) {
+  TraceSpan out;
+  EXPECT_FALSE(ParseTraceJson("", &out));
+  EXPECT_FALSE(ParseTraceJson("{}", &out));
+  EXPECT_FALSE(ParseTraceJson("{\"name\": \"x\"}", &out));
+  EXPECT_FALSE(ParseTraceJson(
+      "{\"name\": \"x\", \"simulated_ns\": 1, \"wall_ns\": 2, "
+      "\"annotations\": {}, \"children\": [}",
+      &out));
+}
+
+TEST(TraceTest, TextRenderingShowsTreeStructure) {
+  TraceSpan root;
+  root.name = "execute";
+  root.simulated_ns = 100;
+  TraceSpan child;
+  child.name = "scan";
+  child.Annotate("column", "grp");
+  root.children.push_back(std::move(child));
+  const std::string text = RenderTraceText(root);
+  EXPECT_NE(text.find("execute [sim=100ns"), std::string::npos);
+  EXPECT_NE(text.find("  scan"), std::string::npos);
+  EXPECT_NE(text.find("column=grp"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hytap

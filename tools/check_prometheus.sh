@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# promtool-style lint of the engine's Prometheus text exposition.
+#
+# Usage: check_prometheus.sh <metrics.txt>
+#
+# Validates (with plain grep -E, no promtool dependency) that:
+#   - every line is a `# TYPE` comment or a `name[{labels}] value` sample;
+#   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+#   - every sample's metric family was declared by a preceding # TYPE line
+#     (histogram families own their _bucket/_sum/_count series);
+#   - histogram families expose _bucket series with an le label, a +Inf
+#     bucket, and _sum/_count series;
+#   - the core engine families instrumented by the observability layer are
+#     present.
+set -u
+
+if [ "$#" -ne 1 ] || [ ! -r "$1" ]; then
+  echo "usage: check_prometheus.sh <metrics.txt>" >&2
+  exit 2
+fi
+file="$1"
+status=0
+
+fail() {
+  echo "check_prometheus: FAIL: $*" >&2
+  status=1
+}
+
+name_re='[a-zA-Z_:][a-zA-Z0-9_:]*'
+value_re='(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+?Inf|-Inf|NaN)'
+
+# 1. Line grammar: TYPE comments, HELP comments, samples, blank lines.
+bad_lines=$(grep -n -E -v \
+  "^(# (TYPE ${name_re} (counter|gauge|histogram)|HELP ${name_re}.*)|${name_re}(\{[^}]*\})? ${value_re}|)$" \
+  "$file" || true)
+if [ -n "$bad_lines" ]; then
+  fail "malformed lines:"$'\n'"$bad_lines"
+fi
+
+# 2. Every sample belongs to a declared family.
+declared=$(sed -n -E "s/^# TYPE (${name_re}) .*/\1/p" "$file" | sort -u)
+samples=$(grep -E -o "^${name_re}" "$file" | sort -u)
+for sample in $samples; do
+  base=$(printf '%s' "$sample" | sed -E 's/_(bucket|sum|count)$//')
+  if ! printf '%s\n' "$declared" | grep -q -x -e "$sample" -e "$base"; then
+    fail "sample '$sample' has no # TYPE declaration"
+  fi
+done
+
+# 3. Histogram families are complete: le-labelled buckets, +Inf, sum, count.
+histograms=$(sed -n -E "s/^# TYPE (${name_re}) histogram$/\1/p" "$file")
+for h in $histograms; do
+  grep -q -E "^${h}_bucket\{le=\"[^\"]+\"\} [0-9]+$" "$file" \
+    || fail "histogram '$h' has no le-labelled buckets"
+  grep -q -E "^${h}_bucket\{le=\"\+Inf\"\} [0-9]+$" "$file" \
+    || fail "histogram '$h' has no +Inf bucket"
+  grep -q -E "^${h}_sum [0-9]+" "$file" || fail "histogram '$h' has no _sum"
+  grep -q -E "^${h}_count [0-9]+" "$file" \
+    || fail "histogram '$h' has no _count"
+done
+
+# 4. The engine's core metric families must be exported after a workload run.
+for family in \
+  hytap_buffer_hits_total \
+  hytap_buffer_misses_total \
+  hytap_store_reads_total \
+  hytap_store_read_latency_ns \
+  hytap_sscg_pages_scanned_total \
+  hytap_scan_morsels_scanned_total \
+  hytap_query_executions_total \
+  hytap_query_simulated_ns \
+  hytap_txn_begins_total; do
+  grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
+    || fail "expected engine metric family '$family' missing"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_prometheus: OK ($(grep -c -E "^# TYPE " "$file") families)"
+fi
+exit "$status"
