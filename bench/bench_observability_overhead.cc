@@ -1,11 +1,12 @@
 // Overhead of the observability layer on the query fast path: the metrics
-// registry (HYTAP_METRICS) and per-query tracing (HYTAP_TRACE) on vs off,
-// over a Fig. 9-style tiered table (DRAM id column + width-10 tiered
-// payload) driven end-to-end through the executor and through the raw MRC
-// scan kernel. Acceptance targets: metrics <= 3 %, tracing <= 10 % on the
-// executor mix. Reps alternate configurations in-process (min-of-N, machine
-// drift cancels). Results go to BENCH_observability_overhead.json; a missed
-// gate fails the process (CI runs this with --small).
+// registry (HYTAP_METRICS), per-query tracing (HYTAP_TRACE), and the
+// workload monitor (HYTAP_WORKLOAD_MONITOR) on vs off, over a Fig. 9-style
+// tiered table (DRAM id column + width-10 tiered payload) driven end-to-end
+// through the executor and through the raw MRC scan kernel. Acceptance
+// targets: metrics <= 3 %, monitor <= 3 %, tracing <= 10 % on the executor
+// mix. Reps alternate configurations in-process (min-of-N, machine drift
+// cancels). Results go to BENCH_observability_overhead.json; a missed gate
+// fails the process (CI runs this with --small).
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include "common/trace.h"
 #include "query/executor.h"
 #include "storage/sscg.h"
+#include "workload/workload_monitor.h"
 #include "storage/table.h"
 #include "tiering/buffer_manager.h"
 #include "tiering/secondary_store.h"
@@ -28,6 +30,7 @@ using namespace hytap;
 namespace {
 
 constexpr double kMetricsGatePct = 3.0;
+constexpr double kMonitorGatePct = 3.0;
 constexpr double kTraceGatePct = 10.0;
 /// Absolute slack added to each gate: sub-millisecond deltas on small CI
 /// runs are timer noise, not overhead.
@@ -35,55 +38,66 @@ constexpr double kNoiseFloorSeconds = 0.0005;
 
 struct Sample {
   const char* workload;
-  double baseline_seconds;  // metrics off, trace off
-  double metrics_seconds;   // metrics on, trace off
-  double trace_seconds;     // metrics off, trace on
+  double baseline_seconds;  // metrics off, trace off, monitor off
+  double metrics_seconds;   // metrics on only
+  double trace_seconds;     // trace on only
+  double monitor_seconds;   // workload monitor on only
   double MetricsPct() const {
     return 100.0 * (metrics_seconds - baseline_seconds) / baseline_seconds;
   }
   double TracePct() const {
     return 100.0 * (trace_seconds - baseline_seconds) / baseline_seconds;
   }
+  double MonitorPct() const {
+    return 100.0 * (monitor_seconds - baseline_seconds) / baseline_seconds;
+  }
 };
 
 std::vector<Sample> g_samples;
 
-/// Runs `fn` under baseline/metrics-only/trace-only configurations,
-/// alternating within each rep after one untimed warmup, and keeps the best
-/// time per configuration.
+/// Runs `fn` under baseline/metrics-only/trace-only/monitor-only
+/// configurations, alternating within each rep after one untimed warmup, and
+/// keeps the best time per configuration.
 template <typename Fn>
 Sample MeasureConfigs(const char* workload, int reps, Fn&& fn) {
-  auto configure = [](bool metrics, bool trace) {
+  auto configure = [](bool metrics, bool trace, bool monitor) {
     SetMetricsEnabled(metrics);
     SetTraceEnabled(trace);
+    SetWorkloadMonitorEnabled(monitor);
   };
-  configure(false, false);
+  configure(false, false, false);
   fn();
-  Sample sample{workload, 1e100, 1e100, 1e100};
+  Sample sample{workload, 1e100, 1e100, 1e100, 1e100};
   for (int r = 0; r < reps; ++r) {
-    configure(false, false);
+    configure(false, false, false);
     bench::Stopwatch base_watch;
     fn();
     sample.baseline_seconds = std::min(sample.baseline_seconds,
                                        base_watch.Seconds());
-    configure(true, false);
+    configure(true, false, false);
     bench::Stopwatch metrics_watch;
     fn();
     sample.metrics_seconds = std::min(sample.metrics_seconds,
                                       metrics_watch.Seconds());
-    configure(false, true);
+    configure(false, true, false);
     bench::Stopwatch trace_watch;
     fn();
     sample.trace_seconds = std::min(sample.trace_seconds,
                                     trace_watch.Seconds());
+    configure(false, false, true);
+    bench::Stopwatch monitor_watch;
+    fn();
+    sample.monitor_seconds = std::min(sample.monitor_seconds,
+                                      monitor_watch.Seconds());
   }
-  configure(true, false);  // engine defaults
+  configure(true, false, true);  // engine defaults
   g_samples.push_back(sample);
   std::printf("  %-12s baseline: %9.2f ms   metrics: %9.2f ms (%+5.2f %%)   "
-              "trace: %9.2f ms (%+5.2f %%)\n",
+              "trace: %9.2f ms (%+5.2f %%)   monitor: %9.2f ms (%+5.2f %%)\n",
               workload, sample.baseline_seconds * 1e3,
               sample.metrics_seconds * 1e3, sample.MetricsPct(),
-              sample.trace_seconds * 1e3, sample.TracePct());
+              sample.trace_seconds * 1e3, sample.TracePct(),
+              sample.monitor_seconds * 1e3, sample.MonitorPct());
   return sample;
 }
 
@@ -106,9 +120,11 @@ void WriteJson(const char* path) {
         f,
         "  {\"workload\": \"%s\", \"baseline_seconds\": %.6f, "
         "\"metrics_seconds\": %.6f, \"trace_seconds\": %.6f, "
-        "\"metrics_overhead_pct\": %.3f, \"trace_overhead_pct\": %.3f}%s\n",
+        "\"monitor_seconds\": %.6f, \"metrics_overhead_pct\": %.3f, "
+        "\"trace_overhead_pct\": %.3f, \"monitor_overhead_pct\": %.3f}%s\n",
         s.workload, s.baseline_seconds, s.metrics_seconds, s.trace_seconds,
-        s.MetricsPct(), s.TracePct(), i + 1 < g_samples.size() ? "," : "");
+        s.monitor_seconds, s.MetricsPct(), s.TracePct(), s.MonitorPct(),
+        i + 1 < g_samples.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -188,6 +204,10 @@ int main(int argc, char** argv) {
                 kPayloadWidth);
 
     QueryExecutor executor(&table);
+    // The monitor config exercises the full observation path: per-step
+    // IoStats deltas, windowing, and the ring roll on the simulated clock.
+    WorkloadMonitor monitor(table.column_count());
+    executor.set_monitor(&monitor);
     Transaction txn = txns.Begin();
     const std::vector<Query> queries = QueryMix(rows);
     executor_sample = MeasureConfigs("query_mix", reps, [&] {
@@ -226,15 +246,20 @@ int main(int argc, char** argv) {
       GatePasses(executor_sample, kMetricsGatePct,
                  executor_sample.metrics_seconds) &&
       GatePasses(scan_sample, kMetricsGatePct, scan_sample.metrics_seconds);
-  // Tracing builds spans only on the executor's control path; the raw scan
-  // kernel never sees the knob, so the trace gate covers the executor mix.
+  // Tracing and the workload monitor live only on the executor's control
+  // path; the raw scan kernel never sees those knobs, so their gates cover
+  // the executor mix.
   const bool trace_ok = GatePasses(executor_sample, kTraceGatePct,
                                    executor_sample.trace_seconds);
-  std::printf("\ntargets: metrics <= %.0f %% -> %s   trace <= %.0f %% -> %s\n",
+  const bool monitor_ok = GatePasses(executor_sample, kMonitorGatePct,
+                                     executor_sample.monitor_seconds);
+  std::printf("\ntargets: metrics <= %.0f %% -> %s   trace <= %.0f %% -> %s   "
+              "monitor <= %.0f %% -> %s\n",
               kMetricsGatePct, metrics_ok ? "PASS" : "MISS", kTraceGatePct,
-              trace_ok ? "PASS" : "MISS");
+              trace_ok ? "PASS" : "MISS", kMonitorGatePct,
+              monitor_ok ? "PASS" : "MISS");
 
   WriteJson("BENCH_observability_overhead.json");
   bench::MaybeWriteMetricsSnapshot("observability_overhead");
-  return metrics_ok && trace_ok ? 0 : 1;
+  return metrics_ok && trace_ok && monitor_ok ? 0 : 1;
 }

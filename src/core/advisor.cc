@@ -1,6 +1,7 @@
 #include "core/advisor.h"
 
 #include "common/assert.h"
+#include "selection/calibration.h"
 #include "selection/heuristics.h"
 
 namespace hytap {
@@ -11,10 +12,14 @@ Recommendation Advisor::Recommend(const TieredTable& table,
                                   double budget_bytes) const {
   Recommendation rec;
   rec.workload = table.plan_cache().ToWorkload(table.table());
+  rec.params_used = options_.cost_params;
+  if (options_.use_calibrated_params && options_.calibrator != nullptr) {
+    rec.params_used = options_.calibrator->Fitted();
+  }
 
   SelectionProblem problem;
   problem.workload = &rec.workload;
-  problem.params = options_.cost_params;
+  problem.params = rec.params_used;
   problem.budget_bytes = budget_bytes;
   if (options_.beta > 0.0) {
     problem.beta = options_.beta;

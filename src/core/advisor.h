@@ -8,6 +8,8 @@
 
 namespace hytap {
 
+class CostCalibrator;
+
 /// Which selection algorithm the advisor runs.
 enum class AdvisorAlgorithm {
   kExplicit,        // Theorem 2 + Remark-2 filling (default, scalable)
@@ -23,6 +25,12 @@ struct AdvisorOptions {
   double beta = 0.0;
   /// Columns to pin in DRAM (e.g., primary keys / SLA-critical attributes).
   std::vector<ColumnId> pinned_columns;
+  /// Opt-in online calibration (DESIGN.md §12): when set together with
+  /// `use_calibrated_params`, Recommend() replaces `cost_params` with the
+  /// calibrator's fitted c_mm/c_ss. Report-only otherwise — attaching a
+  /// calibrator alone changes nothing.
+  const CostCalibrator* calibrator = nullptr;
+  bool use_calibrated_params = false;
 };
 
 /// Recommendation produced by the advisor.
@@ -30,6 +38,9 @@ struct Recommendation {
   std::vector<bool> in_dram;
   SelectionResult selection;
   Workload workload;  // the workload snapshot the decision was based on
+  /// The scan-cost parameters the decision used (the options' static params
+  /// or the calibrator's fitted ones when opted in).
+  ScanCostParams params_used;
 };
 
 /// The autonomous column selection driver (paper Fig. 2): reads the table's

@@ -15,12 +15,26 @@ TieredTable::TieredTable(std::string name, Schema schema,
                                    store_.get(), buffers_.get());
   executor_ =
       std::make_unique<QueryExecutor>(table_.get(), options.probe_threshold);
+  monitor_ = std::make_unique<WorkloadMonitor>(table_->column_count(),
+                                               options.monitor);
+  calibrator_ = std::make_unique<CostCalibrator>();
+  monitor_->set_sink(calibrator_.get());
+  executor_->set_monitor(monitor_.get());
 }
 
 QueryResult TieredTable::Execute(const Transaction& txn, const Query& query,
                                  uint32_t threads) {
-  plan_cache_.Record(query);
-  return executor_->Execute(txn, query, threads);
+  // Record after execution so the plan cache can keep the query's measured
+  // selectivities when the monitor produced an observation for it (the
+  // sequence check also covers the knob being toggled mid-run).
+  const uint64_t seq_before = monitor_->observation_sequence();
+  QueryResult result = executor_->Execute(txn, query, threads);
+  if (monitor_->observation_sequence() != seq_before) {
+    plan_cache_.RecordObserved(query, monitor_->last_observation());
+  } else {
+    plan_cache_.Record(query);
+  }
+  return result;
 }
 
 StatusOr<uint64_t> TieredTable::ApplyPlacement(

@@ -6,10 +6,12 @@
 
 #include "query/executor.h"
 #include "query/plan_cache.h"
+#include "selection/calibration.h"
 #include "storage/table.h"
 #include "tiering/buffer_manager.h"
 #include "tiering/secondary_store.h"
 #include "txn/transaction_manager.h"
+#include "workload/workload_monitor.h"
 
 namespace hytap {
 
@@ -23,6 +25,9 @@ struct TieredTableOptions {
   size_t min_frames = 64;
   double probe_threshold = 1e-4;
   uint64_t timing_seed = 42;
+  /// Workload-monitor geometry (ring capacity / window width on the
+  /// simulated clock); defaults honor HYTAP_WORKLOAD_WINDOWS/HYTAP_WINDOW_NS.
+  WorkloadMonitor::Options monitor = WorkloadMonitor::Options::FromEnv();
 };
 
 /// Owning facade that wires a Table to its transaction manager, secondary
@@ -69,6 +74,12 @@ class TieredTable {
   const Table& table() const { return *table_; }
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
+  /// Windowed workload time series fed by the executor (DESIGN.md §12).
+  WorkloadMonitor& monitor() { return *monitor_; }
+  const WorkloadMonitor& monitor() const { return *monitor_; }
+  /// Online scan-cost calibration fed by the monitor.
+  CostCalibrator& calibrator() { return *calibrator_; }
+  const CostCalibrator& calibrator() const { return *calibrator_; }
   SecondaryStore& store() { return *store_; }
   const SecondaryStore& store() const { return *store_; }
   BufferManager& buffers() { return *buffers_; }
@@ -83,6 +94,8 @@ class TieredTable {
   std::unique_ptr<BufferManager> buffers_;
   std::unique_ptr<Table> table_;
   std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<WorkloadMonitor> monitor_;
+  std::unique_ptr<CostCalibrator> calibrator_;
   PlanCache plan_cache_;
 };
 

@@ -152,6 +152,31 @@ void AnnotatePredicateStep(ScopedSpan& span, const std::string& column,
   span.Annotate("candidates_out", std::to_string(candidates_out));
 }
 
+/// Appends one executed predicate step to the query observation (no-op when
+/// `obs` is null, i.e. no monitor attached or the knob is off). Like trace
+/// spans, reads only finished, deterministic engine state.
+void RecordStep(QueryObservation* obs, ColumnId column, StepKind kind,
+                uint64_t candidates_in, uint64_t candidates_out,
+                double est_selectivity, const IoStats& before,
+                const IoStats& after, uint64_t mm_bytes) {
+  if (obs == nullptr) return;
+  StepObservation step;
+  step.column = column;
+  step.kind = kind;
+  step.candidates_in = candidates_in;
+  step.candidates_out = candidates_out;
+  step.estimated_selectivity = est_selectivity;
+  step.observed_selectivity =
+      candidates_in == 0 ? 0.0
+                         : double(candidates_out) / double(candidates_in);
+  step.device_ns = after.device_ns - before.device_ns;
+  step.dram_ns = after.dram_ns - before.dram_ns;
+  step.page_reads = after.page_reads - before.page_reads;
+  step.cache_hits = after.cache_hits - before.cache_hits;
+  step.mm_bytes = mm_bytes;
+  obs->steps.push_back(step);
+}
+
 }  // namespace
 
 QueryExecutor::QueryExecutor(const Table* table, double probe_threshold)
@@ -251,15 +276,18 @@ const MainIndex* QueryExecutor::PickIndex(const Query& query,
 Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
                                   const std::vector<size_t>& order,
                                   uint32_t threads, QueryResult* result,
-                                  TraceSpan* trace) const {
+                                  TraceSpan* trace,
+                                  QueryObservation* obs) const {
   const size_t main_rows = table_->main_row_count();
   if (main_rows == 0) return Status::Ok();
   PositionList positions;
   bool first = true;
+  IoStats obs_before;  // io snapshot at the start of the current step
   // Index access path.
   std::vector<size_t> used_predicates;
   if (!query.predicates.empty()) {
     if (const MainIndex* index = PickIndex(query, &used_predicates)) {
+      if (obs != nullptr) obs_before = result->io;
       ScopedSpan span(trace, "index", &result->io);
       if (index->columns().size() > 1) {
         Row key(index->columns().size());
@@ -289,6 +317,16 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
         span.Annotate("candidates_out", std::to_string(positions.size()));
       }
       span.Finish();
+      // Single-column index lookups sample that column's selectivity;
+      // composite lookups answer several predicates at once, so their joint
+      // selectivity is not attributable to one column and only the template
+      // (filtered_columns) records them.
+      if (obs != nullptr && index->columns().size() == 1) {
+        const Predicate& pred = query.predicates[used_predicates[0]];
+        RecordStep(obs, pred.column, StepKind::kIndex, main_rows,
+                   positions.size(), EstimateSelectivity(pred), obs_before,
+                   result->io, 0);
+      }
       first = false;
     }
   }
@@ -300,6 +338,7 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
     const Predicate& pred = query.predicates[idx];
     const size_t candidates_in = positions.size();
     const char* step = nullptr;
+    if (obs != nullptr) obs_before = result->io;
     if (first) {
       step = "scan";
       ScopedSpan span(trace, step, &result->io);
@@ -310,6 +349,25 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
                             main_rows, positions.size());
       span.Finish();
       if (!status.ok()) return status;
+      if (obs != nullptr) {
+        // Modeled DRAM bytes of an MRC scan: the bit-packed code vector
+        // scaled by the surviving (unpruned) morsel fraction — mirroring the
+        // dram_ns the scan charged, but denominated in bytes so the
+        // calibrator can fit ns/byte independently of the reference params.
+        uint64_t mm_bytes = 0;
+        if (table_->location(pred.column) == ColumnLocation::kDram) {
+          const AbstractColumn* mrc = table_->mrc(pred.column);
+          const uint64_t bytes = mrc->MemoryUsage();
+          const uint64_t morsels =
+              ThreadPool::MorselCount(0, mrc->size(), kScanMorselRows);
+          const uint64_t pruned =
+              result->io.morsels_pruned - obs_before.morsels_pruned;
+          mm_bytes = morsels == 0 ? bytes : bytes - bytes * pruned / morsels;
+        }
+        RecordStep(obs, pred.column, StepKind::kScan, main_rows,
+                   positions.size(), EstimateSelectivity(pred), obs_before,
+                   result->io, mm_bytes);
+      }
       first = false;
     } else if (positions.empty()) {
       result->candidate_trace.push_back(0);
@@ -372,6 +430,12 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
                             span.active() ? EstimateSelectivity(pred) : 0.0,
                             candidates_in, positions.size());
       span.Finish();
+      if (obs != nullptr) {
+        RecordStep(obs, pred.column,
+                   rescan ? StepKind::kRescan : StepKind::kProbe,
+                   candidates_in, positions.size(), EstimateSelectivity(pred),
+                   obs_before, result->io, 0);
+      }
     }
     result->candidate_trace.push_back(positions.size());
   }
@@ -612,6 +676,13 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
                                    uint32_t threads) const {
   HYTAP_ASSERT(threads >= 1, "thread count must be >= 1");
   QueryResult result;
+  // Observation building (like tracing) happens only on the serial control
+  // path and reads finished state — never feeds back into execution — so
+  // the monitor being attached/enabled cannot change results, IO counters,
+  // or fault schedules (workload_monitor_test asserts bit-identity).
+  QueryObservation obs_storage;
+  QueryObservation* obs =
+      monitor_ != nullptr && WorkloadMonitorEnabled() ? &obs_storage : nullptr;
   const std::vector<size_t> order = PredicateOrder(query);
   std::unique_ptr<TraceSpan> root;
   uint64_t wall_before = 0;
@@ -634,7 +705,7 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
                          std::to_string(table_->main_row_count()));
     }
     result.status = ExecuteMain(txn, query, order, threads, &result,
-                                main_span.span());
+                                main_span.span(), obs);
   }
   if (result.status.ok()) {
     ExecuteDelta(txn, query, order, &result, root.get());
@@ -653,6 +724,28 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
   if (!result.status.ok()) metrics.query_failures->Add();
   metrics.query_sim_ns->Observe(result.io.TotalNs());
   metrics.query_result_rows->Observe(result.positions.size());
+  if (obs != nullptr) {
+    for (const Predicate& pred : query.predicates) {
+      obs->filtered_columns.push_back(pred.column);
+    }
+    std::sort(obs->filtered_columns.begin(), obs->filtered_columns.end());
+    obs->filtered_columns.erase(std::unique(obs->filtered_columns.begin(),
+                                            obs->filtered_columns.end()),
+                                obs->filtered_columns.end());
+    obs->simulated_ns = result.io.TotalNs();
+    obs->device_ns = result.io.device_ns;
+    obs->dram_ns = result.io.dram_ns;
+    obs->page_reads = result.io.page_reads;
+    obs->cache_hits = result.io.cache_hits;
+    for (const StepObservation& step : obs->steps) {
+      obs->mm_bytes += step.mm_bytes;
+      if (step.mm_bytes > 0) obs->mm_scan_ns += step.dram_ns;
+    }
+    obs->result_rows = result.positions.size();
+    obs->table_rows = table_->main_row_count() + table_->delta_row_count();
+    obs->failed = !result.status.ok();
+    monitor_->Record(*obs);
+  }
   if (root != nullptr) {
     root->simulated_ns = result.io.TotalNs();
     root->wall_ns = WallClockNs() - wall_before;

@@ -9,6 +9,7 @@
 #include "query/predicate.h"
 #include "storage/table.h"
 #include "txn/transaction_manager.h"
+#include "workload/workload_monitor.h"
 
 namespace hytap {
 
@@ -81,6 +82,14 @@ class QueryExecutor {
   /// query.predicates). Exposed for tests and the plan cache.
   std::vector<size_t> PredicateOrder(const Query& query) const;
 
+  /// Attaches a workload monitor (not owned; pass null to detach). While
+  /// attached and `WorkloadMonitorEnabled()`, Execute() builds one
+  /// QueryObservation per query on its serial control path — a pure observer
+  /// of finished results and IoStats, so execution stays bit-identical with
+  /// or without it — and feeds it to the monitor.
+  void set_monitor(WorkloadMonitor* monitor) { monitor_ = monitor; }
+  WorkloadMonitor* monitor() const { return monitor_; }
+
  private:
   /// Histogram-aware selectivity estimate for one predicate (falls back to
   /// 1/distinct when the table has no statistics).
@@ -93,10 +102,12 @@ class QueryExecutor {
 
   /// The `trace` parameters receive child spans when non-null (tracing on);
   /// spans are built only on these serial control paths, never inside
-  /// worker morsels, so the tree is invariant under the worker count.
+  /// worker morsels, so the tree is invariant under the worker count. `obs`
+  /// likewise receives per-step observations when non-null (monitor on).
   Status ExecuteMain(const Transaction& txn, const Query& query,
                      const std::vector<size_t>& order, uint32_t threads,
-                     QueryResult* result, TraceSpan* trace) const;
+                     QueryResult* result, TraceSpan* trace,
+                     QueryObservation* obs) const;
   void ExecuteDelta(const Transaction& txn, const Query& query,
                     const std::vector<size_t>& order, QueryResult* result,
                     TraceSpan* trace) const;
@@ -105,6 +116,7 @@ class QueryExecutor {
 
   const Table* table_;
   double probe_threshold_;
+  WorkloadMonitor* monitor_ = nullptr;
 };
 
 }  // namespace hytap

@@ -22,10 +22,10 @@ const char* ForecastMethodName(ForecastMethod method) {
 
 void WorkloadHistory::CloseEpoch(const PlanCache& cache, const Table& table) {
   (void)table;  // reserved for future per-epoch statistics snapshots
-  for (const auto& [columns, count] : cache.templates()) {
+  for (const auto& [columns, stats] : cache.templates()) {
     auto& series = series_[columns];
     series.resize(epochs_, 0.0);  // zero-fill epochs before first sighting
-    series.push_back(double(count));
+    series.push_back(double(stats.count));
   }
   ++epochs_;
   // Templates absent this epoch get an explicit zero.

@@ -1,0 +1,248 @@
+#include "core/placement_doctor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/advisor.h"
+#include "core/tiered_table.h"
+#include "selection/calibration.h"
+#include "workload/enterprise.h"
+#include "workload/workload_monitor.h"
+
+namespace hytap {
+namespace {
+
+/// Trimmed BSEG table mirroring placement_doctor_cli: 12 columns, a hot set
+/// of 4 payload columns that phase B flips to the opposite end.
+constexpr size_t kRows = 4000;
+constexpr size_t kCols = 12;
+constexpr size_t kQueriesPerPhase = 32;
+constexpr size_t kHotCount = 4;
+constexpr size_t kHotA = 1;
+constexpr size_t kHotB = kCols - kHotCount;
+
+std::unique_ptr<TieredTable> MakeTable() {
+  EnterpriseProfile profile = BsegProfile();
+  profile.attribute_count = kCols;
+  TieredTableOptions options;
+  options.device = DeviceKind::kCssd;
+  options.timing_seed = 42;
+  // Phases are separated via ForceRoll(): keep each phase in one window.
+  options.monitor.window_ns = 1'000'000'000'000'000ull;
+  auto table = std::make_unique<TieredTable>(
+      "bseg", MakeEnterpriseSchema(profile), options);
+  table->Load(GenerateEnterpriseRows(profile, kRows, 42));
+  return table;
+}
+
+/// Seeded equality mix concentrated on `hot_base .. hot_base+kHotCount`.
+void RunPhase(TieredTable* table, size_t hot_base, Rng* rng) {
+  Transaction txn = table->Begin();
+  for (size_t q = 0; q < kQueriesPerPhase; ++q) {
+    Query query;
+    const size_t hot = hot_base + size_t(rng->NextBounded(kHotCount));
+    query.predicates.push_back(
+        Predicate::Equals(ColumnId(hot), Value(int32_t(rng->NextBounded(8)))));
+    if (q % 3 == 0) {
+      const size_t other = hot_base + size_t(rng->NextBounded(kHotCount));
+      if (other != hot) {
+        query.predicates.push_back(Predicate::Between(
+            ColumnId(other), Value(int32_t{0}), Value(int32_t{40})));
+      }
+    }
+    query.aggregates = {Aggregate::Count()};
+    (void)table->Execute(txn, query, 2);
+  }
+  table->Commit(&txn);
+}
+
+double TotalDramBytes(const TieredTable& table) {
+  double total = 0.0;
+  for (ColumnId c = 0; c < table.table().column_count(); ++c) {
+    total += double(table.table().ColumnDramBytes(c));
+  }
+  return total;
+}
+
+TEST(PlacementDoctorTest, RegretNearZeroAfterAdvisorApply) {
+  const bool was = WorkloadMonitorEnabled();
+  SetWorkloadMonitorEnabled(true);
+  auto table = MakeTable();
+  Rng rng(99);
+  RunPhase(table.get(), kHotA, &rng);
+
+  Advisor advisor;
+  auto migrated = advisor.Apply(table.get(), 0.35 * TotalDramBytes(*table));
+  ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+
+  PlacementDoctor doctor;
+  const DoctorReport report = doctor.Diagnose(*table);
+  SetWorkloadMonitorEnabled(was);
+
+  EXPECT_TRUE(report.from_monitor);
+  EXPECT_EQ(report.queries_observed, kQueriesPerPhase);
+  // The placement was just optimized for exactly this workload at exactly
+  // this budget (placement parity), so the doctor must agree with it.
+  EXPECT_GE(report.regret, 0.0);
+  EXPECT_LE(report.regret_pct, 1.0);
+  EXPECT_TRUE(report.misplaced.empty());
+  EXPECT_DOUBLE_EQ(report.budget_bytes, report.current_dram_bytes);
+  EXPECT_GE(report.current_cost, report.recommended_cost);
+  EXPECT_LE(report.all_dram_cost, report.recommended_cost + 1e-9);
+  // Report rendering smoke.
+  EXPECT_NE(report.ToText().find("regret"), std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"regret\""), std::string::npos);
+}
+
+TEST(PlacementDoctorTest, SkewFlipRaisesRegretWithFlippedColumnsInTopK) {
+  const bool was = WorkloadMonitorEnabled();
+  SetWorkloadMonitorEnabled(true);
+  auto table = MakeTable();
+  Rng rng(99);
+  RunPhase(table.get(), kHotA, &rng);
+  Advisor advisor;
+  ASSERT_TRUE(advisor.Apply(table.get(), 0.35 * TotalDramBytes(*table)).ok());
+  PlacementDoctor doctor;
+  const DoctorReport report_a = doctor.Diagnose(*table);
+
+  // The hot set flips to columns the advisor just evicted; diagnose only
+  // the post-flip window.
+  table->monitor().ForceRoll();
+  RunPhase(table.get(), kHotB, &rng);
+  DoctorOptions recent_options;
+  recent_options.recent_windows = 1;
+  PlacementDoctor recent_doctor(recent_options);
+  const DoctorReport report_b = recent_doctor.Diagnose(*table);
+  SetWorkloadMonitorEnabled(was);
+
+  EXPECT_EQ(report_b.windows_used, 1u);
+  EXPECT_GT(report_b.drift, 0.9);  // disjoint hot sets
+  EXPECT_GT(report_b.regret, 0.0);
+  EXPECT_GT(report_b.regret_pct, report_a.regret_pct);
+  ASSERT_FALSE(report_b.misplaced.empty());
+  bool flipped_in_topk = false;
+  for (const MisplacedColumn& column : report_b.misplaced) {
+    if (column.column >= kHotB && column.column < kHotB + kHotCount &&
+        column.in_dram_recommended && !column.in_dram_now) {
+      flipped_in_topk = true;
+    }
+  }
+  EXPECT_TRUE(flipped_in_topk);
+  // Ranked by separable cost term, largest first.
+  for (size_t i = 1; i < report_b.misplaced.size(); ++i) {
+    EXPECT_GE(report_b.misplaced[i - 1].cost_delta,
+              report_b.misplaced[i].cost_delta);
+  }
+}
+
+TEST(PlacementDoctorTest, CalibrationRecoversFromPerturbedReference) {
+  const bool was = WorkloadMonitorEnabled();
+  SetWorkloadMonitorEnabled(true);
+  auto table = MakeTable();
+
+  // Fan the observation stream out to a second calibrator whose reference
+  // parameters are badly perturbed.
+  struct TeeSink : QueryObservationSink {
+    std::vector<QueryObservationSink*> sinks;
+    void Observe(const QueryObservation& observation) override {
+      for (QueryObservationSink* sink : sinks) sink->Observe(observation);
+    }
+  } tee;
+  CostCalibrator perturbed(ScanCostParams{10.0, 1000.0});
+  tee.sinks = {&table->calibrator(), &perturbed};
+  table->monitor().set_sink(&tee);
+
+  // Tier the hot set half-and-half so both the DRAM and the secondary tier
+  // accumulate bytes: columns 1-2 stay in DRAM, 3-4 (and the rest) evict.
+  std::vector<bool> in_dram(kCols, false);
+  in_dram[0] = in_dram[1] = in_dram[2] = true;
+  ASSERT_TRUE(table->ApplyPlacement(in_dram).ok());
+  Rng rng(7);
+  RunPhase(table.get(), kHotA, &rng);
+  table->monitor().set_sink(&table->calibrator());
+  SetWorkloadMonitorEnabled(was);
+
+  ASSERT_EQ(perturbed.sample_count(), kQueriesPerPhase);
+  ASSERT_GT(perturbed.dram().bytes, 0u);
+  ASSERT_GT(perturbed.secondary().bytes, 0u);
+
+  // The fit is a pure bytes/ns ratio: it recovers the simulator's effective
+  // bandwidths no matter how wrong the starting reference was.
+  const ScanCostParams fitted_default = table->calibrator().Fitted();
+  const ScanCostParams fitted_perturbed = perturbed.Fitted();
+  EXPECT_NEAR(fitted_perturbed.c_mm, fitted_default.c_mm, 1e-12);
+  EXPECT_NEAR(fitted_perturbed.c_ss, fitted_default.c_ss, 1e-12);
+  // DRAM truth: kDramScanBytesPerNs = 10 bytes/ns -> ~0.1 ns/byte.
+  EXPECT_NEAR(fitted_perturbed.c_mm, 0.1, 0.05);
+  // CSSD effective bandwidth lands far from both references.
+  EXPECT_GT(fitted_perturbed.c_ss, 1.0);
+  EXPECT_LT(fitted_perturbed.c_ss, 100.0);
+  // Residuals (unlike the fit) do depend on the reference: the perturbed
+  // calibrator predicts higher costs, so its observed/predicted ratio is
+  // smaller.
+  EXPECT_GT(table->calibrator().SecondaryResidualRatio(),
+            perturbed.SecondaryResidualRatio());
+}
+
+TEST(PlacementDoctorTest, CalibratedParamsOptIn) {
+  const bool was = WorkloadMonitorEnabled();
+  SetWorkloadMonitorEnabled(true);
+  auto table = MakeTable();
+  std::vector<bool> in_dram(kCols, false);
+  in_dram[0] = in_dram[1] = in_dram[2] = true;
+  ASSERT_TRUE(table->ApplyPlacement(in_dram).ok());
+  Rng rng(7);
+  RunPhase(table.get(), kHotA, &rng);
+  SetWorkloadMonitorEnabled(was);
+
+  DoctorOptions options;
+  options.use_calibrated_params = true;
+  PlacementDoctor doctor(options);
+  const DoctorReport report = doctor.Diagnose(*table);
+  EXPECT_TRUE(report.calibrated);
+  EXPECT_EQ(report.calibration_samples, kQueriesPerPhase);
+  EXPECT_DOUBLE_EQ(report.params_used.c_mm, report.fitted_params.c_mm);
+  EXPECT_DOUBLE_EQ(report.params_used.c_ss, report.fitted_params.c_ss);
+  // The advisor honors the same opt-in.
+  AdvisorOptions advisor_options;
+  advisor_options.calibrator = &table->calibrator();
+  advisor_options.use_calibrated_params = true;
+  Advisor advisor(advisor_options);
+  const Recommendation rec = advisor.RecommendRelative(*table, 0.5);
+  EXPECT_DOUBLE_EQ(rec.params_used.c_mm, report.fitted_params.c_mm);
+  EXPECT_DOUBLE_EQ(rec.params_used.c_ss, report.fitted_params.c_ss);
+}
+
+TEST(PlacementDoctorTest, FallsBackToPlanCacheWhenMonitorOff) {
+  const bool was = WorkloadMonitorEnabled();
+  SetWorkloadMonitorEnabled(false);
+  auto table = MakeTable();
+  Rng rng(3);
+  RunPhase(table.get(), kHotA, &rng);
+  SetWorkloadMonitorEnabled(was);
+
+  EXPECT_EQ(table->monitor().queries_observed(), 0u);
+  EXPECT_GT(table->plan_cache().template_count(), 0u);
+  PlacementDoctor doctor;
+  const DoctorReport report = doctor.Diagnose(*table);
+  EXPECT_FALSE(report.from_monitor);
+  EXPECT_EQ(report.queries_observed, 0u);
+  EXPECT_GT(report.current_cost, 0.0);
+  EXPECT_GE(report.regret, 0.0);
+}
+
+TEST(PlacementDoctorTest, EmptyWorkloadYieldsZeroReport) {
+  auto table = MakeTable();
+  PlacementDoctor doctor;
+  const DoctorReport report = doctor.Diagnose(*table);
+  EXPECT_DOUBLE_EQ(report.regret, 0.0);
+  EXPECT_DOUBLE_EQ(report.regret_pct, 0.0);
+  EXPECT_TRUE(report.misplaced.empty());
+  EXPECT_DOUBLE_EQ(report.current_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace hytap

@@ -89,6 +89,68 @@ TEST_F(PlanCacheTest, ToWorkloadUsesTableStatistics) {
   EXPECT_DOUBLE_EQ(freq_1, 1.0);
 }
 
+QueryObservation ObservedScan(ColumnId column, uint64_t candidates_in,
+                              uint64_t candidates_out) {
+  QueryObservation obs;
+  obs.filtered_columns = {column};
+  StepObservation step;
+  step.column = column;
+  step.kind = StepKind::kScan;
+  step.candidates_in = candidates_in;
+  step.candidates_out = candidates_out;
+  step.observed_selectivity =
+      candidates_in == 0 ? 0.0 : double(candidates_out) / double(candidates_in);
+  obs.steps.push_back(step);
+  return obs;
+}
+
+TEST_F(PlanCacheTest, ObservedSelectivitiesOverrideTableStatistics) {
+  PlanCache cache;
+  const Query q = MakeQuery({1});
+  cache.RecordObserved(q, ObservedScan(1, 100, 7));
+  cache.RecordObserved(q, ObservedScan(1, 100, 9));
+  EXPECT_EQ(cache.total_executions(), 2u);
+  EXPECT_EQ(cache.template_count(), 1u);
+
+  Workload workload = cache.ToWorkload(table_);
+  // Column 1: sample mean of {0.07, 0.09}, not the 1/distinct = 0.2
+  // statistic estimate.
+  EXPECT_NEAR(workload.selectivities[1], 0.08, 1e-12);
+  // Columns without observations keep the statistics fallback.
+  EXPECT_NEAR(workload.selectivities[0], 1.0 / 100.0, 1e-12);
+  EXPECT_NEAR(workload.selectivities[2], 1.0 / 10.0, 1e-12);
+}
+
+TEST_F(PlanCacheTest, ObservedStepsMapToTemplateSlots) {
+  PlanCache cache;
+  // Template {0, 2}, but only column 2 produced an observable step (e.g.
+  // the other predicate ran through a composite index).
+  Query q = MakeQuery({2, 0});
+  QueryObservation obs = ObservedScan(2, 200, 10);
+  obs.filtered_columns = {0, 2};
+  // A zero-candidate step must not contribute a sample.
+  StepObservation empty;
+  empty.column = 0;
+  empty.kind = StepKind::kProbe;
+  empty.candidates_in = 0;
+  obs.steps.push_back(empty);
+  cache.RecordObserved(q, obs);
+
+  Workload workload = cache.ToWorkload(table_);
+  EXPECT_NEAR(workload.selectivities[2], 0.05, 1e-12);
+  EXPECT_NEAR(workload.selectivities[0], 1.0 / 100.0, 1e-12);  // fallback
+  // Mixed Record/RecordObserved executions accumulate in one template.
+  cache.Record(MakeQuery({0, 2}));
+  EXPECT_EQ(cache.template_count(), 1u);
+  EXPECT_EQ(cache.total_executions(), 2u);
+  auto it = cache.templates().find(std::vector<ColumnId>{0, 2});
+  ASSERT_NE(it, cache.templates().end());
+  EXPECT_EQ(it->second.count, 2u);
+  ASSERT_EQ(it->second.selectivity_samples.size(), 2u);
+  EXPECT_EQ(it->second.selectivity_samples[0], 0u);
+  EXPECT_EQ(it->second.selectivity_samples[1], 1u);
+}
+
 TEST_F(PlanCacheTest, ClearResets) {
   PlanCache cache;
   cache.Record(MakeQuery({0}));

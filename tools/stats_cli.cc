@@ -3,13 +3,16 @@
 //
 // Usage:
 //   stats_cli [--rows <n>] [--cols <n>] [--queries <n>] [--threads <n>]
-//       [--seed <n>] [--trace] [--format prom|json] [--out <path>]
+//       [--seed <n>] [--trace] [--doctor] [--format prom|json]
+//       [--out <path>]
 //
 // Builds a BSEG-shaped table (column 0 is a unique document number held in
 // DRAM, the remaining payload columns are mostly tiered), executes a seeded
-// mix of point/range queries through the QueryExecutor, and writes the
-// resulting metrics snapshot in Prometheus text or JSON format. With
-// --trace, the EXPLAIN operator tree of the first queries is printed too.
+// mix of point/range queries through the engine, and writes the resulting
+// metrics snapshot in Prometheus text or JSON format. With --trace, the
+// EXPLAIN operator tree of the first queries is printed too; with --doctor,
+// the placement doctor's report on the observed workload is printed to
+// stderr (its gauges always flow into the snapshot).
 
 #include <cstdint>
 #include <cstdio>
@@ -20,11 +23,8 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/trace.h"
-#include "query/executor.h"
-#include "storage/table.h"
-#include "tiering/buffer_manager.h"
-#include "tiering/secondary_store.h"
-#include "txn/transaction_manager.h"
+#include "core/placement_doctor.h"
+#include "core/tiered_table.h"
 #include "workload/enterprise.h"
 
 using namespace hytap;
@@ -38,6 +38,7 @@ struct Options {
   uint32_t threads = 2;
   uint64_t seed = 42;
   bool trace = false;
+  bool doctor = false;
   std::string format = "prom";
   std::string out;
 };
@@ -45,7 +46,7 @@ struct Options {
 int Usage() {
   std::fprintf(stderr,
                "usage: stats_cli [--rows <n>] [--cols <n>] [--queries <n>] "
-               "[--threads <n>] [--seed <n>] [--trace] "
+               "[--threads <n>] [--seed <n>] [--trace] [--doctor] "
                "[--format prom|json] [--out <path>]\n");
   return 2;
 }
@@ -110,6 +111,8 @@ int main(int argc, char** argv) {
       if (!next_u64(&options.seed)) return Usage();
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--doctor") {
+      options.doctor = true;
     } else if (arg == "--format") {
       if (i + 1 >= argc) return Usage();
       options.format = argv[++i];
@@ -131,53 +134,56 @@ int main(int argc, char** argv) {
   // Trimmed BSEG: same column-cardinality shape, CLI-sized width.
   EnterpriseProfile profile = BsegProfile();
   profile.attribute_count = options.cols;
-  const Schema schema = MakeEnterpriseSchema(profile);
-  const std::vector<Row> rows =
-      GenerateEnterpriseRows(profile, options.rows, options.seed);
-
-  TransactionManager txns;
-  SecondaryStore store(DeviceKind::kCssd, /*timing_seed=*/options.seed);
-  BufferManager buffers(&store, /*frame_count=*/64);
-  Table table("bseg", schema, &txns, &store, &buffers);
-  table.BulkLoad(rows);
+  TieredTableOptions table_options;
+  table_options.device = DeviceKind::kCssd;
+  table_options.timing_seed = options.seed;
+  TieredTable table("bseg", MakeEnterpriseSchema(profile), table_options);
+  table.Load(GenerateEnterpriseRows(profile, options.rows, options.seed));
 
   // Document number stays in DRAM; most payload columns are evicted (the
   // paper's BSEG placement: the hot filtered minority pins, the rest tiers).
   std::vector<bool> in_dram(options.cols, false);
   in_dram[0] = true;
   for (size_t c = 1; c < options.cols; c += 5) in_dram[c] = true;
-  Status placed = table.SetPlacement(in_dram);
+  auto placed = table.ApplyPlacement(in_dram);
   if (!placed.ok()) {
-    std::fprintf(stderr, "placement failed: %s\n", placed.ToString().c_str());
+    std::fprintf(stderr, "placement failed: %s\n",
+                 placed.status().ToString().c_str());
     return 1;
   }
 
   Rng rng(options.seed * 7919 + 1);
   const std::vector<Query> queries = MakeQueries(options, &rng);
-  QueryExecutor executor(&table);
-  Transaction txn = txns.Begin();
+  Transaction txn = table.Begin();
   size_t failures = 0;
   uint64_t total_rows = 0;
   for (size_t q = 0; q < queries.size(); ++q) {
     if (options.trace && q < 2) {
+      // EXPLAIN path: traced, unrecorded (keeps plan cache/monitor counts
+      // at one entry per issued query).
+      QueryExecutor executor(&table.table());
       const ExplainResult explain =
           executor.Explain(txn, queries[q], options.threads);
       std::printf("--- EXPLAIN query %zu ---\n%s", q, explain.text.c_str());
-      if (!explain.result.status.ok()) ++failures;
-      total_rows += explain.result.positions.size();
-      continue;
     }
-    const QueryResult result =
-        executor.Execute(txn, queries[q], options.threads);
+    const QueryResult result = table.Execute(txn, queries[q], options.threads);
     if (!result.status.ok()) ++failures;
     total_rows += result.positions.size();
   }
-  txns.Commit(&txn);
+  table.Commit(&txn);
   std::fprintf(stderr,
                "ran %zu queries over %zu x %zu rows (%u threads): "
                "%llu qualifying rows, %zu failures\n",
                queries.size(), options.rows, options.cols, options.threads,
                (unsigned long long)total_rows, failures);
+
+  // Always refresh the hytap_doctor_* gauges so the exported snapshot has
+  // them; --doctor additionally prints the human-readable report.
+  PlacementDoctor doctor;
+  const DoctorReport report = doctor.Diagnose(table);
+  if (options.doctor) {
+    std::fprintf(stderr, "%s", report.ToText().c_str());
+  }
 
   const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
   const std::string rendered = options.format == "json"
