@@ -1,0 +1,265 @@
+// Anytime solver portfolio (DESIGN.md §13): gap-vs-time curves of the raced
+// solvers, plus a Table-2-style scaling sweep of the O(N log N) heuristic
+// paths up to N = 10^6 (column, tenant) items.
+//
+// Results are printed and written to BENCH_solver_portfolio.json. The bench
+// self-gates (exit 1) on the PR's acceptance criteria so CI can run it as a
+// smoke test:
+//   - the merged incumbent-gap timeline is monotonically non-increasing;
+//   - the portfolio incumbent ends within 1% of the exact optimum on the
+//     Example-1 and BSEG-sized instances;
+//   - greedy/explicit selection at N = 10^5 completes under a fixed
+//     wall-clock bound (and, in the full sweep, N = 10^6 in single-digit
+//     seconds).
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "selection/selectors.h"
+#include "solver/portfolio.h"
+#include "workload/example1.h"
+
+using namespace hytap;
+
+namespace {
+
+int failures = 0;
+
+void Gate(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "GATE FAILED: %s\n", what);
+    ++failures;
+  }
+}
+
+struct CurveRow {
+  std::string instance;
+  size_t n = 0;
+  PortfolioResult result;
+  double exact_objective = 0.0;
+};
+
+struct ScaleRow {
+  size_t n = 0;
+  size_t queries = 0;
+  double model_seconds = 0.0;
+  double explicit_seconds = 0.0;  // solver time, model build excluded
+  double greedy_seconds = 0.0;
+  double portfolio_seconds = 0.0;
+  double portfolio_gap = 0.0;
+  std::string winner;
+  uint64_t nodes = 0;
+};
+
+CurveRow RunCurve(const std::string& instance, const Workload& workload,
+                  double budget_share) {
+  SelectionProblem problem;
+  problem.workload = &workload;
+  problem.budget_bytes = budget_share * workload.TotalBytes();
+
+  PortfolioOptions options;
+  options.budget_ms = 0.0;  // run to completion: the curve ends at optimal
+  SolverPortfolio portfolio(options);
+
+  CurveRow row;
+  row.instance = instance;
+  row.n = workload.column_count();
+  row.result = portfolio.Solve(problem);
+  const SelectionResult exact = SelectIntegerOptimal(problem);
+  row.exact_objective = exact.objective;
+
+  double last_gap = 1e300;
+  bool monotone = true;
+  for (const IncumbentEvent& event : row.result.timeline) {
+    if (event.gap > last_gap + 1e-15) monotone = false;
+    last_gap = event.gap;
+  }
+  Gate(monotone, "incumbent gap timeline must be monotone non-increasing");
+  Gate(exact.optimal, "exact reference solve must complete");
+  Gate(row.result.selection.objective <= exact.objective * 1.01 + 1e-9,
+       "portfolio incumbent must end within 1% of the exact optimum");
+
+  std::printf("%-10s N=%-6zu winner=%-8s wall=%.3fs updates=%" PRIu64
+              " final_gap=%.5f (vs exact: %+.3e)\n",
+              instance.c_str(), row.n, row.result.winner.c_str(),
+              row.result.wall_seconds, row.result.incumbent_updates,
+              row.result.gap,
+              row.result.selection.objective - exact.objective);
+  // Console: first and last few incumbents (the JSON keeps every point).
+  const size_t total = row.result.timeline.size();
+  for (size_t i = 0; i < total; ++i) {
+    if (total > 16 && i == 8) {
+      std::printf("    ... %zu more incumbents ...\n", total - 16);
+      i = total - 8;
+    }
+    const IncumbentEvent& event = row.result.timeline[i];
+    std::printf("    t=%9.6fs  %-8s objective=%.6e gap=%.5f\n",
+                event.elapsed_seconds, event.solver.c_str(), event.objective,
+                event.gap);
+  }
+  return row;
+}
+
+ScaleRow RunScale(size_t tenants, size_t columns_per_tenant,
+                  size_t queries_per_tenant, double portfolio_budget_ms) {
+  const Workload workload = GenerateMultiTenantWorkload(
+      tenants, columns_per_tenant, queries_per_tenant, /*seed=*/13);
+  SelectionProblem problem;
+  problem.workload = &workload;
+  problem.budget_bytes = 0.25 * workload.TotalBytes();
+
+  ScaleRow row;
+  row.n = workload.column_count();
+  row.queries = workload.queries.size();
+
+  const SelectionResult explicit_sol = SelectExplicit(problem);
+  row.model_seconds = explicit_sol.model_seconds;
+  row.explicit_seconds =
+      explicit_sol.solve_seconds - explicit_sol.model_seconds;
+  const SelectionResult greedy = SelectGreedyMarginal(problem);
+  row.greedy_seconds = greedy.solve_seconds - greedy.model_seconds;
+
+  PortfolioOptions options;
+  options.budget_ms = portfolio_budget_ms;
+  SolverPortfolio portfolio(options);
+  const PortfolioResult result = portfolio.Solve(problem);
+  row.portfolio_seconds = result.wall_seconds;
+  row.portfolio_gap = result.gap;
+  row.winner = result.winner;
+  row.nodes = result.nodes;
+
+  std::printf("%9zu %9zu | %9.3f %12.4f %12.4f | %10.3f %-8s gap=%.5f "
+              "nodes=%" PRIu64 "\n",
+              row.n, row.queries, row.model_seconds, row.explicit_seconds,
+              row.greedy_seconds, row.portfolio_seconds, row.winner.c_str(),
+              row.portfolio_gap, row.nodes);
+  return row;
+}
+
+void AppendCurveJson(const CurveRow& row, std::string* out) {
+  char buf[256];
+  *out += "{\"instance\":\"" + row.instance + "\",";
+  std::snprintf(buf, sizeof buf,
+                "\"n\":%zu,\"winner\":\"%s\",\"wall_seconds\":%.6f,"
+                "\"objective\":%.9e,\"exact_objective\":%.9e,"
+                "\"lp_bound\":%.9e,\"gap\":%.9f,\"proved_optimal\":%s,"
+                "\"points\":[",
+                row.n, row.result.winner.c_str(), row.result.wall_seconds,
+                row.result.selection.objective, row.exact_objective,
+                row.result.lp_bound, row.result.gap,
+                row.result.proved_optimal ? "true" : "false");
+  *out += buf;
+  for (size_t i = 0; i < row.result.timeline.size(); ++i) {
+    const IncumbentEvent& event = row.result.timeline[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"t\":%.6f,\"solver\":\"%s\",\"objective\":%.9e,"
+                  "\"gap\":%.9f}",
+                  i == 0 ? "" : ",", event.elapsed_seconds,
+                  event.solver.c_str(), event.objective, event.gap);
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+void AppendScaleJson(const ScaleRow& row, std::string* out) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"n\":%zu,\"queries\":%zu,\"model_seconds\":%.6f,"
+                "\"explicit_seconds\":%.6f,\"greedy_seconds\":%.6f,"
+                "\"portfolio_seconds\":%.6f,\"portfolio_gap\":%.9f,"
+                "\"winner\":\"%s\",\"nodes\":%" PRIu64 "}",
+                row.n, row.queries, row.model_seconds, row.explicit_seconds,
+                row.greedy_seconds, row.portfolio_seconds, row.portfolio_gap,
+                row.winner.c_str(), row.nodes);
+  *out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool small = argc > 1 && std::string(argv[1]) == "--small";
+
+  bench::PrintHeader("anytime solver portfolio: gap vs time");
+  std::vector<CurveRow> curves;
+  {
+    // Paper Example-1 size (N = 50) and BSEG size (N = 344 attributes).
+    Example1Params example1;
+    example1.seed = 7;
+    curves.push_back(
+        RunCurve("example1", GenerateExample1(example1), /*share=*/0.3));
+    curves.push_back(RunCurve(
+        "bseg", GenerateScalabilityWorkload(344, 3440, /*seed=*/7), 0.3));
+  }
+
+  bench::PrintHeader(
+      "selection at scale: explicit/greedy O(N log N) vs portfolio deadline");
+  std::printf("%9s %9s | %9s %12s %12s | %10s\n", "items", "queries",
+              "model [s]", "explicit [s]", "greedy [s]", "portfolio");
+  std::vector<ScaleRow> scaling;
+  struct Config {
+    size_t tenants, cols, queries;
+  };
+  // N = tenants * cols; queries_per_tenant keeps Q ~ N.
+  std::vector<Config> configs = small
+                                    ? std::vector<Config>{{10, 100, 100},
+                                                          {100, 100, 100},
+                                                          {1000, 100, 100}}
+                                    : std::vector<Config>{{100, 100, 100},
+                                                          {1000, 100, 100},
+                                                          {10000, 100, 100}};
+  const double portfolio_budget_ms = small ? 500.0 : 2000.0;
+  for (const Config& config : configs) {
+    scaling.push_back(RunScale(config.tenants, config.cols, config.queries,
+                               portfolio_budget_ms));
+  }
+
+  // CI gates on the heuristic scaling path. Bounds are loose (shared CI
+  // machines) — the point is catching an accidental return to O(N^2), which
+  // would overshoot them by orders of magnitude.
+  for (const ScaleRow& row : scaling) {
+    if (row.n == 100000) {
+      Gate(row.greedy_seconds < 10.0,
+           "greedy at N=10^5 must finish under the fixed wall-clock bound");
+      Gate(row.explicit_seconds < 10.0,
+           "explicit at N=10^5 must finish under the fixed wall-clock bound");
+    }
+    if (row.n == 1000000) {
+      Gate(row.explicit_seconds < 10.0,
+           "explicit at N=10^6 must complete in single-digit seconds");
+      Gate(row.greedy_seconds < 10.0,
+           "greedy at N=10^6 must complete in single-digit seconds");
+    }
+  }
+
+  std::string json = "{\"curves\":[";
+  for (size_t i = 0; i < curves.size(); ++i) {
+    if (i > 0) json += ",";
+    AppendCurveJson(curves[i], &json);
+  }
+  json += "],\"scaling\":[";
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    if (i > 0) json += ",";
+    AppendScaleJson(scaling[i], &json);
+  }
+  json += "]}\n";
+  FILE* f = std::fopen("BENCH_solver_portfolio.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nresults written to BENCH_solver_portfolio.json\n");
+  }
+
+  std::printf("-> the portfolio delivers the explicit answer instantly, "
+              "tightens it with B&B incumbents as the budget allows, and at "
+              "N=10^6 the O(N log N) heuristic paths keep selection in "
+              "seconds (paper Table II shape under a deadline).\n");
+  bench::MaybeWriteMetricsSnapshot("solver_portfolio");
+  if (failures > 0) {
+    std::fprintf(stderr, "%d gate(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}

@@ -46,6 +46,14 @@ Recommendation Advisor::Recommend(const TieredTable& table,
     case AdvisorAlgorithm::kGreedyMarginal:
       rec.selection = SelectGreedyMarginal(problem);
       break;
+    case AdvisorAlgorithm::kPortfolio: {
+      SolverPortfolio portfolio(options_.portfolio);
+      PortfolioResult result = portfolio.Solve(problem);
+      rec.selection = std::move(result.selection);
+      rec.winner = std::move(result.winner);
+      rec.deadline_hit = result.deadline_hit;
+      break;
+    }
   }
   rec.in_dram.assign(rec.selection.in_dram.begin(),
                      rec.selection.in_dram.end());

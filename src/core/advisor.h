@@ -1,10 +1,12 @@
 #ifndef HYTAP_CORE_ADVISOR_H_
 #define HYTAP_CORE_ADVISOR_H_
 
+#include <string>
 #include <vector>
 
 #include "core/tiered_table.h"
 #include "selection/selectors.h"
+#include "solver/portfolio.h"
 
 namespace hytap {
 
@@ -15,6 +17,7 @@ enum class AdvisorAlgorithm {
   kExplicit,        // Theorem 2 + Remark-2 filling (default, scalable)
   kIntegerOptimal,  // exact branch-and-bound
   kGreedyMarginal,  // Remark 3
+  kPortfolio,       // anytime race of all of the above under a deadline
 };
 
 /// Advisor options.
@@ -31,6 +34,9 @@ struct AdvisorOptions {
   /// calibrator alone changes nothing.
   const CostCalibrator* calibrator = nullptr;
   bool use_calibrated_params = false;
+  /// Deadline/worker knobs for AdvisorAlgorithm::kPortfolio (defaults read
+  /// HYTAP_SOLVER_BUDGET_MS / HYTAP_SOLVER_THREADS).
+  PortfolioOptions portfolio = PortfolioOptions::FromEnv();
 };
 
 /// Recommendation produced by the advisor.
@@ -41,6 +47,10 @@ struct Recommendation {
   /// The scan-cost parameters the decision used (the options' static params
   /// or the calibrator's fitted ones when opted in).
   ScanCostParams params_used;
+  /// kPortfolio only: the winning solver's name ("exact" / "explicit" /
+  /// "greedy") and whether the deadline cut the race short.
+  std::string winner;
+  bool deadline_hit = false;
 };
 
 /// The autonomous column selection driver (paper Fig. 2): reads the table's

@@ -119,7 +119,17 @@ DoctorReport PlacementDoctor::Diagnose(const TieredTable& table) const {
   problem.workload = &workload;
   problem.params = report.params_used;
   problem.budget_bytes = report.budget_bytes;
-  const SelectionResult recommended = SelectExplicit(problem, true);
+  SelectionResult recommended;
+  if (options_.use_portfolio) {
+    SolverPortfolio portfolio(options_.portfolio);
+    PortfolioResult solved = portfolio.Solve(problem);
+    recommended = std::move(solved.selection);
+    report.solver_winner = std::move(solved.winner);
+    report.solver_gap = solved.gap;
+    report.solver_deadline_hit = solved.deadline_hit;
+  } else {
+    recommended = SelectExplicit(problem, true);
+  }
   report.recommended_cost = recommended.scan_cost;
   report.recommended_dram_bytes = recommended.dram_bytes;
   report.regret = report.current_cost - report.recommended_cost;
@@ -190,6 +200,11 @@ std::string DoctorReport::ToText() const {
   out << "  F(all-DRAM):        " << TraceFormatDouble(all_dram_cost) << "\n";
   out << "  regret:             " << TraceFormatDouble(regret) << " ("
       << TraceFormatDouble(regret_pct) << " %)\n";
+  if (!solver_winner.empty()) {
+    out << "  solver winner:      " << solver_winner << "  gap="
+        << TraceFormatDouble(solver_gap)
+        << (solver_deadline_hit ? "  [deadline]" : "") << "\n";
+  }
   out << "  misplaced columns (top " << misplaced.size() << "):\n";
   for (const MisplacedColumn& column : misplaced) {
     out << "    " << column.name << " [" << column.column << "] "
@@ -232,6 +247,12 @@ std::string DoctorReport::ToJson() const {
   field("fitted_c_ss", TraceFormatDouble(fitted_params.c_ss), false);
   field("calibrated", calibrated ? "true" : "false", false);
   field("calibration_samples", std::to_string(calibration_samples), false);
+  if (!solver_winner.empty()) {
+    field("solver_winner", solver_winner, true);
+    field("solver_gap", TraceFormatDouble(solver_gap), false);
+    field("solver_deadline_hit", solver_deadline_hit ? "true" : "false",
+          false);
+  }
   out += ",\"misplaced\":[";
   for (size_t i = 0; i < misplaced.size(); ++i) {
     const MisplacedColumn& column = misplaced[i];

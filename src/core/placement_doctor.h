@@ -7,6 +7,7 @@
 
 #include "core/tiered_table.h"
 #include "selection/selectors.h"
+#include "solver/portfolio.h"
 
 namespace hytap {
 
@@ -25,6 +26,12 @@ struct DoctorOptions {
   /// placement uses" (placement parity: regret compares equal-budget
   /// allocations, not a budget change).
   double budget_bytes = -1.0;
+  /// Recommend through the anytime solver portfolio (exact B&B, explicit,
+  /// greedy raced under `portfolio.budget_ms`) instead of the one-shot
+  /// explicit solution; the report then carries the winner and its
+  /// LP-bound gap, and the hytap_solver_* metrics are exercised.
+  bool use_portfolio = false;
+  PortfolioOptions portfolio = PortfolioOptions::FromEnv();
 };
 
 /// One column whose current tier disagrees with the recommendation.
@@ -67,6 +74,11 @@ struct DoctorReport {
   ScanCostParams fitted_params;
   bool calibrated = false;
   uint64_t calibration_samples = 0;
+  /// Portfolio mode only: winning solver name, its gap vs the LP bound, and
+  /// whether the deadline cut the race short.
+  std::string solver_winner;
+  double solver_gap = 0.0;
+  bool solver_deadline_hit = false;
   std::vector<MisplacedColumn> misplaced;  // largest cost delta first
 
   /// Human-readable report.

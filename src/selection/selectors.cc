@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -84,41 +85,95 @@ SelectionResult FinishResult(const SelectionProblem& problem,
   return result;
 }
 
+std::vector<uint8_t> KnapsackView::Expand(
+    const std::vector<uint8_t>& take) const {
+  HYTAP_ASSERT(take.size() == items.size(), "take arity mismatch");
+  std::vector<uint8_t> in_dram(base);
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (take[k]) in_dram[item_columns[k]] = 1;
+  }
+  return in_dram;
+}
+
+KnapsackView BuildKnapsackView(const SelectionProblem& problem,
+                               const CostModel& model) {
+  const std::vector<double> theta = ThetaCoefficients(problem, model);
+  const size_t n = problem.workload->column_count();
+  const double pinned_bytes = PinnedBytes(problem);
+  HYTAP_ASSERT(pinned_bytes <= problem.budget_bytes + 1e-9,
+               "pinned columns exceed the DRAM budget");
+
+  KnapsackView view;
+  view.capacity = problem.budget_bytes - pinned_bytes;
+  view.base.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPinned(problem, i)) view.base[i] = 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (IsPinned(problem, i)) continue;
+    const double profit = -problem.workload->column_sizes[i] * theta[i];
+    if (profit > 0.0) {
+      view.items.push_back(
+          KnapsackItem{profit, problem.workload->column_sizes[i]});
+      view.item_columns.push_back(i);
+    }
+  }
+
+  view.base_objective = model.ScanCost(view.base);
+  if (!problem.current.empty() && problem.beta != 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (view.base[i] != problem.current[i]) {
+        view.base_objective +=
+            problem.beta * problem.workload->column_sizes[i];
+      }
+    }
+  }
+
+  // Dantzig bound: fill by profit density, fractional head on the first item
+  // that no longer fits. This is exactly the LP-relaxation (4) optimum
+  // restricted to the profitable items, without the O(N^2) dense simplex.
+  std::vector<size_t> order(view.items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double da = view.items[a].profit * view.items[b].weight;
+    const double db = view.items[b].profit * view.items[a].weight;
+    if (da != db) return da > db;
+    return a < b;
+  });
+  double remaining = view.capacity;
+  for (size_t k : order) {
+    if (remaining <= 0.0) break;
+    const KnapsackItem& item = view.items[k];
+    if (item.weight <= remaining) {
+      view.profit_upper_bound += item.profit;
+      remaining -= item.weight;
+    } else {
+      view.profit_upper_bound += item.profit * (remaining / item.weight);
+      break;
+    }
+  }
+  return view;
+}
+
 SelectionResult SelectIntegerOptimal(const SelectionProblem& problem,
                                      uint64_t max_nodes) {
   const auto start = Clock::now();
   CostModel model(*problem.workload, problem.params);
   const double model_seconds = Seconds(start);
-  const std::vector<double> theta = ThetaCoefficients(problem, model);
-  const size_t n = problem.workload->column_count();
-
-  const double pinned_bytes = PinnedBytes(problem);
-  HYTAP_ASSERT(pinned_bytes <= problem.budget_bytes + 1e-9,
-               "pinned columns exceed the DRAM budget");
-
-  // Knapsack items: non-pinned columns whose selection strictly improves the
-  // objective (profit = -a_i * theta_i > 0).
-  std::vector<KnapsackItem> items;
-  std::vector<size_t> item_columns;
-  for (size_t i = 0; i < n; ++i) {
-    if (IsPinned(problem, i)) continue;
-    const double profit = -problem.workload->column_sizes[i] * theta[i];
-    if (profit > 0.0) {
-      items.push_back(
-          KnapsackItem{profit, problem.workload->column_sizes[i]});
-      item_columns.push_back(i);
-    }
-  }
+  const KnapsackView view = BuildKnapsackView(problem, model);
   KnapsackSolution knapsack =
-      SolveKnapsack(items, problem.budget_bytes - pinned_bytes, max_nodes);
+      SolveKnapsack(view.items, view.capacity, max_nodes);
 
-  std::vector<uint8_t> in_dram(n, 0);
-  for (size_t k = 0; k < items.size(); ++k) {
-    in_dram[item_columns[k]] = knapsack.take[k];
-  }
-  SelectionResult result = FinishResult(problem, model, std::move(in_dram));
+  SelectionResult result =
+      FinishResult(problem, model, view.Expand(knapsack.take));
   result.solver_nodes = knapsack.nodes;
+  result.solver_pruned = knapsack.pruned;
   result.optimal = knapsack.optimal;
+  result.lp_bound = view.base_objective - knapsack.lp_bound;
+  if (result.lp_bound != 0.0) {
+    result.gap = std::max(
+        0.0, (result.objective - result.lp_bound) / std::abs(result.lp_bound));
+  }
   result.solve_seconds = Seconds(start);
   result.model_seconds = model_seconds;
   return result;
@@ -229,6 +284,8 @@ SelectionResult SelectExplicit(const SelectionProblem& problem,
 SelectionResult SelectGreedyMarginal(const SelectionProblem& problem) {
   const auto start = Clock::now();
   CostModel model(*problem.workload, problem.params);
+  const double model_seconds = Seconds(start);
+  const std::vector<double> theta = ThetaCoefficients(problem, model);
   const size_t n = problem.workload->column_count();
   std::vector<uint8_t> in_dram(n, 0);
   double used = 0.0;
@@ -239,52 +296,32 @@ SelectionResult SelectGreedyMarginal(const SelectionProblem& problem) {
     }
   }
   // Remark 3: repeatedly add the column with the best additional performance
-  // per additional DRAM byte. The cost model is evaluated generically
-  // (ScanCost difference), so the loop also works for nonlinear extensions.
-  double current_cost = model.ScanCost(in_dram);
-  double current_moves = 0.0;
-  if (!problem.current.empty() && problem.beta != 0.0) {
-    for (size_t i = 0; i < n; ++i) {
-      if (in_dram[i] != problem.current[i]) {
-        current_moves += problem.beta * problem.workload->column_sizes[i];
-      }
+  // per additional DRAM byte. For the separable model the gain per byte of
+  // column i is the constant -theta_i (scan-cost delta plus the flipped move
+  // term), so the repeated argmax is a single pass over the columns sorted by
+  // theta ascending (ties by index, matching the old first-index argmax).
+  // A column skipped for space never fits again — `used` only grows — so the
+  // fill-with-skip scan reproduces the historical O(N^2) loop exactly.
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsPinned(problem, i) && theta[i] < 0.0) {
+      order.push_back(uint32_t(i));
     }
   }
-  while (true) {
-    double best_ratio = 0.0;
-    size_t best_column = n;
-    double best_cost = 0.0;
-    double best_moves = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (in_dram[i]) continue;
-      const double a = problem.workload->column_sizes[i];
-      if (used + a > problem.budget_bytes + 1e-9) continue;
-      in_dram[i] = 1;
-      const double cost = model.ScanCost(in_dram);
-      double moves = current_moves;
-      if (!problem.current.empty() && problem.beta != 0.0) {
-        // Toggling x_i flips whether column i moves.
-        moves += problem.beta * a *
-                 (in_dram[i] != problem.current[i] ? 1.0 : -1.0);
-      }
-      in_dram[i] = 0;
-      const double gain = (current_cost + current_moves) - (cost + moves);
-      const double ratio = gain / a;
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best_column = i;
-        best_cost = cost;
-        best_moves = moves;
-      }
-    }
-    if (best_column == n) break;
-    in_dram[best_column] = 1;
-    used += problem.workload->column_sizes[best_column];
-    current_cost = best_cost;
-    current_moves = best_moves;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (theta[a] != theta[b]) return theta[a] < theta[b];
+    return a < b;
+  });
+  for (uint32_t i : order) {
+    const double a = problem.workload->column_sizes[i];
+    if (used + a > problem.budget_bytes + 1e-9) continue;
+    in_dram[i] = 1;
+    used += a;
   }
   SelectionResult result = FinishResult(problem, model, std::move(in_dram));
   result.solve_seconds = Seconds(start);
+  result.model_seconds = model_seconds;
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "solver/simplex.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -20,6 +21,9 @@ LpSolution SolveLp(const LpProblem& problem, size_t max_iterations) {
   }
   for (const auto& row : problem.constraints) {
     HYTAP_ASSERT(row.size() == n, "constraint arity mismatch");
+  }
+  if (max_iterations == 0) {
+    max_iterations = std::max<size_t>(100000, 50 * (n + m));
   }
 
   // Tableau: m rows x (n + m + 1) columns; slack basis is feasible.
@@ -59,6 +63,7 @@ LpSolution SolveLp(const LpProblem& problem, size_t max_iterations) {
     }
     if (pivot_col == n + m) {  // optimal
       solution.feasible = true;
+      solution.status = LpStatus::kOptimal;
       solution.iterations = iter;
       break;
     }
@@ -79,6 +84,7 @@ LpSolution SolveLp(const LpProblem& problem, size_t max_iterations) {
     if (pivot_row == m) {  // unbounded
       solution.feasible = true;
       solution.bounded = false;
+      solution.status = LpStatus::kUnbounded;
       solution.iterations = iter;
       return solution;
     }
@@ -101,7 +107,11 @@ LpSolution SolveLp(const LpProblem& problem, size_t max_iterations) {
     basis[pivot_row] = pivot_col;
   }
 
-  if (!solution.feasible) return solution;  // iteration limit hit
+  if (!solution.feasible) {
+    solution.status = LpStatus::kIterationLimit;
+    solution.iterations = max_iterations;
+    return solution;
+  }
 
   solution.x.assign(n, 0.0);
   for (size_t i = 0; i < m; ++i) {

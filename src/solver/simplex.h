@@ -19,9 +19,19 @@ struct LpProblem {
   std::vector<double> rhs;                       // b, all >= 0
 };
 
+enum class LpStatus : uint8_t {
+  kOptimal,
+  kUnbounded,
+  /// Pivoting stopped at the iteration cap; `x`/`objective` are unset and
+  /// the bound must not be trusted. Callers distinguish this from genuine
+  /// infeasibility (which this slack-basis form cannot produce).
+  kIterationLimit,
+};
+
 struct LpSolution {
   bool feasible = false;
   bool bounded = true;
+  LpStatus status = LpStatus::kIterationLimit;
   std::vector<double> x;
   double objective = 0.0;
   size_t iterations = 0;
@@ -32,7 +42,12 @@ struct LpSolution {
 /// (MOSEK) on the continuous models; adequate for the N <= a few hundred
 /// instances where the LP path is exercised (large instances use the
 /// explicit solution, §III-F).
-LpSolution SolveLp(const LpProblem& problem, size_t max_iterations = 100000);
+///
+/// `max_iterations = 0` (the default) picks a cap that scales with problem
+/// size — max(100000, 50 * (n + m)) pivots — instead of the former
+/// hard-coded 100000, which silently degraded bounds on large instances.
+/// Hitting the cap is reported as LpStatus::kIterationLimit.
+LpSolution SolveLp(const LpProblem& problem, size_t max_iterations = 0);
 
 }  // namespace hytap
 

@@ -105,4 +105,54 @@ Workload GenerateScalabilityWorkload(size_t num_columns, size_t num_queries,
   return GenerateExample1(params);
 }
 
+Workload GenerateMultiTenantWorkload(size_t tenants,
+                                     size_t columns_per_tenant,
+                                     size_t queries_per_tenant,
+                                     uint64_t seed) {
+  HYTAP_ASSERT(tenants >= 1 && columns_per_tenant >= 1,
+               "need at least one tenant column");
+  Rng rng(seed);
+  const size_t n = tenants * columns_per_tenant;
+
+  Workload workload;
+  workload.column_sizes.reserve(n);
+  workload.selectivities.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workload.column_sizes.push_back(LogUniform(rng, 4.0 * 1024, 4096.0 * 1024));
+    workload.selectivities.push_back(LogUniform(rng, 1e-5, 0.5));
+  }
+  // One shared name; per-item names at N = 10^6 would dominate memory and
+  // nothing in the selection path reads them.
+  workload.column_names.clear();
+
+  // Each tenant's queries stay inside its own column block, so drawing a
+  // query column is O(1) and the whole instance is O(N + Q). Query counts
+  // vary +/-50% across tenants so per-tenant load (and thus placement value)
+  // is skewed.
+  workload.queries.reserve(tenants * queries_per_tenant);
+  for (size_t t = 0; t < tenants; ++t) {
+    const uint32_t base = uint32_t(t * columns_per_tenant);
+    const size_t tenant_queries = std::max<size_t>(
+        1, size_t(double(queries_per_tenant) * rng.NextDouble(0.5, 1.5)));
+    for (size_t j = 0; j < tenant_queries; ++j) {
+      const size_t arity =
+          1 + size_t(rng.NextBounded(std::min<size_t>(4, columns_per_tenant)));
+      std::vector<uint32_t> columns;
+      columns.reserve(arity);
+      for (size_t k = 0; k < arity; ++k) {
+        columns.push_back(base + uint32_t(rng.NextBounded(columns_per_tenant)));
+      }
+      std::sort(columns.begin(), columns.end());
+      columns.erase(std::unique(columns.begin(), columns.end()),
+                    columns.end());
+      QueryTemplate tmpl;
+      tmpl.columns = std::move(columns);
+      tmpl.frequency = 1.0 + double(rng.NextBounded(8));
+      workload.queries.push_back(std::move(tmpl));
+    }
+  }
+  workload.Check();
+  return workload;
+}
+
 }  // namespace hytap

@@ -42,6 +42,16 @@ Workload GenerateExample1(const Example1Params& params);
 Workload GenerateScalabilityWorkload(size_t num_columns, size_t num_queries,
                                      uint64_t seed);
 
+/// Extreme-scale instance over (column, tenant) items (paper §V: one DRAM
+/// budget shared by many tenant schemas): `tenants * columns_per_tenant`
+/// total columns, each tenant with its own co-accessed column block. Runs in
+/// O(N + total queries) — unlike GenerateExample1, whose popularity sampling
+/// is O(N) per query — so N = 10^6 instances generate in seconds.
+Workload GenerateMultiTenantWorkload(size_t tenants,
+                                     size_t columns_per_tenant,
+                                     size_t queries_per_tenant,
+                                     uint64_t seed);
+
 }  // namespace hytap
 
 #endif  // HYTAP_WORKLOAD_EXAMPLE1_H_

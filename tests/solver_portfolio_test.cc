@@ -1,0 +1,302 @@
+// Anytime solver portfolio (DESIGN.md §13): determinism of the parallel
+// branch-and-bound, bit-for-bit agreement with the exact selector at an
+// unlimited budget, valid incumbents under mid-solve cancellation, and the
+// analytic LP bound against the simplex relaxation.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "selection/selectors.h"
+#include "solver/branch_and_bound.h"
+#include "solver/portfolio.h"
+#include "solver/simplex.h"
+#include "workload/example1.h"
+
+namespace hytap {
+namespace {
+
+SelectionProblem MakeProblem(const Workload& workload, double share) {
+  SelectionProblem problem;
+  problem.workload = &workload;
+  problem.budget_bytes = share * workload.TotalBytes();
+  return problem;
+}
+
+std::vector<KnapsackItem> RandomItems(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KnapsackItem> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double weight = 1.0 + rng.NextDouble() * 99.0;
+    // Weakly correlated: hard enough that the search actually branches.
+    items.push_back(KnapsackItem{weight * (0.8 + 0.4 * rng.NextDouble()),
+                                 weight});
+  }
+  return items;
+}
+
+TEST(ParallelKnapsackTest, WorkerCountDoesNotChangeTheAnswer) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::vector<KnapsackItem> items = RandomItems(60, seed);
+    const double capacity = 40.0 * 25.0;
+    KnapsackSolution reference;
+    for (uint32_t workers : {1u, 2u, 4u}) {
+      KnapsackOptions options;
+      options.workers = workers;
+      const KnapsackSolution solution =
+          SolveKnapsack(items, capacity, options);
+      ASSERT_TRUE(solution.optimal);
+      if (workers == 1) {
+        reference = solution;
+        continue;
+      }
+      // Bit-identical: the same take-vector and the exact same profit
+      // double, not merely an equal objective.
+      EXPECT_EQ(solution.take, reference.take) << "seed " << seed;
+      EXPECT_EQ(solution.profit, reference.profit) << "seed " << seed;
+      EXPECT_EQ(solution.weight, reference.weight) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ParallelKnapsackTest, RepeatedParallelRunsAreIdentical) {
+  const std::vector<KnapsackItem> items = RandomItems(80, 7);
+  const double capacity = 1200.0;
+  KnapsackOptions options;
+  options.workers = 4;
+  const KnapsackSolution first = SolveKnapsack(items, capacity, options);
+  ASSERT_TRUE(first.optimal);
+  for (int run = 0; run < 5; ++run) {
+    const KnapsackSolution again = SolveKnapsack(items, capacity, options);
+    EXPECT_EQ(again.take, first.take);
+    EXPECT_EQ(again.profit, first.profit);
+  }
+}
+
+TEST(ParallelKnapsackTest, GapAndCountersAreReported) {
+  const std::vector<KnapsackItem> items = RandomItems(40, 3);
+  const KnapsackSolution solution = SolveKnapsack(items, 500.0);
+  ASSERT_TRUE(solution.optimal);
+  EXPECT_GT(solution.nodes, 0u);
+  EXPECT_GE(solution.lp_bound, solution.profit);
+  EXPECT_GE(solution.gap, 0.0);
+  EXPECT_NEAR(solution.gap,
+              (solution.lp_bound - solution.profit) / solution.lp_bound,
+              1e-12);
+}
+
+TEST(ParallelKnapsackTest, CancelTokenStopsTheSearch) {
+  // A large hard instance plus an already-fired token: the solver must
+  // return promptly with cancelled = true and a feasible incumbent.
+  const std::vector<KnapsackItem> items = RandomItems(5000, 11);
+  std::atomic<bool> cancel{true};
+  KnapsackOptions options;
+  options.workers = 2;
+  options.cancel = &cancel;
+  const KnapsackSolution solution =
+      SolveKnapsack(items, 0.25 * 5000.0 * 50.0, options);
+  EXPECT_TRUE(solution.cancelled);
+  EXPECT_FALSE(solution.optimal);
+  EXPECT_LE(solution.weight, 0.25 * 5000.0 * 50.0 + 1e-6);
+}
+
+TEST(PortfolioTest, UnlimitedBudgetMatchesExactSelectorBitForBit) {
+  for (uint64_t seed : {1u, 5u, 9u}) {
+    Example1Params params;
+    params.num_columns = 40;
+    params.num_queries = 300;
+    params.seed = seed;
+    const Workload workload = GenerateExample1(params);
+    const SelectionProblem problem = MakeProblem(workload, 0.3);
+
+    const SelectionResult exact = SelectIntegerOptimal(problem);
+    ASSERT_TRUE(exact.optimal);
+
+    PortfolioOptions options;
+    options.budget_ms = 0.0;  // unlimited
+    options.workers = 4;
+    SolverPortfolio portfolio(options);
+    const PortfolioResult result = portfolio.Solve(problem);
+
+    EXPECT_EQ(result.winner, "exact");
+    EXPECT_TRUE(result.proved_optimal);
+    EXPECT_FALSE(result.deadline_hit);
+    EXPECT_EQ(result.selection.in_dram, exact.in_dram) << "seed " << seed;
+    EXPECT_EQ(result.selection.objective, exact.objective);
+    EXPECT_EQ(result.selection.scan_cost, exact.scan_cost);
+  }
+}
+
+TEST(PortfolioTest, DeadlineLeavesValidIncumbent) {
+  // Large instance with a ~zero budget: the race is cancelled almost
+  // immediately, yet the portfolio must still return a feasible placement
+  // (the greedy baseline publishes before doing any work).
+  const Workload workload = GenerateMultiTenantWorkload(200, 50, 4, 21);
+  const SelectionProblem problem = MakeProblem(workload, 0.2);
+
+  PortfolioOptions options;
+  options.budget_ms = 1.0;
+  options.workers = 2;
+  SolverPortfolio portfolio(options);
+  const PortfolioResult result = portfolio.Solve(problem);
+
+  ASSERT_EQ(result.selection.in_dram.size(), workload.column_count());
+  EXPECT_LE(result.selection.dram_bytes, problem.budget_bytes + 1e-6);
+  EXPECT_GE(result.gap, 0.0);
+  EXPECT_GE(result.selection.objective,
+            result.lp_bound - 1e-9 * std::abs(result.lp_bound));
+}
+
+TEST(PortfolioTest, CancellationMidSolveLeavesValidIncumbent) {
+  // Drive a solver directly through the start/stop idiom: start on a hard
+  // instance, stop mid-search, and check the incumbent snapshot is feasible.
+  const Workload workload = GenerateMultiTenantWorkload(100, 100, 4, 33);
+  const SelectionProblem problem = MakeProblem(workload, 0.25);
+  CostModel model(*problem.workload, problem.params);
+  const KnapsackView view = BuildKnapsackView(problem, model);
+
+  auto solver = MakeExactBnbSolver(&view, 2, uint64_t(200'000'000));
+  solver->StartSolving();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  solver->StopSolving();
+
+  const SolverIncumbent incumbent = solver->GetIncumbent();
+  if (incumbent.valid) {
+    double weight = 0.0;
+    double profit = 0.0;
+    ASSERT_EQ(incumbent.take.size(), view.items.size());
+    for (size_t k = 0; k < view.items.size(); ++k) {
+      if (incumbent.take[k]) {
+        weight += view.items[k].weight;
+        profit += view.items[k].profit;
+      }
+    }
+    EXPECT_LE(weight, view.capacity * (1.0 + 1e-9) + 1e-6);
+    EXPECT_NEAR(profit, incumbent.profit, 1e-6 * std::max(1.0, profit));
+    EXPECT_GE(incumbent.objective, view.ObjectiveLowerBound() - 1e-6);
+  }
+}
+
+TEST(PortfolioTest, TimelineGapIsMonotoneNonIncreasing) {
+  Example1Params params;
+  params.num_columns = 60;
+  params.num_queries = 400;
+  params.seed = 2;
+  const Workload workload = GenerateExample1(params);
+  const SelectionProblem problem = MakeProblem(workload, 0.4);
+
+  PortfolioOptions options;
+  options.budget_ms = 0.0;
+  options.workers = 2;
+  SolverPortfolio portfolio(options);
+  const PortfolioResult result = portfolio.Solve(problem);
+
+  ASSERT_FALSE(result.timeline.empty());
+  double last_gap = std::numeric_limits<double>::infinity();
+  for (const IncumbentEvent& event : result.timeline) {
+    EXPECT_LE(event.gap, last_gap + 1e-15);
+    last_gap = event.gap;
+  }
+  // The race completed, so the final portfolio gap is the winner's gap.
+  EXPECT_NEAR(result.timeline.back().gap, result.gap, 1e-9);
+}
+
+TEST(PortfolioTest, AnalyticLpBoundMatchesSimplexRelaxation) {
+  for (uint64_t seed : {3u, 8u}) {
+    Example1Params params;
+    params.num_columns = 30;
+    params.num_queries = 200;
+    params.seed = seed;
+    const Workload workload = GenerateExample1(params);
+    const SelectionProblem problem = MakeProblem(workload, 0.35);
+
+    CostModel model(*problem.workload, problem.params);
+    const KnapsackView view = BuildKnapsackView(problem, model);
+    const RelaxationResult relaxed = SolveRelaxationSimplex(problem);
+    ASSERT_TRUE(relaxed.feasible);
+    // Same relaxation, two solvers: the analytic Dantzig bound and the
+    // dense simplex must agree on the optimal relaxed scan cost.
+    EXPECT_NEAR(view.ObjectiveLowerBound(), relaxed.scan_cost,
+                1e-6 * std::abs(relaxed.scan_cost));
+  }
+}
+
+TEST(PortfolioTest, SolverMetricsAreRecorded) {
+  SetMetricsEnabled(true);
+  MetricsRegistry::Global().ResetAll();
+
+  Example1Params params;
+  params.num_columns = 30;
+  params.num_queries = 200;
+  params.seed = 4;
+  const Workload workload = GenerateExample1(params);
+  const SelectionProblem problem = MakeProblem(workload, 0.3);
+
+  PortfolioOptions options;
+  options.budget_ms = 0.0;
+  options.workers = 2;
+  SolverPortfolio portfolio(options);
+  const PortfolioResult result = portfolio.Solve(problem);
+  ASSERT_TRUE(result.proved_optimal);
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counters.at("hytap_solver_runs_total"), 1u);
+  EXPECT_GT(snapshot.counters.at("hytap_solver_nodes_total"), 0u);
+  EXPECT_GT(snapshot.counters.at("hytap_solver_incumbent_updates_total"), 0u);
+  EXPECT_EQ(snapshot.counters.at("hytap_solver_wins_exact_total"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("hytap_solver_wall_ns").count, 1u);
+  SetMetricsEnabled(false);
+}
+
+TEST(PortfolioTest, SimplexIterationLimitIsDistinctStatus) {
+  // Satellite: the simplex reports hitting the cap as a status instead of
+  // silently returning an infeasible-looking solution.
+  LpProblem lp;
+  lp.objective = {-1.0, -1.0};
+  lp.constraints = {{1.0, 0.0}, {0.0, 1.0}};
+  lp.rhs = {1.0, 1.0};
+  const LpSolution capped = SolveLp(lp, 1);
+  EXPECT_FALSE(capped.feasible);
+  EXPECT_EQ(capped.status, LpStatus::kIterationLimit);
+
+  const LpSolution solved = SolveLp(lp);
+  EXPECT_TRUE(solved.feasible);
+  EXPECT_EQ(solved.status, LpStatus::kOptimal);
+}
+
+TEST(PortfolioTest, AdvisorPortfolioAlgorithmProducesFeasiblePlacement) {
+  // The Advisor enum gained kPortfolio; a Recommendation through it must be
+  // budget-feasible and name a winner.
+  Example1Params params;
+  params.num_columns = 25;
+  params.num_queries = 150;
+  params.seed = 6;
+  const Workload workload = GenerateExample1(params);
+  const SelectionProblem problem = MakeProblem(workload, 0.3);
+
+  PortfolioOptions options;
+  options.budget_ms = 50.0;
+  options.workers = 2;
+  SolverPortfolio portfolio(options);
+  const PortfolioResult result = portfolio.Solve(problem);
+  EXPECT_FALSE(result.winner.empty());
+  EXPECT_LE(result.selection.dram_bytes, problem.budget_bytes + 1e-6);
+  // Small instance, generous time budget: the incumbent is within 1% of the
+  // exact optimum (result.gap also carries the LP integrality gap, which can
+  // exceed 1% at N = 25, so compare against the integer optimum instead).
+  const SelectionResult exact = SelectIntegerOptimal(problem);
+  ASSERT_TRUE(exact.optimal);
+  EXPECT_LE(result.selection.objective,
+            exact.objective * 1.01 + 1e-9);
+}
+
+}  // namespace
+}  // namespace hytap

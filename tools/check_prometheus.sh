@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # promtool-style lint of the engine's Prometheus text exposition.
 #
-# Usage: check_prometheus.sh <metrics.txt>
+# Usage: check_prometheus.sh <metrics.txt> [--require-solver]
 #
 # Validates (with plain grep -E, no promtool dependency) that:
 #   - every line is a `# TYPE` comment or a `name[{labels}] value` sample;
@@ -11,11 +11,18 @@
 #   - histogram families expose _bucket series with an le label, a +Inf
 #     bucket, and _sum/_count series;
 #   - the core engine families instrumented by the observability layer are
-#     present.
+#     present;
+#   - with --require-solver, the hytap_solver_* families of the anytime
+#     solver portfolio are present too (snapshots from `stats_cli --solver`).
 set -u
 
+require_solver=0
+if [ "$#" -eq 2 ] && [ "$2" = "--require-solver" ]; then
+  require_solver=1
+  set -- "$1"
+fi
 if [ "$#" -ne 1 ] || [ ! -r "$1" ]; then
-  echo "usage: check_prometheus.sh <metrics.txt>" >&2
+  echo "usage: check_prometheus.sh <metrics.txt> [--require-solver]" >&2
   exit 2
 fi
 file="$1"
@@ -73,6 +80,25 @@ for family in \
   grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
     || fail "expected engine metric family '$family' missing"
 done
+
+# 5. Opt-in: solver-portfolio families (only emitted when a diagnosis ran
+# through the portfolio, e.g. `stats_cli --solver`).
+if [ "$require_solver" -eq 1 ]; then
+  for family in \
+    hytap_solver_runs_total \
+    hytap_solver_nodes_total \
+    hytap_solver_pruned_total \
+    hytap_solver_incumbent_updates_total \
+    hytap_solver_deadline_stops_total \
+    hytap_solver_last_gap_ppm \
+    hytap_solver_last_budget_ms \
+    hytap_solver_wall_ns; do
+    grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
+      || fail "expected solver metric family '$family' missing"
+  done
+  grep -q -E "^hytap_solver_wins_(exact|explicit|greedy)_total " "$file" \
+    || fail "no hytap_solver_wins_*_total sample found"
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "check_prometheus: OK ($(grep -c -E "^# TYPE " "$file") families)"

@@ -3,7 +3,7 @@
 //
 // Usage:
 //   stats_cli [--rows <n>] [--cols <n>] [--queries <n>] [--threads <n>]
-//       [--seed <n>] [--trace] [--doctor] [--format prom|json]
+//       [--seed <n>] [--trace] [--doctor] [--solver] [--format prom|json]
 //       [--out <path>]
 //
 // Builds a BSEG-shaped table (column 0 is a unique document number held in
@@ -12,7 +12,10 @@
 // metrics snapshot in Prometheus text or JSON format. With --trace, the
 // EXPLAIN operator tree of the first queries is printed too; with --doctor,
 // the placement doctor's report on the observed workload is printed to
-// stderr (its gauges always flow into the snapshot).
+// stderr (its gauges always flow into the snapshot). With --solver, the
+// doctor recommends through the anytime solver portfolio (deadline from
+// HYTAP_SOLVER_BUDGET_MS, default 50 ms here) so the hytap_solver_* family
+// lands in the snapshot too.
 
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +42,7 @@ struct Options {
   uint64_t seed = 42;
   bool trace = false;
   bool doctor = false;
+  bool solver = false;
   std::string format = "prom";
   std::string out;
 };
@@ -46,7 +50,7 @@ struct Options {
 int Usage() {
   std::fprintf(stderr,
                "usage: stats_cli [--rows <n>] [--cols <n>] [--queries <n>] "
-               "[--threads <n>] [--seed <n>] [--trace] [--doctor] "
+               "[--threads <n>] [--seed <n>] [--trace] [--doctor] [--solver] "
                "[--format prom|json] [--out <path>]\n");
   return 2;
 }
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
       options.trace = true;
     } else if (arg == "--doctor") {
       options.doctor = true;
+    } else if (arg == "--solver") {
+      options.solver = true;
     } else if (arg == "--format") {
       if (i + 1 >= argc) return Usage();
       options.format = argv[++i];
@@ -178,8 +184,17 @@ int main(int argc, char** argv) {
                (unsigned long long)total_rows, failures);
 
   // Always refresh the hytap_doctor_* gauges so the exported snapshot has
-  // them; --doctor additionally prints the human-readable report.
-  PlacementDoctor doctor;
+  // them; --doctor additionally prints the human-readable report, --solver
+  // routes the recommendation through the anytime portfolio so the
+  // hytap_solver_* family is populated too.
+  DoctorOptions doctor_options;
+  if (options.solver) {
+    doctor_options.use_portfolio = true;
+    if (doctor_options.portfolio.budget_ms <= 0.0) {
+      doctor_options.portfolio.budget_ms = 50.0;
+    }
+  }
+  PlacementDoctor doctor(doctor_options);
   const DoctorReport report = doctor.Diagnose(table);
   if (options.doctor) {
     std::fprintf(stderr, "%s", report.ToText().c_str());
