@@ -1,0 +1,456 @@
+// bench_retiering: the autonomous re-tiering daemon on the Table-1 skew
+// flip (DESIGN.md §14).
+//
+// Usage: bench_retiering [--small]
+//
+// Three self-gating sections over a trimmed BSEG table:
+//   1. Convergence — the daemon optimizes phase A, the hot set flips to the
+//      opposite end of the schema mid-run, and the throttled plan drives
+//      F(current) back to within a few percent of the recomputed optimum,
+//      with per-window migration bytes never exceeding the throttle budget.
+//   2. Zero thrash — under an A/B/A/B oscillation the 2-window workload
+//      aggregation plus the regret deadband hold the placement still: zero
+//      applied steps, zero new plans.
+//   3. Determinism — the whole scenario, chaos armed (seeded silent write
+//      corruption mid-plan), is bit-identical at 1/2/4 requested threads:
+//      final placement, step outcomes, moved bytes, and fault schedules.
+//
+// Writes BENCH_retiering.json and a Prometheus snapshot (retier_metrics.txt)
+// covering the hytap_retier_* and hytap_workload_drift families.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/trace.h"
+#include "core/retier_daemon.h"
+#include "selection/cost_model.h"
+#include "workload/enterprise.h"
+
+using namespace hytap;
+
+namespace {
+
+struct Config {
+  size_t rows = 6000;
+  size_t cols = 24;
+  size_t queries_per_phase = 48;
+  uint64_t seed = 42;
+  size_t hot_count = 6;
+};
+
+std::unique_ptr<TieredTable> MakeBseg(const Config& config) {
+  EnterpriseProfile profile = BsegProfile();
+  profile.attribute_count = config.cols;
+  TieredTableOptions options;
+  options.device = DeviceKind::kCssd;
+  options.timing_seed = config.seed;
+  options.monitor.window_ns = 1'000'000'000'000'000ull;  // roll via ForceRoll
+  auto table = std::make_unique<TieredTable>(
+      "bseg", MakeEnterpriseSchema(profile), options);
+  table->Load(GenerateEnterpriseRows(profile, config.rows, config.seed));
+  return table;
+}
+
+/// Seeded hot-set mix; a fresh Rng per phase keeps every phase-A (resp. -B)
+/// sequence identical so the oscillation aggregates to a stable mixture.
+void RunPhase(TieredTable* table, const Config& config, size_t hot_base,
+              uint32_t threads) {
+  Rng rng(config.seed * 7919 + hot_base);
+  Transaction txn = table->Begin();
+  for (size_t q = 0; q < config.queries_per_phase; ++q) {
+    Query query;
+    const size_t hot = hot_base + size_t(rng.NextBounded(config.hot_count));
+    query.predicates.push_back(
+        Predicate::Equals(ColumnId(hot), Value(int32_t(rng.NextBounded(8)))));
+    if (q % 3 == 0) {
+      const size_t other =
+          hot_base + size_t(rng.NextBounded(config.hot_count));
+      if (other != hot) {
+        query.predicates.push_back(Predicate::Between(
+            ColumnId(other), Value(int32_t{0}), Value(int32_t{40})));
+      }
+    }
+    query.aggregates = {Aggregate::Count()};
+    (void)table->Execute(txn, query, threads);
+  }
+  table->Commit(&txn);
+}
+
+double TotalBytes(const TieredTable& table) {
+  double total = 0.0;
+  for (ColumnId c = 0; c < table.table().column_count(); ++c) {
+    total += double(table.table().ColumnDramBytes(c));
+  }
+  return total;
+}
+
+uint64_t MaxColumnBytes(const TieredTable& table) {
+  uint64_t max_bytes = 0;
+  for (ColumnId c = 0; c < table.table().column_count(); ++c) {
+    max_bytes =
+        std::max<uint64_t>(max_bytes, table.table().ColumnDramBytes(c));
+  }
+  return max_bytes;
+}
+
+std::vector<uint8_t> CurrentPlacement(const TieredTable& table) {
+  const std::vector<bool>& placement = table.table().placement();
+  std::vector<uint8_t> current(placement.size());
+  for (size_t i = 0; i < placement.size(); ++i) {
+    current[i] = placement[i] ? 1 : 0;
+  }
+  return current;
+}
+
+/// F(current) vs the recomputed plain optimum at the same budget on
+/// `workload`, as a relative gap in percent.
+double OptimalityGapPct(const TieredTable& table, const Workload& workload,
+                        double budget_bytes) {
+  CostModel model(workload, ScanCostParams());
+  const double current_cost = model.ScanCost(CurrentPlacement(table));
+  SelectionProblem problem;
+  problem.workload = &workload;
+  problem.budget_bytes = budget_bytes;
+  const SelectionResult optimum = SelectIntegerOptimal(problem);
+  if (optimum.scan_cost <= 0.0) return 0.0;
+  return 100.0 * (current_cost - optimum.scan_cost) / optimum.scan_cost;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+struct ConvergenceResult {
+  double phase_a_gap_pct = 0.0;
+  double phase_b_gap_pct = 0.0;
+  uint64_t throttle_budget = 0;
+  uint64_t max_window_bytes = 0;
+  size_t windows_to_converge = 0;
+  uint64_t moved_bytes = 0;
+  bool throttle_ok = true;
+};
+
+ConvergenceResult RunConvergence(const Config& config) {
+  ConvergenceResult result;
+  auto table = MakeBseg(config);
+  RetierOptions options;
+  options.drift_threshold = 0.25;
+  options.min_improvement_pct = 1.0;
+  options.dwell_windows = 0;
+  options.periodic_windows = 1;
+  options.recent_windows = 1;
+  options.budget_bytes = 0.4 * TotalBytes(*table);
+  options.bytes_per_window = MaxColumnBytes(*table) + 1024;
+  result.throttle_budget = options.bytes_per_window;
+  RetierDaemon daemon(table.get(), options);
+
+  auto track = [&result](const RetierTickReport& tick) {
+    result.max_window_bytes =
+        std::max(result.max_window_bytes, tick.window_bytes);
+  };
+  auto drain = [&](const char* label) {
+    size_t windows = 0;
+    while (daemon.state() == RetierState::kMigrating && windows < 128) {
+      table->monitor().ForceRoll();
+      const RetierTickReport tick = daemon.Tick();
+      track(tick);
+      ++windows;
+      std::printf("  %s window %llu: +%llu steps, window_bytes=%llu\n",
+                  label, (unsigned long long)tick.window,
+                  (unsigned long long)tick.steps_applied,
+                  (unsigned long long)tick.window_bytes);
+    }
+    return windows;
+  };
+
+  // Phase A: observe, optimize, drain the throttled plan.
+  RunPhase(table.get(), config, /*hot_base=*/1, /*threads=*/2);
+  const Workload workload_a = table->monitor().ToWorkload(table->table(), 1);
+  track(daemon.Tick());
+  drain("phase A");
+  result.phase_a_gap_pct =
+      OptimalityGapPct(*table, workload_a, options.budget_bytes);
+
+  // Mid-run skew flip: hot set moves to the opposite end of the schema.
+  table->monitor().ForceRoll();
+  RunPhase(table.get(), config, /*hot_base=*/config.cols - config.hot_count,
+           /*threads=*/2);
+  const Workload workload_b = table->monitor().ToWorkload(table->table(), 1);
+  const double pre_flip_gap =
+      OptimalityGapPct(*table, workload_b, options.budget_bytes);
+  track(daemon.Tick());
+  result.windows_to_converge = drain("phase B") + 1;
+  result.phase_b_gap_pct =
+      OptimalityGapPct(*table, workload_b, options.budget_bytes);
+  std::printf(
+      "  flip: F(current) gap vs recomputed optimum %.2f%% -> %.2f%% over "
+      "%zu windows\n",
+      pre_flip_gap, result.phase_b_gap_pct, result.windows_to_converge);
+
+  // Cross-check the throttle from the plans' own step accounting.
+  for (const RetierPlan& plan : daemon.history()) {
+    result.moved_bytes += plan.moved_bytes;
+    std::map<uint64_t, uint64_t> bytes_by_window;
+    for (const RetierStep& step : plan.steps) {
+      if (step.outcome == RetierStepOutcome::kApplied) {
+        bytes_by_window[step.window] += step.bytes;
+      }
+    }
+    for (const auto& [window, bytes] : bytes_by_window) {
+      result.max_window_bytes = std::max(result.max_window_bytes, bytes);
+      if (bytes > options.bytes_per_window) result.throttle_ok = false;
+    }
+  }
+  return result;
+}
+
+struct OscillationResult {
+  uint64_t applied_steps = 0;
+  size_t plans_after_warmup = 0;
+  size_t plans_total = 0;
+};
+
+OscillationResult RunOscillation(const Config& config) {
+  OscillationResult result;
+  auto table = MakeBseg(config);
+  RetierOptions options;
+  options.drift_threshold = 0.25;
+  options.min_improvement_pct = 1.0;
+  options.dwell_windows = 0;
+  options.periodic_windows = 1;
+  options.recent_windows = 2;  // span both sides of the flip
+  options.budget_bytes = 0.4 * TotalBytes(*table);
+  options.bytes_per_window = 0;  // unthrottled: isolate the hysteresis
+  RetierDaemon daemon(table.get(), options);
+
+  const size_t hot_a = 1;
+  const size_t hot_b = config.cols - config.hot_count;
+  RunPhase(table.get(), config, hot_a, 2);
+  (void)daemon.Tick();
+  table->monitor().ForceRoll();
+  RunPhase(table.get(), config, hot_b, 2);
+  (void)daemon.Tick();
+  result.plans_after_warmup = daemon.history().size();
+
+  for (int phase = 0; phase < 6; ++phase) {
+    table->monitor().ForceRoll();
+    RunPhase(table.get(), config, phase % 2 == 0 ? hot_a : hot_b, 2);
+    const RetierTickReport tick = daemon.Tick();
+    result.applied_steps += tick.steps_applied;
+  }
+  result.plans_total = daemon.history().size();
+  std::printf(
+      "  oscillation: %zu warmup plans, then %llu applied steps and %zu new "
+      "plans over 6 alternating phases\n",
+      result.plans_after_warmup,
+      (unsigned long long)result.applied_steps,
+      result.plans_total - result.plans_after_warmup);
+  return result;
+}
+
+struct Signature {
+  std::vector<bool> placement;
+  std::vector<std::pair<uint32_t, uint8_t>> steps;
+  uint64_t moved_bytes = 0;
+  uint64_t corrupted_writes = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t retries = 0;
+  uint64_t quarantined_steps = 0;
+  size_t probe_rows = 0;
+
+  bool operator==(const Signature& other) const {
+    return placement == other.placement && steps == other.steps &&
+           moved_bytes == other.moved_bytes &&
+           corrupted_writes == other.corrupted_writes &&
+           checksum_failures == other.checksum_failures &&
+           retries == other.retries &&
+           quarantined_steps == other.quarantined_steps &&
+           probe_rows == other.probe_rows;
+  }
+};
+
+Signature RunChaosScenario(const Config& config, uint32_t threads) {
+  Signature signature;
+  auto table = MakeBseg(config);
+  RetierOptions options;
+  options.drift_threshold = 0.25;
+  options.min_improvement_pct = 1.0;
+  options.dwell_windows = 0;
+  options.periodic_windows = 1;
+  options.recent_windows = 1;
+  options.budget_bytes = 0.4 * TotalBytes(*table);
+  options.bytes_per_window = 0;
+  RetierDaemon daemon(table.get(), options);
+
+  RunPhase(table.get(), config, 1, threads);
+  (void)daemon.Tick();
+
+  FaultConfig faults;
+  faults.seed = 1;
+  faults.write_corruption_rate = 0.02;
+  table->store().ConfigureFaults(faults);
+
+  table->monitor().ForceRoll();
+  RunPhase(table.get(), config, config.cols - config.hot_count, threads);
+  (void)daemon.Tick();
+  while (daemon.state() == RetierState::kMigrating) {
+    table->monitor().ForceRoll();
+    (void)daemon.Tick();
+  }
+
+  signature.placement = table->table().placement();
+  for (const RetierPlan& plan : daemon.history()) {
+    for (const RetierStep& step : plan.steps) {
+      signature.steps.emplace_back(step.column, uint8_t(step.outcome));
+    }
+    signature.moved_bytes += plan.moved_bytes;
+    signature.quarantined_steps += plan.quarantined_steps;
+  }
+  const FaultStats& stats = table->store().fault_stats();
+  signature.corrupted_writes = stats.corrupted_writes;
+  signature.checksum_failures = stats.checksum_failures;
+  signature.retries = stats.retries;
+
+  Query probe;
+  probe.predicates.push_back(Predicate::Between(
+      ColumnId(0), Value(int32_t{0}), Value(int32_t(config.rows))));
+  probe.aggregates = {Aggregate::Count()};
+  Transaction txn = table->Begin();
+  signature.probe_rows =
+      table->ExecuteUnrecorded(txn, probe, threads).positions.size();
+  table->Commit(&txn);
+  return signature;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      config.rows = 2000;
+      config.cols = 16;
+      config.queries_per_phase = 24;
+      config.hot_count = 5;
+    } else {
+      std::fprintf(stderr, "usage: bench_retiering [--small]\n");
+      return 2;
+    }
+  }
+
+  SetMetricsEnabled(true);
+  SetWorkloadMonitorEnabled(true);
+
+  bench::PrintHeader(
+      "Re-tiering daemon: skew-flip convergence, throttling, determinism");
+
+  std::printf("convergence (throttled, %zu x %zu rows):\n", config.rows,
+              config.cols);
+  const ConvergenceResult convergence = RunConvergence(config);
+
+  std::printf("zero thrash (oscillating A/B workload):\n");
+  const OscillationResult oscillation = RunOscillation(config);
+
+  std::printf("determinism (chaos armed, 1/2/4 threads):\n");
+  const Signature one = RunChaosScenario(config, 1);
+  const Signature two = RunChaosScenario(config, 2);
+  const Signature four = RunChaosScenario(config, 4);
+  const bool deterministic = one == two && one == four;
+  std::printf(
+      "  moved=%llu B, quarantined=%llu steps, corrupted_writes=%llu, "
+      "checksum_failures=%llu -> %s\n",
+      (unsigned long long)one.moved_bytes,
+      (unsigned long long)one.quarantined_steps,
+      (unsigned long long)one.corrupted_writes,
+      (unsigned long long)one.checksum_failures,
+      deterministic ? "bit-identical" : "MISMATCH");
+
+  std::string json = "{";
+  json += "\"phase_a_gap_pct\":" + TraceFormatDouble(convergence.phase_a_gap_pct);
+  json += ",\"phase_b_gap_pct\":" + TraceFormatDouble(convergence.phase_b_gap_pct);
+  json += ",\"throttle_budget_bytes\":" +
+          std::to_string(convergence.throttle_budget);
+  json += ",\"max_window_bytes\":" +
+          std::to_string(convergence.max_window_bytes);
+  json += ",\"windows_to_converge\":" +
+          std::to_string(convergence.windows_to_converge);
+  json += ",\"moved_bytes\":" + std::to_string(convergence.moved_bytes);
+  json += ",\"oscillation_applied_steps\":" +
+          std::to_string(oscillation.applied_steps);
+  json += ",\"oscillation_new_plans\":" +
+          std::to_string(oscillation.plans_total -
+                         oscillation.plans_after_warmup);
+  json += ",\"chaos_quarantined_steps\":" +
+          std::to_string(one.quarantined_steps);
+  json += ",\"chaos_corrupted_writes\":" +
+          std::to_string(one.corrupted_writes);
+  json += ",\"deterministic\":";
+  json += deterministic ? "true" : "false";
+  json += "}";
+  WriteFile("BENCH_retiering.json", json + "\n");
+  std::printf("results written to BENCH_retiering.json\n");
+
+  const std::string prom =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  WriteFile("retier_metrics.txt", prom);
+  std::printf("metrics written to retier_metrics.txt\n");
+
+  // Self-gating acceptance (the PR's bench criteria).
+  bool ok = true;
+  if (convergence.phase_a_gap_pct > 5.0) {
+    std::fprintf(stderr, "FAIL: phase-A gap %.2f%% > 5%%\n",
+                 convergence.phase_a_gap_pct);
+    ok = false;
+  }
+  if (convergence.phase_b_gap_pct > 5.0) {
+    std::fprintf(stderr, "FAIL: post-flip gap %.2f%% > 5%%\n",
+                 convergence.phase_b_gap_pct);
+    ok = false;
+  }
+  if (!convergence.throttle_ok ||
+      convergence.max_window_bytes > convergence.throttle_budget) {
+    std::fprintf(stderr, "FAIL: window bytes %llu exceed throttle %llu\n",
+                 (unsigned long long)convergence.max_window_bytes,
+                 (unsigned long long)convergence.throttle_budget);
+    ok = false;
+  }
+  if (convergence.windows_to_converge < 2) {
+    std::fprintf(stderr,
+                 "FAIL: plan did not spread across windows (%zu)\n",
+                 convergence.windows_to_converge);
+    ok = false;
+  }
+  if (oscillation.applied_steps != 0 ||
+      oscillation.plans_total != oscillation.plans_after_warmup) {
+    std::fprintf(stderr, "FAIL: oscillation thrashed (%llu steps)\n",
+                 (unsigned long long)oscillation.applied_steps);
+    ok = false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: scenario not thread-count invariant\n");
+    ok = false;
+  }
+  if (one.corrupted_writes == 0) {
+    std::fprintf(stderr, "FAIL: chaos injected no write corruption\n");
+    ok = false;
+  }
+  bench::MaybeWriteMetricsSnapshot("retiering");
+  std::printf("retiering self-check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

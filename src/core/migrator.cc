@@ -45,6 +45,19 @@ struct MigratorMetrics {
 
 }  // namespace
 
+double Migrator::MoveNsPerByte(const TieredTable& table) const {
+  if (use_calibration_ && calibrator_ != nullptr &&
+      calibrator_->secondary().samples > 0) {
+    return calibrator_->Fitted().c_ss;
+  }
+  // Device-model fallback: amortize the sequential-write cost over a large
+  // batch so per-call fixed costs do not inflate the per-byte rate.
+  constexpr uint64_t kBatchPages = 256;
+  return double(table.store().device().SequentialWriteNs(kBatchPages,
+                                                         /*threads=*/1)) /
+         (double(kBatchPages) * double(kPageSize));
+}
+
 MigrationReport Migrator::Estimate(const TieredTable& table,
                                    const std::vector<bool>& in_dram) const {
   MigrationReport report;
@@ -61,9 +74,15 @@ MigrationReport Migrator::Estimate(const TieredTable& table,
       ++report.loaded_columns;
     }
   }
-  const uint64_t pages = (report.moved_bytes + kPageSize - 1) / kPageSize;
-  report.duration_ns =
-      table.store().device().SequentialWriteNs(pages, /*threads=*/1);
+  if (use_calibration_ && calibrator_ != nullptr &&
+      calibrator_->secondary().samples > 0) {
+    report.duration_ns =
+        uint64_t(double(report.moved_bytes) * MoveNsPerByte(table) + 0.5);
+  } else {
+    const uint64_t pages = (report.moved_bytes + kPageSize - 1) / kPageSize;
+    report.duration_ns =
+        table.store().device().SequentialWriteNs(pages, /*threads=*/1);
+  }
   return report;
 }
 
@@ -92,6 +111,16 @@ StatusOr<MigrationReport> Migrator::Apply(
   metrics.observed_duration_ns->Add(table->store().device().SequentialWriteNs(
       observed_pages, /*threads=*/1));
   return report;
+}
+
+StatusOr<MigrationReport> Migrator::ApplyStep(TieredTable* table,
+                                              ColumnId column,
+                                              bool to_dram) const {
+  const Table& t = table->table();
+  HYTAP_ASSERT(column < t.column_count(), "step column out of range");
+  std::vector<bool> placement = t.placement();
+  placement[column] = to_dram;
+  return Apply(table, placement);
 }
 
 }  // namespace hytap

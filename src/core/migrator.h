@@ -29,7 +29,9 @@ class Migrator {
       : max_window_ns_(max_window_ns) {}
 
   /// Estimates the migration cost of switching `table` to `in_dram` without
-  /// applying it.
+  /// applying it. With calibration armed (see set_calibration) the duration
+  /// is priced at the calibrator's fitted secondary ns/byte instead of the
+  /// reference device model.
   MigrationReport Estimate(const TieredTable& table,
                            const std::vector<bool>& in_dram) const;
 
@@ -41,8 +43,30 @@ class Migrator {
   StatusOr<MigrationReport> Apply(TieredTable* table,
                                   const std::vector<bool>& in_dram) const;
 
+  /// Single-column step: flips `column` to `to_dram` leaving every other
+  /// column in place. The unit of the re-tiering daemon's throttled plan
+  /// queue — each step is individually verified, abortable, and accounted.
+  StatusOr<MigrationReport> ApplyStep(TieredTable* table, ColumnId column,
+                                      bool to_dram) const;
+
+  /// Uses `calibrator`'s fitted scan-cost parameters (PR 5 online
+  /// calibration) for move-cost estimates when `use` is set and the fit has
+  /// secondary-tier samples; pass nullptr to detach. The calibrator is not
+  /// owned and must outlive the migrator.
+  void set_calibration(const CostCalibrator* calibrator, bool use) {
+    calibrator_ = calibrator;
+    use_calibration_ = use;
+  }
+
+  /// The move cost in simulated ns per byte used for estimates: the fitted
+  /// secondary c_ss when calibration is armed and has samples, else the
+  /// device model's sequential-write bandwidth.
+  double MoveNsPerByte(const TieredTable& table) const;
+
  private:
   uint64_t max_window_ns_;
+  const CostCalibrator* calibrator_ = nullptr;
+  bool use_calibration_ = false;
 };
 
 }  // namespace hytap

@@ -1,0 +1,65 @@
+#ifndef HYTAP_SELECTION_REALLOCATION_H_
+#define HYTAP_SELECTION_REALLOCATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "selection/selectors.h"
+#include "solver/portfolio.h"
+
+namespace hytap {
+
+/// How SelectWithReallocation solves the reallocation-aware problem.
+struct ReallocationOptions {
+  /// Race the anytime solver portfolio (exact B&B, explicit, greedy) under
+  /// `portfolio.budget_ms`; false = one-shot explicit solution. With an
+  /// unlimited budget the portfolio result is the deterministic exact
+  /// optimum, so the re-tiering daemon stays bit-identical across runs.
+  bool use_portfolio = true;
+  PortfolioOptions portfolio = PortfolioOptions::FromEnv();
+};
+
+/// Result of one reallocation-aware selection (paper eqs (6)-(7), §III-D):
+/// the winning allocation plus the move bookkeeping the re-tiering daemon
+/// plans from.
+struct ReallocationResult {
+  SelectionResult selection;
+  /// Portfolio mode only: winning solver name, gap vs LP bound, deadline.
+  std::string winner;
+  double gap = 0.0;
+  bool deadline_hit = false;
+  /// Columns whose tier changes vs the current allocation y, and the bytes
+  /// those moves migrate.
+  uint64_t planned_moves = 0;
+  double planned_move_bytes = 0.0;
+  /// F(y): the objective of staying put (the |x - y| term vanishes at x=y).
+  double current_cost = 0.0;
+  /// current_cost - selection.objective, i.e. the scan-cost win of moving
+  /// net of the amortized move cost beta * moved bytes. >= 0 for an exact
+  /// solve (staying put is always feasible).
+  double improvement = 0.0;
+  /// improvement as a percentage of current_cost (0 when current_cost = 0).
+  double improvement_pct = 0.0;
+};
+
+/// Solves the selection problem with the reallocation term
+///   c_i(x_i) = a_i * (S_i x_i + alpha x_i) + beta * a_i * |x_i - y_i|
+/// for the current allocation y = `problem.current` and move weight
+/// `problem.beta` (both must be set; beta may be 0). Every selector prices
+/// the move term through the shared KnapsackView, so the portfolio race and
+/// the explicit path optimize the identical objective.
+ReallocationResult SelectWithReallocation(
+    const SelectionProblem& problem, const ReallocationOptions& options = {});
+
+/// Sizes beta from the maintenance window (§III-D): a move costs
+/// `move_ns_per_byte` once, and the plan is amortized over the next
+/// `amortization_windows` workload windows, so per-window the move is worth
+/// move_ns_per_byte / amortization_windows ns per byte — directly comparable
+/// to the per-window scan cost F(x). Larger amortization horizons make the
+/// daemon more eager to move; horizon 0 is clamped to 1.
+double BetaFromMigrationWindow(double move_ns_per_byte,
+                               uint64_t amortization_windows);
+
+}  // namespace hytap
+
+#endif  // HYTAP_SELECTION_REALLOCATION_H_

@@ -39,6 +39,7 @@ struct MonitorMetrics {
   Counter* queries;
   Counter* windows_rolled;
   Gauge* drift_pct;
+  Gauge* drift_ppm;  // finer-grained drift for the re-tiering daemon
   Gauge* live_windows;
 
   static MonitorMetrics& Get() {
@@ -53,6 +54,7 @@ struct MonitorMetrics {
     windows_rolled =
         registry.GetCounter("hytap_workload_windows_rolled_total");
     drift_pct = registry.GetGauge("hytap_workload_drift_pct");
+    drift_ppm = registry.GetGauge("hytap_workload_drift");
     live_windows = registry.GetGauge("hytap_workload_live_windows");
   }
 };
@@ -243,7 +245,9 @@ void WorkloadMonitor::Record(const QueryObservation& observation) {
     MonitorMetrics& metrics = MonitorMetrics::Get();
     metrics.queries->Add();
     metrics.live_windows->Set(int64_t(ring_.size()));
-    metrics.drift_pct->Set(int64_t(DriftOf(ring_) * 100.0 + 0.5));
+    const double drift = DriftOf(ring_);
+    metrics.drift_pct->Set(int64_t(drift * 100.0 + 0.5));
+    metrics.drift_ppm->Set(int64_t(drift * 1e6 + 0.5));
     sink = sink_;
   }
   // Outside the lock: the sink serializes itself, and calling out while

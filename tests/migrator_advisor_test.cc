@@ -138,5 +138,54 @@ TEST(MigratorTest, NoopMigrationIsFree) {
   EXPECT_EQ(estimate.evicted_columns + estimate.loaded_columns, 0u);
 }
 
+TEST(MigratorTest, ApplyStepFlipsExactlyOneColumn) {
+  auto table = MakeOrderline();
+  Migrator migrator;
+  auto report = migrator.ApplyStep(table.get(), kOlDistInfo,
+                                   /*to_dram=*/false);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->applied);
+  EXPECT_EQ(report->evicted_columns, 1u);
+  EXPECT_EQ(report->loaded_columns, 0u);
+  EXPECT_EQ(table->table().location(kOlDistInfo), ColumnLocation::kSecondary);
+  for (ColumnId c = 0; c < 10; ++c) {
+    if (c == kOlDistInfo) continue;
+    EXPECT_EQ(table->table().location(c), ColumnLocation::kDram) << c;
+  }
+  // And back: the step API loads as well as evicts.
+  report = migrator.ApplyStep(table.get(), kOlDistInfo, /*to_dram=*/true);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->loaded_columns, 1u);
+  EXPECT_EQ(table->table().location(kOlDistInfo), ColumnLocation::kDram);
+}
+
+TEST(MigratorTest, CalibratedEstimateUsesFittedBandwidth) {
+  auto table = MakeOrderline();
+  // Evict half of the schema and run the workload so the calibrator
+  // accumulates secondary-tier bytes/ns samples.
+  std::vector<bool> placement(10, true);
+  for (ColumnId c = 5; c < 10; ++c) placement[c] = false;
+  Migrator migrator;
+  ASSERT_TRUE(migrator.Apply(table.get(), placement).ok());
+  RunTpccWorkload(table.get());
+  ASSERT_GT(table->calibrator().secondary().samples, 0u);
+
+  // Estimate loading everything back, uncalibrated vs calibrated.
+  const std::vector<bool> all_dram(10, true);
+  const MigrationReport reference = migrator.Estimate(*table, all_dram);
+  migrator.set_calibration(&table->calibrator(), /*use=*/true);
+  const MigrationReport calibrated = migrator.Estimate(*table, all_dram);
+  EXPECT_EQ(calibrated.moved_bytes, reference.moved_bytes);
+  const double fitted_c_ss = table->calibrator().Fitted().c_ss;
+  EXPECT_DOUBLE_EQ(migrator.MoveNsPerByte(*table), fitted_c_ss);
+  EXPECT_NEAR(double(calibrated.duration_ns),
+              double(calibrated.moved_bytes) * fitted_c_ss, 1.0);
+
+  // Detaching falls back to the device model.
+  migrator.set_calibration(nullptr, false);
+  EXPECT_EQ(migrator.Estimate(*table, all_dram).duration_ns,
+            reference.duration_ns);
+}
+
 }  // namespace
 }  // namespace hytap

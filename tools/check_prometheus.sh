@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # promtool-style lint of the engine's Prometheus text exposition.
 #
-# Usage: check_prometheus.sh <metrics.txt> [--require-solver]
+# Usage: check_prometheus.sh <metrics.txt> [--require-solver] [--require-retier]
 #
 # Validates (with plain grep -E, no promtool dependency) that:
 #   - every line is a `# TYPE` comment or a `name[{labels}] value` sample;
@@ -13,19 +13,31 @@
 #   - the core engine families instrumented by the observability layer are
 #     present;
 #   - with --require-solver, the hytap_solver_* families of the anytime
-#     solver portfolio are present too (snapshots from `stats_cli --solver`).
+#     solver portfolio are present too (snapshots from `stats_cli --solver`);
+#   - with --require-retier, the hytap_retier_* families of the re-tiering
+#     daemon plus the hytap_workload_drift gauge are present (snapshots from
+#     `bench_retiering`).
 set -u
 
 require_solver=0
-if [ "$#" -eq 2 ] && [ "$2" = "--require-solver" ]; then
-  require_solver=1
-  set -- "$1"
-fi
-if [ "$#" -ne 1 ] || [ ! -r "$1" ]; then
-  echo "usage: check_prometheus.sh <metrics.txt> [--require-solver]" >&2
+require_retier=0
+file=""
+for arg in "$@"; do
+  case "$arg" in
+    --require-solver) require_solver=1 ;;
+    --require-retier) require_retier=1 ;;
+    -*)
+      echo "check_prometheus: unknown flag '$arg'" >&2
+      exit 2
+      ;;
+    *) file="$arg" ;;
+  esac
+done
+if [ -z "$file" ] || [ ! -r "$file" ]; then
+  echo "usage: check_prometheus.sh <metrics.txt> [--require-solver]" \
+       "[--require-retier]" >&2
   exit 2
 fi
-file="$1"
 status=0
 
 fail() {
@@ -98,6 +110,30 @@ if [ "$require_solver" -eq 1 ]; then
   done
   grep -q -E "^hytap_solver_wins_(exact|explicit|greedy)_total " "$file" \
     || fail "no hytap_solver_wins_*_total sample found"
+fi
+
+# 6. Opt-in: re-tiering daemon families (emitted once a RetierDaemon ticked,
+# e.g. `bench_retiering`), plus the workload-drift gauge it keys on.
+if [ "$require_retier" -eq 1 ]; then
+  for family in \
+    hytap_retier_ticks_total \
+    hytap_retier_evaluations_total \
+    hytap_retier_plans_started_total \
+    hytap_retier_plans_completed_total \
+    hytap_retier_plans_aborted_total \
+    hytap_retier_plans_held_total \
+    hytap_retier_steps_applied_total \
+    hytap_retier_steps_quarantined_total \
+    hytap_retier_steps_skipped_total \
+    hytap_retier_moved_bytes_total \
+    hytap_retier_state \
+    hytap_retier_window_bytes \
+    hytap_retier_last_improvement_pct_milli \
+    hytap_retier_beta_milli \
+    hytap_workload_drift; do
+    grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
+      || fail "expected re-tiering metric family '$family' missing"
+  done
 fi
 
 if [ "$status" -eq 0 ]; then

@@ -182,6 +182,10 @@ int main(int argc, char** argv) {
                "%llu qualifying rows, %zu failures\n",
                queries.size(), options.rows, options.cols, options.threads,
                (unsigned long long)total_rows, failures);
+  std::fprintf(stderr,
+               "workload drift: %.4f (window-over-window TV distance, "
+               "%zu live windows)\n",
+               table.monitor().Drift(), table.monitor().window_count());
 
   // Always refresh the hytap_doctor_* gauges so the exported snapshot has
   // them; --doctor additionally prints the human-readable report, --solver
