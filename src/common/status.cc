@@ -24,6 +24,10 @@ const char* CodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

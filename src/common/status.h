@@ -20,6 +20,8 @@ enum class StatusCode {
   kInternal,
   kUnavailable,  // transient/permanent IO failure; the data itself is intact
   kDataLoss,     // checksum mismatch: stored bytes are corrupt
+  kCancelled,    // the caller revoked the work (session stop token)
+  kDeadlineExceeded,  // admission deadline passed before dispatch
 };
 
 /// Lightweight status object for recoverable errors (no exceptions).
@@ -53,6 +55,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -13,7 +13,21 @@ namespace {
 /// inside a worker run inline instead of re-entering the pool.
 thread_local bool tls_inside_pool_worker = false;
 
+/// Ambient priority of ParallelFor calls issued from this thread (see
+/// ThreadPool::PriorityGuard).
+thread_local ThreadPool::TaskPriority tls_task_priority =
+    ThreadPool::TaskPriority::kNormal;
+
 }  // namespace
+
+ThreadPool::PriorityGuard::PriorityGuard(TaskPriority priority)
+    : previous_(tls_task_priority) {
+  tls_task_priority = priority;
+}
+
+ThreadPool::PriorityGuard::~PriorityGuard() {
+  tls_task_priority = previous_;
+}
 
 /// One ParallelFor invocation. Shared (via shared_ptr) between the caller
 /// and the helper slots it enqueued, so a helper that dequeues the task
@@ -24,6 +38,7 @@ struct ThreadPool::Task {
   size_t end = 0;
   size_t grain = 1;
   size_t morsels = 0;
+  TaskPriority priority = TaskPriority::kNormal;
   std::function<void(size_t, size_t, size_t)> fn;
 
   /// Next unclaimed morsel index. Cancellation stores `morsels` here so
@@ -73,15 +88,36 @@ void ThreadPool::HelperLoop() {
     std::shared_ptr<Task> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      wake_.wait(lock, [this] {
+        return stop_ || !queue_.empty() || !high_queue_.empty();
+      });
+      if (queue_.empty() && high_queue_.empty()) {
+        return;  // stop_ set and nothing left to drain
+      }
+      if (!high_queue_.empty()) {
+        task = std::move(high_queue_.front());
+        high_queue_.pop_front();
+        high_pending_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
     }
     task->executing.fetch_add(1, std::memory_order_acq_rel);
     tls_inside_pool_worker = true;
-    RunMorsels(*task);
+    const bool yielded = RunMorsels(*task, /*yieldable=*/true);
     tls_inside_pool_worker = false;
+    if (yielded) {
+      // Hand the abandoned task's remaining morsels to the next free helper
+      // (its caller keeps claiming them regardless, so progress is
+      // guaranteed even if every helper stays on high-priority work).
+      priority_yields_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_front(task);
+      }
+      wake_.notify_one();
+    }
     {
       std::lock_guard<std::mutex> lock(task->mutex);
       task->executing.fetch_sub(1, std::memory_order_acq_rel);
@@ -90,10 +126,15 @@ void ThreadPool::HelperLoop() {
   }
 }
 
-void ThreadPool::RunMorsels(Task& task) {
+bool ThreadPool::RunMorsels(Task& task, bool yieldable) {
   for (;;) {
+    if (yieldable && task.priority == TaskPriority::kNormal &&
+        high_pending_.load(std::memory_order_relaxed) > 0 &&
+        task.next.load(std::memory_order_relaxed) < task.morsels) {
+      return true;  // yield between morsels, never inside one
+    }
     const size_t m = task.next.fetch_add(1, std::memory_order_relaxed);
-    if (m >= task.morsels) return;
+    if (m >= task.morsels) return false;
     const size_t morsel_begin = task.begin + m * task.grain;
     const size_t morsel_end =
         std::min(task.end, morsel_begin + task.grain);
@@ -112,6 +153,13 @@ void ThreadPool::RunMorsels(Task& task) {
 
 void ThreadPool::ParallelFor(
     size_t begin, size_t end, size_t grain, uint32_t max_workers,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  ParallelFor(begin, end, grain, max_workers, tls_task_priority, fn);
+}
+
+void ThreadPool::ParallelFor(
+    size_t begin, size_t end, size_t grain, uint32_t max_workers,
+    TaskPriority priority,
     const std::function<void(size_t, size_t, size_t)>& fn) {
   HYTAP_ASSERT(grain >= 1, "ParallelFor grain must be >= 1");
   const size_t morsels = MorselCount(begin, end, grain);
@@ -135,14 +183,20 @@ void ThreadPool::ParallelFor(
   task->end = end;
   task->grain = grain;
   task->morsels = morsels;
+  task->priority = priority;
   task->fn = fn;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t i = 0; i + 1 < workers; ++i) queue_.push_back(task);
+    if (priority == TaskPriority::kHigh) {
+      for (size_t i = 0; i + 1 < workers; ++i) high_queue_.push_back(task);
+      high_pending_.fetch_add(workers - 1, std::memory_order_relaxed);
+    } else {
+      for (size_t i = 0; i + 1 < workers; ++i) queue_.push_back(task);
+    }
   }
   wake_.notify_all();
 
-  RunMorsels(*task);  // the caller is a worker too
+  RunMorsels(*task, /*yieldable=*/false);  // the caller is a worker too
 
   // The caller's loop only returns once every morsel is claimed; wait for
   // helpers still executing theirs. Helper slots never dequeued simply find

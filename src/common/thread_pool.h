@@ -45,8 +45,17 @@ inline constexpr size_t kMaterializeMorselRows = 1 << 12;
 /// Exceptions thrown by `fn` cancel the remaining morsels; the first
 /// exception is rethrown on the calling thread once in-flight morsels have
 /// drained.
+///
+/// Fairness under concurrent queries: each ParallelFor carries a priority.
+/// Helpers drain high-priority tasks first, and a helper working a
+/// normal-priority task yields it back at the next morsel boundary while
+/// unclaimed high-priority work is queued — so a long OLAP scan cannot
+/// starve a short OLTP probe of helpers. The yielding is pure scheduling
+/// (the abandoned task is re-enqueued and its caller always participates),
+/// so results and morsel merges are unaffected.
 class ThreadPool {
  public:
+  enum class TaskPriority { kNormal = 0, kHigh = 1 };
   /// Spawns `total_workers - 1` helper threads (the caller is the remaining
   /// worker). `total_workers == 1` spawns nothing; ParallelFor runs inline.
   explicit ThreadPool(size_t total_workers);
@@ -92,20 +101,56 @@ class ThreadPool {
                    uint32_t max_workers,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 
+  /// ParallelFor with an explicit task priority (the 5-arg overload uses the
+  /// calling thread's ambient priority, see PriorityGuard).
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   uint32_t max_workers, TaskPriority priority,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Sets the ambient task priority of the current thread for the guard's
+  /// lifetime: every ParallelFor issued from this thread (at any call depth,
+  /// e.g. deep inside the executor) enqueues at that priority. Session
+  /// workers wrap OLTP-class queries in a kHigh guard.
+  class PriorityGuard {
+   public:
+    explicit PriorityGuard(TaskPriority priority);
+    ~PriorityGuard();
+    PriorityGuard(const PriorityGuard&) = delete;
+    PriorityGuard& operator=(const PriorityGuard&) = delete;
+
+   private:
+    TaskPriority previous_;
+  };
+
+  /// Times a helper abandoned a normal-priority task at a morsel boundary
+  /// because high-priority work was waiting (fairness regression tests).
+  uint64_t priority_yields() const {
+    return priority_yields_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Task;
 
   void HelperLoop();
   /// Claims and runs morsels of `task` until none remain (or a morsel
-  /// threw, which forfeits the rest).
-  static void RunMorsels(Task& task);
+  /// threw, which forfeits the rest). A helper (`yieldable`) returns early
+  /// — true — at a morsel boundary when `task` is normal-priority and
+  /// unclaimed high-priority work is queued.
+  bool RunMorsels(Task& task, bool yieldable);
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::shared_ptr<Task>> queue_;  // one entry per helper slot
+  /// One entry per helper slot, split by priority; helpers drain
+  /// `high_queue_` first.
+  std::deque<std::shared_ptr<Task>> queue_;
+  std::deque<std::shared_ptr<Task>> high_queue_;
   std::vector<std::thread> helpers_;
   bool stop_ = false;
   std::atomic<size_t> max_workers_cap_{SIZE_MAX};
+  /// Unclaimed entries of high_queue_, readable without mutex_ so a helper
+  /// can poll it between morsels of a normal task.
+  std::atomic<size_t> high_pending_{0};
+  std::atomic<uint64_t> priority_yields_{0};
 };
 
 }  // namespace hytap

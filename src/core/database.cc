@@ -14,14 +14,13 @@ Database::Database(DatabaseOptions options) : options_(options) {
 Table* Database::CreateTable(const std::string& name, Schema schema) {
   HYTAP_ASSERT(tables_.find(name) == tables_.end(),
                "table name already exists");
-  TableEntry entry;
+  // Construct in place: TableEntry is immovable (PlanCache owns a mutex).
+  TableEntry& entry = tables_[name];
   entry.table = std::make_unique<Table>(name, std::move(schema), &txns_,
                                         store_.get(), buffers_.get());
   entry.executor = std::make_unique<QueryExecutor>(
       entry.table.get(), options_.probe_threshold);
-  Table* raw = entry.table.get();
-  tables_.emplace(name, std::move(entry));
-  return raw;
+  return entry.table.get();
 }
 
 Database::TableEntry& Database::Entry(const std::string& name) {

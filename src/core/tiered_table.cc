@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serving/session_manager.h"
+
 namespace hytap {
 
 TieredTable::TieredTable(std::string name, Schema schema,
@@ -22,22 +24,98 @@ TieredTable::TieredTable(std::string name, Schema schema,
   executor_->set_monitor(monitor_.get());
 }
 
+TieredTable::~TieredTable() = default;
+
 QueryResult TieredTable::Execute(const Transaction& txn, const Query& query,
                                  uint32_t threads) {
-  // Record after execution so the plan cache can keep the query's measured
-  // selectivities when the monitor produced an observation for it (the
-  // sequence check also covers the knob being toggled mid-run).
-  const uint64_t seq_before = monitor_->observation_sequence();
-  QueryResult result = executor_->Execute(txn, query, threads);
-  if (monitor_->observation_sequence() != seq_before) {
-    plan_cache_.RecordObserved(query, monitor_->last_observation());
-  } else {
-    plan_cache_.Record(query);
-  }
+  // Execute with the observation handed back instead of recorded inside the
+  // executor, then record observation + plan-cache entry atomically — the
+  // same path the serving layer replays in ticket order, so both feed the
+  // monitor identically.
+  QueryObservation obs;
+  bool obs_filled = false;
+  ExecOptions opts;
+  opts.threads = threads;
+  opts.observation = &obs;
+  opts.observation_filled = &obs_filled;
+  QueryResult result = executor_->Execute(txn, query, opts);
+  RecordExecution(query, obs, obs_filled);
   return result;
 }
 
+void TieredTable::RecordExecution(const Query& query,
+                                  const QueryObservation& obs,
+                                  bool obs_filled) {
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  if (obs_filled) {
+    monitor_->Record(obs);
+    plan_cache_.RecordObserved(query, obs);
+  } else {
+    plan_cache_.Record(query);
+  }
+}
+
+Status TieredTable::Insert(const Transaction& txn, const Row& row) {
+  if (serving_ != nullptr) {
+    return serving_->ExecuteWrite([&] { return table_->Insert(txn, row); });
+  }
+  return table_->Insert(txn, row);
+}
+
+Status TieredTable::Delete(const Transaction& txn, RowId row) {
+  if (serving_ != nullptr) {
+    return serving_->ExecuteWrite([&] { return table_->Delete(txn, row); });
+  }
+  return table_->Delete(txn, row);
+}
+
+Status TieredTable::MergeDelta() {
+  if (serving_ != nullptr) {
+    // Queued queries' delta bounds / snapshots do not shield them from the
+    // merge restructuring main storage under them: quiesce first.
+    serving_->Drain();
+    return serving_->ExecuteWrite([&] { return table_->MergeDelta(); });
+  }
+  return table_->MergeDelta();
+}
+
+SessionManager& TieredTable::EnableServing() {
+  return EnableServing(SessionOptions::FromEnv());
+}
+
+SessionManager& TieredTable::EnableServing(const SessionOptions& options) {
+  if (serving_ == nullptr) {
+    serving_ = std::make_unique<SessionManager>(this, options);
+  }
+  return *serving_;
+}
+
+StatusOr<std::shared_ptr<QuerySession>> TieredTable::Submit(
+    const Query& query, const SubmitOptions& opts) {
+  HYTAP_ASSERT(serving_ != nullptr, "Submit() requires EnableServing()");
+  return serving_->Submit(query, opts);
+}
+
+QueryResult TieredTable::Await(const std::shared_ptr<QuerySession>& session) {
+  return session->Await();
+}
+
 StatusOr<uint64_t> TieredTable::ApplyPlacement(
+    const std::vector<bool>& in_dram) {
+  if (serving_ != nullptr) {
+    serving_->Drain();
+    StatusOr<uint64_t> migrated = uint64_t(0);
+    Status status = serving_->ExecuteWrite([&] {
+      migrated = ApplyPlacementLocked(in_dram);
+      return migrated.ok() ? Status::Ok() : migrated.status();
+    });
+    if (!status.ok()) return status;
+    return migrated;
+  }
+  return ApplyPlacementLocked(in_dram);
+}
+
+StatusOr<uint64_t> TieredTable::ApplyPlacementLocked(
     const std::vector<bool>& in_dram) {
   uint64_t migrated_bytes = 0;
   Status status = table_->SetPlacement(in_dram, &migrated_bytes);

@@ -2,6 +2,7 @@
 #define HYTAP_CORE_TIERED_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "query/executor.h"
@@ -14,6 +15,11 @@
 #include "workload/workload_monitor.h"
 
 namespace hytap {
+
+class QuerySession;
+class SessionManager;
+struct SessionOptions;
+struct SubmitOptions;
 
 /// Configuration for a tiered table instance.
 struct TieredTableOptions {
@@ -36,6 +42,7 @@ struct TieredTableOptions {
 class TieredTable {
  public:
   TieredTable(std::string name, Schema schema, TieredTableOptions options);
+  ~TieredTable();
 
   TieredTable(const TieredTable&) = delete;
   TieredTable& operator=(const TieredTable&) = delete;
@@ -47,12 +54,10 @@ class TieredTable {
   void Commit(Transaction* txn) { txns_.Commit(txn); }
   void Abort(Transaction* txn) { txns_.Abort(txn); }
 
-  Status Insert(const Transaction& txn, const Row& row) {
-    return table_->Insert(txn, row);
-  }
-  Status Delete(const Transaction& txn, RowId row) {
-    return table_->Delete(txn, row);
-  }
+  /// While serving is enabled, writes run exclusively between queries
+  /// (SessionManager::ExecuteWrite) so commit order equals submission order.
+  Status Insert(const Transaction& txn, const Row& row);
+  Status Delete(const Transaction& txn, RowId row);
 
   /// Executes a query, recording it in the plan cache.
   QueryResult Execute(const Transaction& txn, const Query& query,
@@ -64,7 +69,35 @@ class TieredTable {
     return executor_->Execute(txn, query, threads);
   }
 
-  Status MergeDelta() { return table_->MergeDelta(); }
+  /// Records one finished execution into the workload monitor and plan
+  /// cache under one mutex. `obs_filled` = the executor produced an
+  /// observation (monitor attached + knob on). The serving layer calls this
+  /// in ticket order; the synchronous Execute() path uses it too, so both
+  /// paths feed the PR 5 window series identically.
+  void RecordExecution(const Query& query, const QueryObservation& obs,
+                       bool obs_filled);
+
+  /// Turns on the high-concurrency serving front end (DESIGN.md §15):
+  /// admission-controlled sessions executing concurrently against this
+  /// table. Idempotent — returns the existing manager on repeat calls.
+  /// While enabled, submit queries via Submit()/serving() rather than the
+  /// synchronous Execute(), and writes route through the serving write gate
+  /// automatically.
+  SessionManager& EnableServing();
+  SessionManager& EnableServing(const SessionOptions& options);
+  /// Null until EnableServing().
+  SessionManager* serving() { return serving_.get(); }
+
+  /// Async serving API (requires EnableServing()): admission-controlled
+  /// submit returning a session handle; Await blocks for its result.
+  StatusOr<std::shared_ptr<QuerySession>> Submit(const Query& query,
+                                                 const SubmitOptions& opts);
+  QueryResult Await(const std::shared_ptr<QuerySession>& session);
+
+  /// Structural rewrite: while serving, drains the session queue first and
+  /// then runs exclusively (queued queries' snapshots do not shield them
+  /// from a merge's main/delta restructuring, unlike Insert/Delete).
+  Status MergeDelta();
 
   /// Applies a placement (true = DRAM) and resizes the page cache to
   /// `cache_share` of the evicted footprint. Returns migrated bytes.
@@ -85,9 +118,13 @@ class TieredTable {
   BufferManager& buffers() { return *buffers_; }
   const BufferManager& buffers() const { return *buffers_; }
   TransactionManager& txns() { return txns_; }
+  QueryExecutor& executor() { return *executor_; }
+  const QueryExecutor& executor() const { return *executor_; }
   const TieredTableOptions& options() const { return options_; }
 
  private:
+  StatusOr<uint64_t> ApplyPlacementLocked(const std::vector<bool>& in_dram);
+
   TieredTableOptions options_;
   TransactionManager txns_;
   std::unique_ptr<SecondaryStore> store_;
@@ -97,6 +134,11 @@ class TieredTable {
   std::unique_ptr<WorkloadMonitor> monitor_;
   std::unique_ptr<CostCalibrator> calibrator_;
   PlanCache plan_cache_;
+  /// Serializes monitor + plan-cache recording (RecordExecution).
+  std::mutex record_mutex_;
+  /// Declared last: destroyed first, so serving workers drain before the
+  /// engine they execute against goes away.
+  std::unique_ptr<SessionManager> serving_;
 };
 
 }  // namespace hytap

@@ -217,6 +217,13 @@ bool IsEquality(const Predicate& pred) {
   return pred.lo.has_value() && pred.hi.has_value() && *pred.lo == *pred.hi;
 }
 
+/// Cancellation poll — called only at serial control points (between
+/// predicate steps, between accounting batches), never inside worker
+/// morsels, so a cancelled query aborts at a deterministic step boundary.
+bool StopRequested(const ExecOptions& opts) {
+  return opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed);
+}
+
 /// Simulated DRAM cost of one B+-tree index traversal plus materializing
 /// `matches` row ids.
 uint64_t IndexLookupCostNs(size_t indexed_rows, size_t matches) {
@@ -275,11 +282,15 @@ const MainIndex* QueryExecutor::PickIndex(const Query& query,
 
 Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
                                   const std::vector<size_t>& order,
-                                  uint32_t threads, QueryResult* result,
+                                  const ExecOptions& opts, QueryResult* result,
                                   TraceSpan* trace,
                                   QueryObservation* obs) const {
+  const uint32_t threads = opts.threads;
   const size_t main_rows = table_->main_row_count();
   if (main_rows == 0) return Status::Ok();
+  if (StopRequested(opts)) {
+    return Status::Cancelled("query cancelled before the index step");
+  }
   PositionList positions;
   bool first = true;
   IoStats obs_before;  // io snapshot at the start of the current step
@@ -335,6 +346,9 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
         used_predicates.end()) {
       continue;  // already answered by the index
     }
+    if (StopRequested(opts)) {
+      return Status::Cancelled("query cancelled between predicate steps");
+    }
     const Predicate& pred = query.predicates[idx];
     const size_t candidates_in = positions.size();
     const char* step = nullptr;
@@ -343,7 +357,8 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
       step = "scan";
       ScopedSpan span(trace, step, &result->io);
       Status status = ScanMainColumn(*table_, pred.column, pred, threads,
-                                     &positions, &result->io);
+                                     &positions, &result->io, nullptr,
+                                     opts.buffers);
       AnnotatePredicateStep(span, table_->schema()[pred.column].name,
                             span.active() ? EstimateSelectivity(pred) : 0.0,
                             main_rows, positions.size());
@@ -397,7 +412,8 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
         QueryMetrics::Get().rescan_steps->Add();
         PositionList scanned;
         Status status = ScanMainColumn(*table_, pred.column, pred, threads,
-                                       &scanned, &result->io, &positions);
+                                       &scanned, &result->io, &positions,
+                                       opts.buffers);
         if (!status.ok()) {
           AnnotatePredicateStep(span, table_->schema()[pred.column].name,
                                 span.active() ? EstimateSelectivity(pred)
@@ -415,7 +431,8 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
           QueryMetrics::Get().scan_to_probe_switches->Add();
         }
         Status status = ProbeMainColumn(*table_, pred.column, pred, positions,
-                                        threads, &next, &result->io);
+                                        threads, &next, &result->io,
+                                        opts.buffers);
         if (!status.ok()) {
           AnnotatePredicateStep(span, table_->schema()[pred.column].name,
                                 span.active() ? EstimateSelectivity(pred)
@@ -452,9 +469,14 @@ Status QueryExecutor::ExecuteMain(const Transaction& txn, const Query& query,
 
 void QueryExecutor::ExecuteDelta(const Transaction& txn, const Query& query,
                                  const std::vector<size_t>& order,
-                                 QueryResult* result,
+                                 const ExecOptions& opts, QueryResult* result,
                                  TraceSpan* trace) const {
-  const size_t delta_rows = table_->delta_row_count();
+  // Bounded by the submit-time delta size when serving: rows appended while
+  // the query was queued are invisible to its snapshot, so excluding them
+  // from the scan span keeps the DRAM cost (and the observation) a pure
+  // function of the ticket.
+  const size_t delta_rows =
+      std::min(opts.delta_limit, table_->delta_row_count());
   if (delta_rows == 0) return;
   ScopedSpan span(trace, "delta", &result->io);
   PositionList positions;
@@ -462,7 +484,8 @@ void QueryExecutor::ExecuteDelta(const Transaction& txn, const Query& query,
   for (size_t idx : order) {
     const Predicate& pred = query.predicates[idx];
     if (first) {
-      ScanDeltaColumn(*table_, pred.column, pred, &positions, &result->io);
+      ScanDeltaColumn(*table_, pred.column, pred, &positions, &result->io,
+                      delta_rows);
       first = false;
     } else if (positions.empty()) {
       break;
@@ -514,11 +537,17 @@ double NumericAsDouble(const Value& v) {
 
 }  // namespace
 
-Status QueryExecutor::Materialize(const Query& query, uint32_t threads,
+Status QueryExecutor::Materialize(const Query& query, const ExecOptions& opts,
                                   QueryResult* result,
                                   TraceSpan* trace) const {
   if (query.projections.empty() && query.aggregates.empty()) {
     return Status::Ok();
+  }
+  const uint32_t threads = opts.threads;
+  BufferManager* buffers =
+      opts.buffers != nullptr ? opts.buffers : table_->buffers();
+  if (StopRequested(opts)) {
+    return Status::Cancelled("query cancelled before materialization");
   }
   ScopedSpan span(trace, "materialize", &result->io);
   if (span.active()) {
@@ -561,13 +590,22 @@ Status QueryExecutor::Materialize(const Query& query, uint32_t threads,
   // deterministically.
   if (any_sscg) {
     HYTAP_ASSERT(sscg != nullptr, "SSCG projection without SSCG");
+    size_t batch = 0;
     for (RowId row : positions) {
+      // Poll the stop token between accounting batches, never mid-batch:
+      // the abort point is a deterministic function of how far the pass got.
+      if ((batch++ & 4095u) == 0 && StopRequested(opts)) {
+        return Status::Cancelled("query cancelled during tuple accounting");
+      }
       if (row < main_rows) {
-        Status status = sscg->AccountTupleFetch(row, table_->buffers(),
-                                                threads, &result->io);
+        Status status =
+            sscg->AccountTupleFetch(row, buffers, threads, &result->io);
         if (!status.ok()) return status;
       }
     }
+  }
+  if (StopRequested(opts)) {
+    return Status::Cancelled("query cancelled before the materialize pass");
   }
 
   // Materialization pass: morsel-parallel over qualifying positions. SSCG
@@ -674,22 +712,33 @@ Status QueryExecutor::Materialize(const Query& query, uint32_t threads,
 
 QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
                                    uint32_t threads) const {
-  HYTAP_ASSERT(threads >= 1, "thread count must be >= 1");
+  ExecOptions opts;
+  opts.threads = threads;
+  return Execute(txn, query, opts);
+}
+
+QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
+                                   const ExecOptions& opts) const {
+  HYTAP_ASSERT(opts.threads >= 1, "thread count must be >= 1");
   QueryResult result;
+  if (opts.observation_filled != nullptr) *opts.observation_filled = false;
   // Observation building (like tracing) happens only on the serial control
   // path and reads finished state — never feeds back into execution — so
   // the monitor being attached/enabled cannot change results, IO counters,
   // or fault schedules (workload_monitor_test asserts bit-identity).
   QueryObservation obs_storage;
-  QueryObservation* obs =
-      monitor_ != nullptr && WorkloadMonitorEnabled() ? &obs_storage : nullptr;
+  QueryObservation* obs = nullptr;
+  if (monitor_ != nullptr && WorkloadMonitorEnabled()) {
+    obs = opts.observation != nullptr ? opts.observation : &obs_storage;
+    *obs = QueryObservation();  // caller-provided storage may be reused
+  }
   const std::vector<size_t> order = PredicateOrder(query);
   std::unique_ptr<TraceSpan> root;
   uint64_t wall_before = 0;
   if (TraceEnabled()) {
     root = std::make_unique<TraceSpan>();
     root->name = "execute";
-    root->Annotate("threads", std::to_string(threads));
+    root->Annotate("threads", std::to_string(opts.threads));
     std::string order_names;
     for (size_t idx : order) {
       if (!order_names.empty()) order_names += ',';
@@ -704,12 +753,15 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
       main_span.Annotate("main_rows",
                          std::to_string(table_->main_row_count()));
     }
-    result.status = ExecuteMain(txn, query, order, threads, &result,
+    result.status = ExecuteMain(txn, query, order, opts, &result,
                                 main_span.span(), obs);
   }
+  if (result.status.ok() && StopRequested(opts)) {
+    result.status = Status::Cancelled("query cancelled before the delta scan");
+  }
   if (result.status.ok()) {
-    ExecuteDelta(txn, query, order, &result, root.get());
-    result.status = Materialize(query, threads, &result, root.get());
+    ExecuteDelta(txn, query, order, opts, &result, root.get());
+    result.status = Materialize(query, opts, &result, root.get());
   }
   if (!result.status.ok()) {
     // Degrade cleanly: no partial positions, rows or aggregates ever leave
@@ -744,7 +796,14 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
     obs->result_rows = result.positions.size();
     obs->table_rows = table_->main_row_count() + table_->delta_row_count();
     obs->failed = !result.status.ok();
-    monitor_->Record(*obs);
+    if (opts.observation != nullptr) {
+      // Hand the observation back instead of recording it: the serving layer
+      // replays observations in ticket order so the monitor's windows and
+      // the plan cache stay deterministic under concurrent execution.
+      if (opts.observation_filled != nullptr) *opts.observation_filled = true;
+    } else {
+      monitor_->Record(*obs);
+    }
   }
   if (root != nullptr) {
     root->simulated_ns = result.io.TotalNs();

@@ -1,6 +1,8 @@
 #ifndef HYTAP_QUERY_EXECUTOR_H_
 #define HYTAP_QUERY_EXECUTOR_H_
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +41,31 @@ struct QueryResult {
   std::shared_ptr<const TraceSpan> trace;
 };
 
+/// Per-execution options: the knobs a serving session threads through one
+/// Execute() call. Default-constructed options reproduce the classic
+/// synchronous single-query behavior exactly.
+struct ExecOptions {
+  /// Simulated workers (and real ParallelFor width).
+  uint32_t threads = 1;
+  /// Cancellation stop token (not owned; null = not cancellable). Polled at
+  /// the executor's serial control points — between predicate steps and
+  /// morsel batches, never inside kernels — so a cancelled query aborts with
+  /// status kCancelled and no partial results.
+  const std::atomic<bool>* stop = nullptr;
+  /// Page-cache override for SSCG fetches (null = the table's shared cache).
+  /// Serving sessions pass a private cold cache per query.
+  BufferManager* buffers = nullptr;
+  /// Bounds delta-partition scans to the first `delta_limit` rows (the delta
+  /// size at submit time; rows beyond it are invisible to the snapshot).
+  size_t delta_limit = SIZE_MAX;
+  /// When non-null and a monitor is attached + enabled, Execute() fills this
+  /// observation and sets *observation_filled instead of recording into the
+  /// monitor — the serving layer replays observations in ticket order so the
+  /// monitor's windows stay deterministic under concurrency.
+  QueryObservation* observation = nullptr;
+  bool* observation_filled = nullptr;
+};
+
 /// Execute() plus rendered trace — what EXPLAIN ANALYZE returns.
 struct ExplainResult {
   QueryResult result;
@@ -68,6 +95,13 @@ class QueryExecutor {
   /// state reports the same failure at every thread count.
   QueryResult Execute(const Transaction& txn, const Query& query,
                       uint32_t threads = 1) const;
+
+  /// Execute() with full per-session options (cancellation, private page
+  /// cache, delta bound, observation hand-off). The executor itself is
+  /// stateless across calls, so concurrent Execute() calls with disjoint
+  /// ExecOptions are safe.
+  QueryResult Execute(const Transaction& txn, const Query& query,
+                      const ExecOptions& opts) const;
 
   /// Execute() with tracing forced on for the duration of the call (the
   /// global HYTAP_TRACE state is restored afterwards), returning the result
@@ -105,14 +139,14 @@ class QueryExecutor {
   /// worker morsels, so the tree is invariant under the worker count. `obs`
   /// likewise receives per-step observations when non-null (monitor on).
   Status ExecuteMain(const Transaction& txn, const Query& query,
-                     const std::vector<size_t>& order, uint32_t threads,
+                     const std::vector<size_t>& order, const ExecOptions& opts,
                      QueryResult* result, TraceSpan* trace,
                      QueryObservation* obs) const;
   void ExecuteDelta(const Transaction& txn, const Query& query,
-                    const std::vector<size_t>& order, QueryResult* result,
-                    TraceSpan* trace) const;
-  Status Materialize(const Query& query, uint32_t threads, QueryResult* result,
-                     TraceSpan* trace) const;
+                    const std::vector<size_t>& order, const ExecOptions& opts,
+                    QueryResult* result, TraceSpan* trace) const;
+  Status Materialize(const Query& query, const ExecOptions& opts,
+                     QueryResult* result, TraceSpan* trace) const;
 
   const Table* table_;
   double probe_threshold_;

@@ -18,13 +18,16 @@ std::vector<ColumnId> TemplateKey(const Query& query) {
 }  // namespace
 
 void PlanCache::Record(const Query& query) {
-  ++templates_[TemplateKey(query)].count;
+  std::vector<ColumnId> key = TemplateKey(query);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++templates_[std::move(key)].count;
   ++total_;
 }
 
 void PlanCache::RecordObserved(const Query& query,
                                const QueryObservation& obs) {
   const std::vector<ColumnId> key = TemplateKey(query);
+  std::lock_guard<std::mutex> lock(mutex_);
   TemplateStats& stats = templates_[key];
   ++stats.count;
   ++total_;
@@ -43,6 +46,7 @@ void PlanCache::RecordObserved(const Query& query,
 }
 
 std::vector<double> PlanCache::ColumnFrequencies(const Table& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<double> g(table.column_count(), 0.0);
   for (const auto& [columns, stats] : templates_) {
     for (ColumnId c : columns) g[c] += static_cast<double>(stats.count);
@@ -51,6 +55,7 @@ std::vector<double> PlanCache::ColumnFrequencies(const Table& table) const {
 }
 
 Workload PlanCache::ToWorkload(const Table& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Workload workload;
   const size_t n = table.column_count();
   workload.column_sizes.reserve(n);
@@ -92,6 +97,7 @@ Workload PlanCache::ToWorkload(const Table& table) const {
 }
 
 void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   templates_.clear();
   total_ = 0;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "query/predicate.h"
@@ -29,6 +30,12 @@ struct TemplateStats {
 /// cache counts occurrences (b_j) and, when the workload monitor feeds it
 /// observations, accumulates measured per-column selectivities so
 /// ToWorkload() can use observed s_i instead of table-static estimates.
+///
+/// Thread-safe: recording and the exporting readers serialize on an internal
+/// mutex, so concurrent serving sessions can record while a re-tiering pass
+/// exports the workload. `templates()` is the one lock-free accessor — it
+/// hands out a reference, so its callers must be quiesced (no concurrent
+/// recording).
 class PlanCache {
  public:
   PlanCache() = default;
@@ -41,9 +48,15 @@ class PlanCache {
   void RecordObserved(const Query& query, const QueryObservation& obs);
 
   /// Number of distinct templates.
-  size_t template_count() const { return templates_.size(); }
+  size_t template_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return templates_.size();
+  }
   /// Total recorded executions.
-  uint64_t total_executions() const { return total_; }
+  uint64_t total_executions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
 
   /// Weighted occurrence count g_i per column of `table`.
   std::vector<double> ColumnFrequencies(const Table& table) const;
@@ -54,7 +67,8 @@ class PlanCache {
   Workload ToWorkload(const Table& table) const;
 
   /// Raw per-template statistics (key = sorted filtered-column set). Used by
-  /// the workload-history / forecasting layer.
+  /// the workload-history / forecasting layer. Unlocked: callers must be
+  /// quiesced (no serving sessions recording concurrently).
   const std::map<std::vector<ColumnId>, TemplateStats>& templates() const {
     return templates_;
   }
@@ -65,6 +79,7 @@ class PlanCache {
   // Key: sorted, deduplicated filtered-column set.
   std::map<std::vector<ColumnId>, TemplateStats> templates_;
   uint64_t total_ = 0;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace hytap

@@ -96,7 +96,9 @@ void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
 Status ScanMainColumn(const Table& table, ColumnId column,
                       const Predicate& pred, uint32_t threads,
                       PositionList* out, IoStats* io,
-                      const PositionList* restrict_to) {
+                      const PositionList* restrict_to,
+                      BufferManager* buffers) {
+  if (buffers == nullptr) buffers = table.buffers();
   if (table.main_row_count() == 0) return Status::Ok();
   if (table.location(column) == ColumnLocation::kDram) {
     const AbstractColumn* mrc = table.mrc(column);
@@ -134,12 +136,14 @@ Status ScanMainColumn(const Table& table, ColumnId column,
   }
   return sscg->ScanSlotPages(static_cast<size_t>(slot), pred.LoPtr(),
                              pred.HiPtr(), page_begin, page_end,
-                             table.buffers(), threads, out, io);
+                             buffers, threads, out, io);
 }
 
 Status ProbeMainColumn(const Table& table, ColumnId column,
                        const Predicate& pred, const PositionList& in,
-                       uint32_t queue_depth, PositionList* out, IoStats* io) {
+                       uint32_t queue_depth, PositionList* out, IoStats* io,
+                       BufferManager* buffers) {
+  if (buffers == nullptr) buffers = table.buffers();
   if (in.empty()) return Status::Ok();
   if (table.location(column) == ColumnLocation::kDram) {
     const AbstractColumn* mrc = table.mrc(column);
@@ -153,17 +157,23 @@ Status ProbeMainColumn(const Table& table, ColumnId column,
   const int slot = sscg->layout().SlotOf(column);
   HYTAP_ASSERT(slot >= 0, "column not in SSCG");
   return sscg->ProbeSlot(static_cast<size_t>(slot), pred.LoPtr(),
-                         pred.HiPtr(), in, table.buffers(), queue_depth, out,
+                         pred.HiPtr(), in, buffers, queue_depth, out,
                          io);
 }
 
 void ScanDeltaColumn(const Table& table, ColumnId column,
-                     const Predicate& pred, PositionList* out, IoStats* io) {
+                     const Predicate& pred, PositionList* out, IoStats* io,
+                     size_t limit) {
   const AbstractColumn* delta = table.delta(column);
-  if (delta->size() == 0) return;
-  delta->ScanBetween(pred.LoPtr(), pred.HiPtr(), out);
+  const size_t rows = std::min(limit, delta->size());
+  if (rows == 0) return;
+  if (rows == delta->size()) {
+    delta->ScanBetween(pred.LoPtr(), pred.HiPtr(), out);
+  } else {
+    delta->ScanBetweenRange(pred.LoPtr(), pred.HiPtr(), 0, rows, out);
+  }
   if (io != nullptr) {
-    io->dram_ns += 2 * kDramTouchNs * delta->size() / 8 + 1;
+    io->dram_ns += 2 * kDramTouchNs * rows / 8 + 1;
   }
 }
 

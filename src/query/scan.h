@@ -23,11 +23,14 @@ namespace hytap {
 /// (ascending candidate positions, SSCG placement only) further limits the
 /// sequential pass to the page span covered by the candidates — the
 /// executor's candidate-restricted rescan on the scan side of the
-/// scan-vs-probe switch.
+/// scan-vs-probe switch. A non-null `buffers` overrides the table's shared
+/// page cache (session-private caches of the serving layer); SSCG fetches go
+/// through it.
 Status ScanMainColumn(const Table& table, ColumnId column,
                       const Predicate& pred, uint32_t threads,
                       PositionList* out, IoStats* io,
-                      const PositionList* restrict_to = nullptr);
+                      const PositionList* restrict_to = nullptr,
+                      BufferManager* buffers = nullptr);
 
 /// Morsel-parallel driver of the MRC vectorized scan: splits
 /// [0, column.size()) into kScanMorselRows morsels executed by up to
@@ -41,14 +44,21 @@ void ParallelScanColumn(const AbstractColumn& column, const Value* lo,
                         IoStats* io = nullptr);
 
 /// Probes main-partition candidate positions (ascending) against a column.
-/// An SSCG page error is returned with `out` untouched.
+/// An SSCG page error is returned with `out` untouched. `buffers` as in
+/// ScanMainColumn.
 Status ProbeMainColumn(const Table& table, ColumnId column,
                        const Predicate& pred, const PositionList& in,
-                       uint32_t queue_depth, PositionList* out, IoStats* io);
+                       uint32_t queue_depth, PositionList* out, IoStats* io,
+                       BufferManager* buffers = nullptr);
 
-/// Full scan of a delta-partition column (always DRAM).
+/// Full scan of a delta-partition column (always DRAM). `limit` bounds the
+/// scan to the first `limit` delta rows — the serving layer pins it to the
+/// delta size at submit time so a query's scan span (and DRAM cost) is
+/// independent of inserts committed while it was queued; rows beyond the
+/// bound are invisible to the query's snapshot anyway.
 void ScanDeltaColumn(const Table& table, ColumnId column,
-                     const Predicate& pred, PositionList* out, IoStats* io);
+                     const Predicate& pred, PositionList* out, IoStats* io,
+                     size_t limit = SIZE_MAX);
 
 /// Probes delta-partition candidates.
 void ProbeDeltaColumn(const Table& table, ColumnId column,

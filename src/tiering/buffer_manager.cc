@@ -60,19 +60,15 @@ StatusOr<BufferManager::Fetch> BufferManager::FetchPage(
     frame.occupied = false;
     frame.page_id = kInvalidPageId;
   }
-  // The store's fault counters move only under this cache's mutex, so the
-  // deltas across one ReadPage attribute its checksum failures and any new
-  // quarantine to this fetch — including on the failure path, where no
-  // ReadOutcome is returned.
-  const FaultStats& fault_stats = store_->fault_stats();
-  const uint64_t crc_before = fault_stats.checksum_failures;
-  const uint64_t quarantined_before = fault_stats.quarantined_pages;
-  auto read = store_->ReadPage(id, &frame.data, pattern, queue_depth);
-  const uint32_t crc_delta =
-      uint32_t(fault_stats.checksum_failures - crc_before);
-  stats_.checksum_failures += crc_delta;
-  stats_.quarantined_pages +=
-      fault_stats.quarantined_pages - quarantined_before;
+  // The store reports each read's own fault activity (success and failure
+  // paths alike), so attribution stays exact even when several session
+  // caches read through to one store concurrently.
+  SecondaryStore::ReadFaultReport report;
+  auto read =
+      store_->ReadPage(id, &frame.data, pattern, queue_depth, stream_,
+                       &report);
+  stats_.checksum_failures += report.checksum_failures;
+  stats_.quarantined_pages += report.quarantined ? 1 : 0;
   if (!read.ok()) {
     // The victim frame stays empty; the failed page is never installed, so
     // a later fetch retries the store (which fails fast if quarantined).
@@ -87,7 +83,7 @@ StatusOr<BufferManager::Fetch> BufferManager::FetchPage(
   frame.occupied = true;
   frame_of_[id] = victim;
   return Fetch{&frame.data, read->latency_ns, /*hit=*/false, read->retries,
-               crc_delta};
+               report.checksum_failures};
 }
 
 void BufferManager::Pin(PageId id) {

@@ -83,6 +83,13 @@ class BufferManager {
   /// after the accounting pass fetched them through the cache.
   SecondaryStore* store() const { return store_; }
 
+  /// Attaches session-private timing/fault draw streams (not owned; null
+  /// detaches). Every subsequent store miss draws from `stream` instead of
+  /// the store's global streams — the serving layer gives each query its own
+  /// cold cache plus its own stream, which makes per-query results
+  /// interleaving-independent.
+  void set_stream(SecondaryStore::ReadStream* stream) { stream_ = stream; }
+
   size_t frame_count() const { return frames_.size(); }
   size_t resident_pages() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -125,6 +132,7 @@ class BufferManager {
   /// probes) can share one cache without data races.
   mutable std::mutex mutex_;
   SecondaryStore* store_;
+  SecondaryStore::ReadStream* stream_ = nullptr;  // not owned
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> frame_of_;
   size_t clock_hand_ = 0;

@@ -73,6 +73,8 @@ uint32_t SecondaryStore::DefaultMaxReadRetries() {
 SecondaryStore::SecondaryStore(DeviceKind device, uint64_t timing_seed,
                                FaultConfig fault_config)
     : device_(device),
+      timing_seed_(timing_seed),
+      fault_config_(fault_config),
       timing_rng_(timing_seed),
       max_read_retries_(DefaultMaxReadRetries()) {
   if (fault_config.AnyFaults()) {
@@ -81,13 +83,44 @@ SecondaryStore::SecondaryStore(DeviceKind device, uint64_t timing_seed,
 }
 
 void SecondaryStore::ConfigureFaults(FaultConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_config_ = config;
   injector_ = config.AnyFaults() ? std::make_unique<FaultInjector>(config)
                                  : nullptr;
   quarantine_.clear();
   fault_stats_ = FaultStats();
 }
 
+namespace {
+
+/// splitmix64-style finalizer: decorrelates sequential tickets into
+/// independent-looking seeds.
+uint64_t MixSeed(uint64_t seed, uint64_t ticket) {
+  uint64_t z = seed + (ticket + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SecondaryStore::ReadStream::ReadStream(uint64_t timing_seed,
+                                       const FaultConfig& faults)
+    : timing_rng_(timing_seed) {
+  if (faults.AnyFaults()) {
+    injector_ = std::make_unique<FaultInjector>(faults);
+  }
+}
+
+SecondaryStore::ReadStream SecondaryStore::MakeStream(uint64_t ticket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FaultConfig faults = fault_config_;
+  faults.seed = MixSeed(faults.seed, ticket);
+  return ReadStream(MixSeed(timing_seed_, ticket), faults);
+}
+
 PageId SecondaryStore::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mutex_);
   pages_.push_back(std::make_unique<Page>());
   pages_.back()->fill(0);
   // Checksum of an all-zero page (same for every fresh allocation).
@@ -102,6 +135,7 @@ PageId SecondaryStore::AllocatePage() {
 }
 
 void SecondaryStore::WritePage(PageId id, const Page& data) {
+  std::lock_guard<std::mutex> lock(mutex_);
   HYTAP_ASSERT(id < pages_.size(), "WritePage: page id out of range");
   // The checksum always covers the *intended* payload; a corrupted write
   // leaves the media and the checksum disagreeing, which is exactly how
@@ -120,18 +154,39 @@ void SecondaryStore::WritePage(PageId id, const Page& data) {
 }
 
 StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
-    PageId id, Page* dest, AccessPattern pattern, uint32_t queue_depth) {
+    PageId id, Page* dest, AccessPattern pattern, uint32_t queue_depth,
+    ReadStream* stream, ReadFaultReport* report) {
+  std::lock_guard<std::mutex> lock(mutex_);
   HYTAP_ASSERT(id < pages_.size(), "ReadPage: page id out of range");
   ++reads_;
   StoreMetrics& metrics = StoreMetrics::Get();
   metrics.reads->Add();
-  if (auto it = quarantine_.find(id); it != quarantine_.end()) {
-    ++fault_stats_.fast_fail_reads;
-    metrics.fast_fail_reads->Add();
-    return it->second == StatusCode::kDataLoss
-               ? Status::DataLoss(PageMessage("quarantined: corrupt", id))
-               : Status::Unavailable(PageMessage("quarantined: dead", id));
+  // Streamed (session) reads never consult the quarantine set: a session's
+  // outcome must depend only on its own draws, not on whether another query
+  // happened to quarantine the page first. The page is re-evaluated and —
+  // failing — re-quarantined idempotently below.
+  if (stream == nullptr) {
+    if (auto it = quarantine_.find(id); it != quarantine_.end()) {
+      ++fault_stats_.fast_fail_reads;
+      metrics.fast_fail_reads->Add();
+      return it->second == StatusCode::kDataLoss
+                 ? Status::DataLoss(PageMessage("quarantined: corrupt", id))
+                 : Status::Unavailable(PageMessage("quarantined: dead", id));
+    }
   }
+  Rng& timing_rng = stream != nullptr ? stream->timing_rng_ : timing_rng_;
+  FaultInjector* injector =
+      stream != nullptr ? stream->injector_.get() : injector_.get();
+
+  auto quarantine_page = [&](StatusCode code) {
+    ++fault_stats_.failed_reads;
+    metrics.read_failures->Add();
+    if (quarantine_.emplace(id, code).second) {
+      ++fault_stats_.quarantined_pages;
+      metrics.quarantined_pages->Add();
+    }
+    if (report != nullptr) report->quarantined = true;
+  };
 
   ReadOutcome outcome;
   uint64_t backoff_ns = kRetryBackoffBaseNs;
@@ -144,12 +199,13 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
       backoff_ns *= 2;
       ++outcome.retries;
       ++fault_stats_.retries;
+      if (report != nullptr) ++report->retries;
     }
     uint64_t latency_ns;
     if (pattern == AccessPattern::kRandom) {
       // Per-requester latency among `queue_depth` concurrent requesters;
       // dividing the summed latencies by the thread count yields wall time.
-      latency_ns = device_.RandomReadLatencyNs(queue_depth, timing_rng_);
+      latency_ns = device_.RandomReadLatencyNs(queue_depth, timing_rng);
     } else {
       // SequentialReadNs is already aggregate elapsed time for the batch, so
       // scale by the requester count to keep the same "summed device time"
@@ -158,11 +214,11 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
                    queue_depth;
     }
     const FaultInjector::ReadFault fault =
-        injector_ != nullptr ? injector_->NextReadFault()
-                             : FaultInjector::ReadFault::kNone;
+        injector != nullptr ? injector->NextReadFault()
+                            : FaultInjector::ReadFault::kNone;
     if (fault == FaultInjector::ReadFault::kLatencySpike) {
       latency_ns = uint64_t(double(latency_ns) *
-                            injector_->config().latency_spike_multiplier);
+                            injector->config().latency_spike_multiplier);
       ++fault_stats_.latency_spikes;
       metrics.latency_spikes->Add();
     }
@@ -172,11 +228,7 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
       // unreadable; retrying cannot help.
       total_read_ns_ += outcome.latency_ns;
       ++fault_stats_.dead_pages;
-      ++fault_stats_.failed_reads;
-      ++fault_stats_.quarantined_pages;
-      metrics.read_failures->Add();
-      metrics.quarantined_pages->Add();
-      quarantine_.emplace(id, StatusCode::kUnavailable);
+      quarantine_page(StatusCode::kUnavailable);
       return Status::Unavailable(PageMessage("page failed permanently", id));
     }
     if (fault == FaultInjector::ReadFault::kTransientError) {
@@ -187,7 +239,7 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
     }
     std::memcpy(dest->data(), pages_[id]->data(), kPageSize);
     if (fault == FaultInjector::ReadFault::kCorruptBits) {
-      injector_->CorruptBits(dest->data(), kPageSize);
+      injector->CorruptBits(dest->data(), kPageSize);
       ++fault_stats_.corrupted_reads;
     }
     // With no injector armed the memory-backed media cannot change between
@@ -195,33 +247,30 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
     // the fault-free fast path. An armed injector can corrupt bytes in
     // transit, so then every delivered buffer is re-verified.
     const bool must_verify =
-        verify_checksums_ && (injector_ != nullptr || !verified_[id]);
+        verify_checksums_ && (injector != nullptr || !verified_[id]);
     if (must_verify) {
       if (Crc32c(dest->data(), kPageSize) != checksums_[id]) {
         // In-transit corruption clears on a re-read; corruption of the
         // stored bytes fails every retry and is declared data loss below.
         ++fault_stats_.checksum_failures;
         metrics.checksum_failures->Add();
+        if (report != nullptr) ++report->checksum_failures;
         checksum_failed = true;
         continue;
       }
-      if (injector_ == nullptr) verified_[id] = true;
+      if (injector == nullptr) verified_[id] = true;
     }
     total_read_ns_ += outcome.latency_ns;
     metrics.read_latency_ns->Observe(outcome.latency_ns);
     return outcome;
   }
   total_read_ns_ += outcome.latency_ns;
-  ++fault_stats_.failed_reads;
-  ++fault_stats_.quarantined_pages;
-  metrics.read_failures->Add();
-  metrics.quarantined_pages->Add();
   if (checksum_failed) {
-    quarantine_.emplace(id, StatusCode::kDataLoss);
+    quarantine_page(StatusCode::kDataLoss);
     return Status::DataLoss(
         PageMessage("checksum mismatch persisted across retries", id));
   }
-  quarantine_.emplace(id, StatusCode::kUnavailable);
+  quarantine_page(StatusCode::kUnavailable);
   return Status::Unavailable(
       PageMessage("read failed after max retries", id));
 }
@@ -240,6 +289,7 @@ const SecondaryStore::Page& SecondaryStore::RawPage(PageId id) const {
 }
 
 void SecondaryStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
   total_read_ns_ = 0;
   reads_ = 0;
   fault_stats_ = FaultStats();

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +54,38 @@ class SecondaryStore {
     uint32_t retries = 0;
   };
 
+  /// Fault activity of one ReadPage call, reported on success *and* failure
+  /// paths so a caller (the buffer manager) can attribute per-fetch deltas
+  /// without racing on the store-wide FaultStats under concurrent sessions.
+  struct ReadFaultReport {
+    uint32_t checksum_failures = 0;
+    uint32_t retries = 0;
+    /// This read quarantined its page (newly dead / persistently corrupt).
+    bool quarantined = false;
+  };
+
+  /// Session-private nondeterminism streams. A serving session draws its
+  /// timing jitter and fault schedule from its own Rng pair, seeded from the
+  /// store's seeds and the session's ticket — so each query's draws are a
+  /// pure function of (store state, query, ticket) and bit-identical whether
+  /// sessions run concurrently or serially replayed in ticket order. Streamed
+  /// reads also skip the quarantine fast-fail consult (cross-query coupling
+  /// through quarantine arrival order would break that purity); quarantine
+  /// *insertion* still happens, keeping the page fenced for synchronous
+  /// callers.
+  class ReadStream {
+   public:
+    ReadStream(uint64_t timing_seed, const FaultConfig& faults);
+
+   private:
+    friend class SecondaryStore;
+    Rng timing_rng_;
+    std::unique_ptr<FaultInjector> injector_;  // null = fault-free
+  };
+
+  /// Derives the draw streams for session ticket `ticket`.
+  ReadStream MakeStream(uint64_t ticket) const;
+
   /// Fault injection defaults to the HYTAP_FAULT_* environment knobs (all
   /// disabled when unset), so production builds pay only the checksum.
   explicit SecondaryStore(DeviceKind device, uint64_t timing_seed = 42,
@@ -79,8 +112,13 @@ class SecondaryStore {
   ///    (silent corruption detected; the page is quarantined).
   /// On any error `dest` holds no valid data and no state other than the
   /// quarantine set and stats is modified.
+  /// `stream` (optional) supplies session-private timing/fault draws — see
+  /// ReadStream. `report` (optional) receives this call's fault activity on
+  /// both the success and failure path.
   StatusOr<ReadOutcome> ReadPage(PageId id, Page* dest, AccessPattern pattern,
-                                 uint32_t queue_depth = 1);
+                                 uint32_t queue_depth = 1,
+                                 ReadStream* stream = nullptr,
+                                 ReadFaultReport* report = nullptr);
 
   /// Recomputes the stored page's checksum (timing-free, no fault
   /// injection). Used by migration verify-after-write; returns kDataLoss on
@@ -107,11 +145,21 @@ class SecondaryStore {
   uint32_t max_read_retries() const { return max_read_retries_; }
 
   size_t page_count() const { return pages_.size(); }
-  uint64_t total_read_ns() const { return total_read_ns_; }
-  uint64_t reads() const { return reads_; }
+  uint64_t total_read_ns() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_read_ns_;
+  }
+  uint64_t reads() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reads_;
+  }
   const DeviceModel& device() const { return device_; }
+  /// Aggregate fault statistics. Returned by reference for cheap field
+  /// access; callers must be quiesced (no in-flight session reads) — tests
+  /// and benches read it after Drain()/Await.
   const FaultStats& fault_stats() const { return fault_stats_; }
   bool IsQuarantined(PageId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return quarantine_.find(id) != quarantine_.end();
   }
 
@@ -121,6 +169,8 @@ class SecondaryStore {
   static uint32_t DefaultMaxReadRetries();
 
   DeviceModel device_;
+  uint64_t timing_seed_;
+  FaultConfig fault_config_;
   Rng timing_rng_;
   std::unique_ptr<FaultInjector> injector_;  // null = fault-free
   std::vector<std::unique_ptr<Page>> pages_;
@@ -135,6 +185,10 @@ class SecondaryStore {
   uint64_t total_read_ns_ = 0;
   uint64_t reads_ = 0;
   FaultStats fault_stats_;
+  /// Serializes ReadPage/WritePage and stats against concurrent sessions.
+  /// RawPage stays lock-free: pages are stable unique_ptrs and the serving
+  /// layer excludes allocation/migration while queries are in flight.
+  mutable std::mutex mutex_;
 };
 
 }  // namespace hytap

@@ -31,15 +31,21 @@ struct TxnMetrics {
 
 Transaction TransactionManager::Begin() {
   Transaction txn;
-  txn.tid = next_tid_++;
-  txn.snapshot_cid = next_cid_ - 1;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    txn.tid = next_tid_++;
+    txn.snapshot_cid = next_cid_ - 1;
+  }
   TxnMetrics::Get().begins->Add();
   return txn;
 }
 
 void TransactionManager::Commit(Transaction* txn) {
   HYTAP_ASSERT(!txn->finished, "transaction already finished");
-  commit_cids_[txn->tid] = next_cid_++;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    commit_cids_[txn->tid] = next_cid_++;
+  }
   txn->finished = true;
   TxnMetrics::Get().commits->Add();
 }
@@ -54,6 +60,7 @@ bool TransactionManager::IsVisible(TransactionId writer_tid,
                                    const Transaction& reader) const {
   if (writer_tid == 0) return true;  // bulk-loaded / merged baseline data
   if (writer_tid == reader.tid) return true;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = commit_cids_.find(writer_tid);
   if (it == commit_cids_.end()) return false;  // in flight or aborted
   return it->second <= reader.snapshot_cid;

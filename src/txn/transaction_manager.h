@@ -2,6 +2,7 @@
 #define HYTAP_TXN_TRANSACTION_MANAGER_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/types.h"
@@ -24,6 +25,12 @@ struct Transaction {
 /// by `tid` is visible to a reader iff `tid` committed with cid <= the
 /// reader's snapshot, or the reader is the writer itself. Deletions
 /// invalidate rows with an end-cid the same way.
+///
+/// Thread-safe: Begin/Commit/Abort take the commit map exclusively,
+/// IsVisible/IsDeleted shared — concurrent session queries check row
+/// visibility against their snapshots while new transactions begin. The
+/// common cases (bulk-loaded writer tid 0, never-deleted rows) return before
+/// touching the lock.
 class TransactionManager {
  public:
   TransactionManager() = default;
@@ -46,13 +53,17 @@ class TransactionManager {
   /// (kMaxTransactionId means "never deleted").
   bool IsDeleted(TransactionId deleter_tid, const Transaction& reader) const;
 
-  TransactionId last_commit_cid() const { return next_cid_ - 1; }
+  TransactionId last_commit_cid() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return next_cid_ - 1;
+  }
 
  private:
   TransactionId next_tid_ = 1;
   TransactionId next_cid_ = 1;
   // tid -> commit cid; absent = in flight or aborted.
   std::unordered_map<TransactionId, TransactionId> commit_cids_;
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace hytap

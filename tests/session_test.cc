@@ -1,0 +1,408 @@
+#include "serving/session_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/tiered_table.h"
+#include "workload/tpcc.h"
+
+namespace hytap {
+namespace {
+
+std::unique_ptr<TieredTable> MakeOrderline(int orders_per_district = 20) {
+  OrderlineParams params;
+  params.warehouses = 2;
+  params.districts_per_warehouse = 2;
+  params.orders_per_district = orders_per_district;
+  TieredTableOptions options;
+  options.device = DeviceKind::kXpoint;
+  auto table = std::make_unique<TieredTable>("orderline", OrderlineSchema(),
+                                             options);
+  table->Load(GenerateOrderlineRows(params));
+  return table;
+}
+
+/// Evicts the non-key columns so queries exercise the SSCG + page-cache +
+/// fault-injection path, not just DRAM scans.
+void EvictPayloadColumns(TieredTable* table) {
+  std::vector<bool> placement(10, true);
+  for (ColumnId c : {kOlDeliveryD, kOlQuantity, kOlAmount, kOlDistInfo}) {
+    placement[c] = false;
+  }
+  ASSERT_TRUE(table->ApplyPlacement(placement).ok());
+}
+
+Row MakeOrderlineRow(int32_t order) {
+  return Row{Value(int32_t{order}), Value(int32_t{1}), Value(int32_t{1}),
+             Value(int32_t{1}),     Value(int32_t{1}), Value(int32_t{1}),
+             Value(int64_t{0}),     Value(int32_t{5}), Value(1.0),
+             Value(std::string("x"))};
+}
+
+/// A query heavy enough to occupy a serving worker for a visible amount of
+/// wall time: full-table range with projections over the evicted columns.
+Query HeavyOlapQuery() {
+  Query q;
+  q.predicates.push_back(
+      Predicate::AtLeast(kOlQuantity, Value(int32_t{0})));
+  q.projections = {kOlDeliveryD, kOlQuantity, kOlAmount, kOlDistInfo};
+  return q;
+}
+
+/// Serializes every externally observable part of a QueryResult so runs can
+/// be compared bit-for-bit (status, positions, rows, aggregates, simulated
+/// IO, and the injected-fault counters inside it).
+std::string Fingerprint(const QueryResult& r) {
+  std::ostringstream out;
+  out << r.status.ToString() << "|p:";
+  for (RowId p : r.positions) out << p << ",";
+  out << "|r:";
+  for (const Row& row : r.rows) {
+    for (const Value& v : row) out << v.ToString() << ",";
+    out << ";";
+  }
+  out << "|a:";
+  for (const Value& v : r.aggregate_values) out << v.ToString() << ",";
+  out << "|io:" << r.io.device_ns << "/" << r.io.dram_ns << "/"
+      << r.io.page_reads << "/" << r.io.cache_hits << "/" << r.io.retries
+      << "/" << r.io.checksum_failures << "/" << r.io.quarantined_pages;
+  out << "|c:";
+  for (size_t c : r.candidate_trace) out << c << ",";
+  return out.str();
+}
+
+TEST(SessionTest, SubmitExecutesAndMatchesSynchronousResult) {
+  auto table = MakeOrderline();
+  Query q = DeliveryQuery(1, 1, 5);
+  Transaction txn = table->Begin();
+  const QueryResult sync = table->ExecuteUnrecorded(txn, q);
+
+  table->EnableServing(SessionOptions{});
+  SubmitOptions opts;
+  opts.query_class = QueryClass::kOltp;
+  auto session = table->Submit(q, opts);
+  ASSERT_TRUE(session.ok());
+  QueryResult served = table->Await(*session);
+  ASSERT_TRUE(served.status.ok());
+  EXPECT_EQ(served.positions, sync.positions);
+  ASSERT_EQ(served.rows.size(), sync.rows.size());
+  for (size_t i = 0; i < served.rows.size(); ++i) {
+    EXPECT_EQ(served.rows[i], sync.rows[i]);
+  }
+}
+
+TEST(SessionTest, AdmissionQueueBoundRejectsOverflow) {
+  auto table = MakeOrderline(60);
+  EvictPayloadColumns(table.get());
+  SessionOptions so;
+  so.max_sessions = 1;
+  so.queue_capacity = 4;
+  SessionManager& sm = table->EnableServing(so);
+
+  // Flood far faster than one worker can drain: the bounded queue must shed
+  // the overflow with kResourceExhausted, before issuing a ticket.
+  constexpr size_t kBurst = 200;
+  std::vector<SessionHandle> admitted;
+  size_t rejected = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    auto s = sm.Submit(HeavyOlapQuery());
+    if (s.ok()) {
+      admitted.push_back(*s);
+    } else {
+      EXPECT_EQ(s.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Tickets are only issued to admitted queries.
+  EXPECT_EQ(sm.tickets_issued(), admitted.size());
+
+  for (const SessionHandle& s : admitted) {
+    EXPECT_TRUE(s->Await().status.ok());
+  }
+  sm.Drain();
+  // Leak check: everything admitted reached a terminal state.
+  EXPECT_EQ(sm.queued(), 0u);
+  EXPECT_EQ(sm.in_flight(), 0u);
+}
+
+TEST(SessionTest, DeadlineExceededQueriesAreShedNotExecuted) {
+  auto table = MakeOrderline();
+  SessionOptions so;
+  so.max_sessions = 1;
+  SessionManager& sm = table->EnableServing(so);
+
+  const size_t executions_before = table->plan_cache().total_executions();
+  SubmitOptions opts;
+  opts.deadline_ns = SessionManager::NowNs() - 1;  // already expired
+  auto s = sm.Submit(DeliveryQuery(1, 1, 3), opts);
+  ASSERT_TRUE(s.ok());
+  QueryResult r = (*s)->Await();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.positions.empty());
+  EXPECT_TRUE(r.rows.empty());
+  // Shed queries never reach the executor, so nothing was recorded.
+  sm.Drain();
+  EXPECT_EQ(table->plan_cache().total_executions(), executions_before);
+}
+
+TEST(SessionTest, EdfDispatchOrdersByClassThenDeadline) {
+  auto table = MakeOrderline(60);
+  EvictPayloadColumns(table.get());
+  SessionOptions so;
+  so.max_sessions = 1;  // single worker => dispatch order is observable
+  SessionManager& sm = table->EnableServing(so);
+
+  // Occupy the only worker so the next submissions pile up in the queue.
+  auto blocker = sm.Submit(HeavyOlapQuery());
+  ASSERT_TRUE(blocker.ok());
+
+  const uint64_t now = SessionManager::NowNs();
+  const uint64_t far = now + 60ull * 1000 * 1000 * 1000;
+  SubmitOptions olap_late;
+  olap_late.query_class = QueryClass::kOlap;
+  olap_late.deadline_ns = far + 1000000;
+  SubmitOptions olap_soon;
+  olap_soon.query_class = QueryClass::kOlap;
+  olap_soon.deadline_ns = far;
+  SubmitOptions oltp;
+  oltp.query_class = QueryClass::kOltp;
+  oltp.deadline_ns = far + 2000000;  // latest deadline, highest class
+
+  // Submit in inverted order: late OLAP, then sooner OLAP, then OLTP.
+  auto a = sm.Submit(ChQuery19(1, 1, 500, 1, 5), olap_late);
+  auto b = sm.Submit(ChQuery19(2, 1, 500, 1, 5), olap_soon);
+  auto c = sm.Submit(DeliveryQuery(1, 1, 4), oltp);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // The blocker must still be running for the order to be meaningful; it
+  // scans the whole evicted table, submissions above take microseconds.
+  EXPECT_FALSE((*blocker)->Done());
+
+  EXPECT_TRUE((*a)->Await().status.ok());
+  EXPECT_TRUE((*b)->Await().status.ok());
+  EXPECT_TRUE((*c)->Await().status.ok());
+  // OLTP dispatches before both OLAP queries despite its later deadline;
+  // within OLAP, the earlier deadline goes first.
+  EXPECT_LT((*c)->dispatch_index(), (*b)->dispatch_index());
+  EXPECT_LT((*b)->dispatch_index(), (*a)->dispatch_index());
+}
+
+TEST(SessionTest, CancelWhileQueuedNeverExecutes) {
+  auto table = MakeOrderline(60);
+  EvictPayloadColumns(table.get());
+  SessionOptions so;
+  so.max_sessions = 1;
+  SessionManager& sm = table->EnableServing(so);
+
+  const size_t executions_before = table->plan_cache().total_executions();
+  auto blocker = sm.Submit(HeavyOlapQuery());
+  ASSERT_TRUE(blocker.ok());
+  auto victim = sm.Submit(DeliveryQuery(1, 1, 6));
+  ASSERT_TRUE(victim.ok());
+  (*victim)->Cancel();
+
+  QueryResult r = (*victim)->Await();
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(r.positions.empty());
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.aggregate_values.empty());
+  EXPECT_TRUE((*blocker)->Await().status.ok());
+  sm.Drain();
+  // Only the blocker was recorded; the cancelled query never executed.
+  EXPECT_EQ(table->plan_cache().total_executions(), executions_before + 1);
+}
+
+TEST(SessionTest, CancelledExecutionLeavesNoPartialResults) {
+  // Deterministic half: a stop token raised before execution makes the
+  // executor abort at its first serial control point with kCancelled and
+  // every result member empty — the all-or-nothing contract mid-query
+  // cancellation relies on.
+  auto table = MakeOrderline();
+  EvictPayloadColumns(table.get());
+  std::atomic<bool> stop{true};
+  ExecOptions opts;
+  opts.stop = &stop;
+  Transaction txn = table->Begin();
+  QueryResult r = table->executor().Execute(txn, HeavyOlapQuery(), opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(r.positions.empty());
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.aggregate_values.empty());
+  EXPECT_TRUE(r.candidate_trace.empty());
+}
+
+TEST(SessionTest, CancelMidQueryLeavesNoPartialResults) {
+  auto table = MakeOrderline(120);
+  EvictPayloadColumns(table.get());
+  SessionOptions so;
+  so.max_sessions = 1;
+  SessionManager& sm = table->EnableServing(so);
+
+  // Timing-dependent half: race Cancel() against a running query. Whether
+  // the stop token lands mid-query or the query finishes first, the result
+  // must be all or nothing; retry until a cancellation actually lands
+  // mid-flight (on a loaded single-core host it may never — then the
+  // deterministic test above still covers the abort path).
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    auto s = sm.Submit(HeavyOlapQuery());
+    ASSERT_TRUE(s.ok());
+    while (!(*s)->Done() && sm.queued() > 0) {
+    }
+    (*s)->Cancel();
+    QueryResult r = (*s)->Await();
+    if (r.status.ok()) continue;  // finished before the token was observed
+    EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+    EXPECT_TRUE(r.positions.empty());
+    EXPECT_TRUE(r.rows.empty());
+    EXPECT_TRUE(r.aggregate_values.empty());
+    sm.Drain();
+    EXPECT_EQ(sm.queued(), 0u);
+    EXPECT_EQ(sm.in_flight(), 0u);
+    return;
+  }
+  GTEST_SKIP() << "query always finished before the stop token landed";
+}
+
+TEST(SessionTest, WritesSerializeAgainstQueries) {
+  auto table = MakeOrderline();
+  SessionManager& sm = table->EnableServing(SessionOptions{});
+
+  // A row inserted before a submit is visible to it; one inserted after is
+  // shielded by the snapshot + delta bound captured at submit.
+  Transaction w1 = table->Begin();
+  ASSERT_TRUE(table->Insert(w1, MakeOrderlineRow(901)).ok());
+  table->Commit(&w1);
+
+  Query probe;
+  probe.predicates.push_back(
+      Predicate::AtLeast(kOlOId, Value(int32_t{900})));
+  auto before = sm.Submit(probe);
+  ASSERT_TRUE(before.ok());
+
+  Transaction w2 = table->Begin();
+  ASSERT_TRUE(table->Insert(w2, MakeOrderlineRow(902)).ok());
+  table->Commit(&w2);
+
+  auto after = sm.Submit(probe);
+  ASSERT_TRUE(after.ok());
+
+  QueryResult r_before = (*before)->Await();
+  QueryResult r_after = (*after)->Await();
+  ASSERT_TRUE(r_before.status.ok());
+  ASSERT_TRUE(r_after.status.ok());
+  EXPECT_EQ(r_before.positions.size(), 1u);
+  EXPECT_EQ(r_after.positions.size(), 2u);
+}
+
+/// The determinism tentpole: a concurrent run (4 workers, queries in flight
+/// simultaneously, interleaved writes) must produce per-submission results
+/// bit-identical to a serial submit-and-await replay — including the
+/// simulated IO and the injected fault schedule — at 1, 2, and 4 execution
+/// threads per query.
+TEST(SessionTest, SerialReplayBitIdentityUnderConcurrencyAndFaults) {
+  FaultConfig faults;
+  faults.seed = 7;
+  faults.read_error_rate = 0.02;
+  faults.read_corruption_rate = 0.01;
+  faults.latency_spike_rate = 0.01;
+
+  const std::vector<Query> mix = {
+      DeliveryQuery(1, 1, 5),       HeavyOlapQuery(),
+      ChQuery19(1, 1, 500, 1, 5),   DeliveryQuery(2, 2, 9),
+      ChQuery19(2, 100, 400, 2, 4), DeliveryQuery(1, 2, 12),
+  };
+  constexpr size_t kQueries = 36;
+
+  // Runs the fixed submission history and returns one fingerprint per
+  // submission index. `serial` awaits each query before the next submit;
+  // the concurrent run keeps up to max_sessions queries in flight.
+  auto run = [&](size_t max_sessions, uint32_t threads, bool serial) {
+    auto table = MakeOrderline();
+    EvictPayloadColumns(table.get());
+    table->store().ConfigureFaults(faults);
+    SessionOptions so;
+    so.max_sessions = max_sessions;
+    so.default_threads = threads;
+    SessionManager& sm = table->EnableServing(so);
+
+    std::vector<SessionHandle> handles;
+    std::vector<std::string> prints;
+    for (size_t i = 0; i < kQueries; ++i) {
+      if (i % 8 == 3) {
+        // Interleaved OLTP write at a fixed submission point. ExecuteWrite
+        // serializes it against in-flight queries, so the table state seen
+        // by every ticket is the same in both runs.
+        Transaction w = table->Begin();
+        EXPECT_TRUE(
+            table->Insert(w, MakeOrderlineRow(1000 + int32_t(i))).ok());
+        table->Commit(&w);
+      }
+      SubmitOptions opts;
+      opts.query_class =
+          (i % 2 == 0) ? QueryClass::kOltp : QueryClass::kOlap;
+      auto s = sm.Submit(mix[i % mix.size()], opts);
+      EXPECT_TRUE(s.ok());
+      EXPECT_EQ((*s)->ticket(), uint64_t(i));
+      if (serial) {
+        prints.push_back(Fingerprint((*s)->Await()));
+      } else {
+        handles.push_back(*s);
+      }
+    }
+    for (const SessionHandle& s : handles) {
+      prints.push_back(Fingerprint(s->Await()));
+    }
+    sm.Drain();
+    EXPECT_EQ(sm.queued(), 0u);
+    EXPECT_EQ(sm.in_flight(), 0u);
+    EXPECT_EQ(sm.tickets_issued(), kQueries);
+    // Observation replay: every executed ticket recorded exactly once, in
+    // ticket order, regardless of completion order.
+    EXPECT_EQ(table->plan_cache().total_executions(), kQueries);
+    return prints;
+  };
+
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    const std::vector<std::string> serial = run(1, threads, /*serial=*/true);
+    const std::vector<std::string> concurrent =
+        run(4, threads, /*serial=*/false);
+    ASSERT_EQ(serial.size(), concurrent.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], concurrent[i])
+          << "ticket " << i << " diverged at threads=" << threads;
+    }
+  }
+}
+
+TEST(SessionTest, DrainLeavesNoLeakedSessions) {
+  auto table = MakeOrderline();
+  SessionOptions so;
+  so.max_sessions = 2;
+  so.queue_capacity = 8;
+  SessionManager& sm = table->EnableServing(so);
+
+  size_t admitted = 0;
+  std::vector<SessionHandle> handles;
+  for (size_t i = 0; i < 32; ++i) {
+    auto s = sm.Submit(DeliveryQuery(1 + int32_t(i % 2), 1, int32_t(i % 20)));
+    if (s.ok()) {
+      ++admitted;
+      handles.push_back(*s);
+    }
+  }
+  sm.Drain();
+  EXPECT_EQ(sm.queued(), 0u);
+  EXPECT_EQ(sm.in_flight(), 0u);
+  EXPECT_EQ(sm.tickets_issued(), admitted);
+  for (const SessionHandle& s : handles) {
+    EXPECT_TRUE(s->Done());
+  }
+}
+
+}  // namespace
+}  // namespace hytap

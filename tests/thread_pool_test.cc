@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace hytap {
@@ -121,6 +123,74 @@ TEST(ThreadPoolTest, ManyConcurrentCallsDrainFully) {
         0, 4096, 64, 8, [&](size_t, size_t b, size_t e) { count += e - b; });
     ASSERT_EQ(count.load(), 4096u) << round;
   }
+}
+
+
+TEST(ThreadPoolTest, HighPriorityOverloadComputesSameResult) {
+  const size_t n = 100000;
+  std::atomic<uint64_t> sum{0};
+  ThreadPool::Global().ParallelFor(
+      0, n, 1024, 8, ThreadPool::TaskPriority::kHigh,
+      [&](size_t, size_t b, size_t e) {
+        uint64_t local = 0;
+        for (size_t i = b; i < e; ++i) local += i;
+        sum += local;
+      });
+  EXPECT_EQ(sum.load(), uint64_t(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, PriorityGuardAppliesAmbientPriority) {
+  // The guard routes 4-arg ParallelFor calls through the high-priority
+  // queue; results must be unaffected (fairness is pure scheduling).
+  std::atomic<uint64_t> sum{0};
+  {
+    ThreadPool::PriorityGuard guard(ThreadPool::TaskPriority::kHigh);
+    ThreadPool::Global().ParallelFor(0, 10000, 256, 8,
+                                     [&](size_t, size_t b, size_t e) {
+                                       uint64_t local = 0;
+                                       for (size_t i = b; i < e; ++i) {
+                                         local += i;
+                                       }
+                                       sum += local;
+                                     });
+  }
+  EXPECT_EQ(sum.load(), 10000ull * 9999 / 2);
+  // Guard destroyed: back to normal priority; the pool still works.
+  std::atomic<size_t> count{0};
+  ThreadPool::Global().ParallelFor(
+      0, 1000, 10, 8, [&](size_t, size_t b, size_t e) { count += e - b; });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, HelperYieldsNormalTaskToHighPriorityWork) {
+  // One helper, long-running "OLAP" task at normal priority. When a
+  // high-priority "OLTP" task arrives, the helper must abandon the OLAP
+  // task at a morsel boundary (counted in priority_yields) and service the
+  // OLTP task first — and both tasks must still run every morsel exactly
+  // once.
+  ThreadPool pool(2);
+  const uint64_t yields_before = pool.priority_yields();
+  std::atomic<size_t> olap_rows{0};
+  std::atomic<size_t> oltp_rows{0};
+  std::thread olap([&] {
+    pool.ParallelFor(0, 200, 1, 2, ThreadPool::TaskPriority::kNormal,
+                     [&](size_t, size_t b, size_t e) {
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(2));
+                       olap_rows += e - b;
+                     });
+  });
+  // Let the helper sink into the OLAP task before the OLTP burst.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool.ParallelFor(0, 8, 1, 2, ThreadPool::TaskPriority::kHigh,
+                   [&](size_t, size_t b, size_t e) {
+                     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                     oltp_rows += e - b;
+                   });
+  olap.join();
+  EXPECT_EQ(olap_rows.load(), 200u);
+  EXPECT_EQ(oltp_rows.load(), 8u);
+  EXPECT_GT(pool.priority_yields(), yields_before);
 }
 
 }  // namespace

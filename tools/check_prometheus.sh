@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # promtool-style lint of the engine's Prometheus text exposition.
 #
-# Usage: check_prometheus.sh <metrics.txt> [--require-solver] [--require-retier]
+# Usage: check_prometheus.sh <metrics.txt> [--require-solver]
+#     [--require-retier] [--require-sessions]
 #
 # Validates (with plain grep -E, no promtool dependency) that:
 #   - every line is a `# TYPE` comment or a `name[{labels}] value` sample;
@@ -16,16 +17,21 @@
 #     solver portfolio are present too (snapshots from `stats_cli --solver`);
 #   - with --require-retier, the hytap_retier_* families of the re-tiering
 #     daemon plus the hytap_workload_drift gauge are present (snapshots from
-#     `bench_retiering`).
+#     `bench_retiering`);
+#   - with --require-sessions, the hytap_session_* families of the serving
+#     front end are present (snapshots from `stats_cli --sessions` or
+#     `bench_serving`).
 set -u
 
 require_solver=0
 require_retier=0
+require_sessions=0
 file=""
 for arg in "$@"; do
   case "$arg" in
     --require-solver) require_solver=1 ;;
     --require-retier) require_retier=1 ;;
+    --require-sessions) require_sessions=1 ;;
     -*)
       echo "check_prometheus: unknown flag '$arg'" >&2
       exit 2
@@ -35,7 +41,7 @@ for arg in "$@"; do
 done
 if [ -z "$file" ] || [ ! -r "$file" ]; then
   echo "usage: check_prometheus.sh <metrics.txt> [--require-solver]" \
-       "[--require-retier]" >&2
+       "[--require-retier] [--require-sessions]" >&2
   exit 2
 fi
 status=0
@@ -133,6 +139,27 @@ if [ "$require_retier" -eq 1 ]; then
     hytap_workload_drift; do
     grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
       || fail "expected re-tiering metric family '$family' missing"
+  done
+fi
+
+# 7. Opt-in: serving front-end families (emitted once a SessionManager ran,
+# e.g. `stats_cli --sessions` or `bench_serving`).
+if [ "$require_sessions" -eq 1 ]; then
+  for family in \
+    hytap_session_submitted_total \
+    hytap_session_admitted_total \
+    hytap_session_rejected_total \
+    hytap_session_shed_deadline_total \
+    hytap_session_cancelled_total \
+    hytap_session_completed_total \
+    hytap_session_inflight \
+    hytap_session_queued \
+    hytap_session_oltp_latency_ns \
+    hytap_session_olap_latency_ns \
+    hytap_session_oltp_queue_wait_ns \
+    hytap_session_olap_queue_wait_ns; do
+    grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
+      || fail "expected serving metric family '$family' missing"
   done
 fi
 

@@ -3,8 +3,8 @@
 //
 // Usage:
 //   stats_cli [--rows <n>] [--cols <n>] [--queries <n>] [--threads <n>]
-//       [--seed <n>] [--trace] [--doctor] [--solver] [--format prom|json]
-//       [--out <path>]
+//       [--seed <n>] [--trace] [--doctor] [--solver] [--sessions]
+//       [--format prom|json] [--out <path>]
 //
 // Builds a BSEG-shaped table (column 0 is a unique document number held in
 // DRAM, the remaining payload columns are mostly tiered), executes a seeded
@@ -15,7 +15,10 @@
 // stderr (its gauges always flow into the snapshot). With --solver, the
 // doctor recommends through the anytime solver portfolio (deadline from
 // HYTAP_SOLVER_BUDGET_MS, default 50 ms here) so the hytap_solver_* family
-// lands in the snapshot too.
+// lands in the snapshot too. With --sessions, the query mix runs through
+// the high-concurrency serving front end (EnableServing; worker count and
+// queue bound honor HYTAP_MAX_SESSIONS / HYTAP_SESSION_*) instead of the
+// synchronous path, so the hytap_session_* family lands in the snapshot.
 
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include "common/trace.h"
 #include "core/placement_doctor.h"
 #include "core/tiered_table.h"
+#include "serving/session_manager.h"
 #include "workload/enterprise.h"
 
 using namespace hytap;
@@ -43,6 +47,7 @@ struct Options {
   bool trace = false;
   bool doctor = false;
   bool solver = false;
+  bool sessions = false;
   std::string format = "prom";
   std::string out;
 };
@@ -51,7 +56,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: stats_cli [--rows <n>] [--cols <n>] [--queries <n>] "
                "[--threads <n>] [--seed <n>] [--trace] [--doctor] [--solver] "
-               "[--format prom|json] [--out <path>]\n");
+               "[--sessions] [--format prom|json] [--out <path>]\n");
   return 2;
 }
 
@@ -119,6 +124,8 @@ int main(int argc, char** argv) {
       options.doctor = true;
     } else if (arg == "--solver") {
       options.solver = true;
+    } else if (arg == "--sessions") {
+      options.sessions = true;
     } else if (arg == "--format") {
       if (i + 1 >= argc) return Usage();
       options.format = argv[++i];
@@ -163,18 +170,52 @@ int main(int argc, char** argv) {
   Transaction txn = table.Begin();
   size_t failures = 0;
   uint64_t total_rows = 0;
-  for (size_t q = 0; q < queries.size(); ++q) {
-    if (options.trace && q < 2) {
-      // EXPLAIN path: traced, unrecorded (keeps plan cache/monitor counts
-      // at one entry per issued query).
+  if (options.trace) {
+    // EXPLAIN path: traced, unrecorded (keeps plan cache/monitor counts
+    // at one entry per issued query).
+    for (size_t q = 0; q < 2 && q < queries.size(); ++q) {
       QueryExecutor executor(&table.table());
       const ExplainResult explain =
           executor.Explain(txn, queries[q], options.threads);
       std::printf("--- EXPLAIN query %zu ---\n%s", q, explain.text.c_str());
     }
-    const QueryResult result = table.Execute(txn, queries[q], options.threads);
-    if (!result.status.ok()) ++failures;
-    total_rows += result.positions.size();
+  }
+  if (options.sessions) {
+    // Serving path: admission-controlled concurrent sessions; alternate the
+    // priority class so both per-class latency histograms populate.
+    SessionManager& sm = table.EnableServing();
+    std::vector<SessionHandle> handles;
+    handles.reserve(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      SubmitOptions sopts;
+      sopts.query_class =
+          q % 2 == 0 ? QueryClass::kOltp : QueryClass::kOlap;
+      sopts.threads = options.threads;
+      auto session = sm.Submit(queries[q], sopts);
+      if (!session.ok()) {
+        ++failures;
+        continue;
+      }
+      handles.push_back(*session);
+    }
+    for (const SessionHandle& session : handles) {
+      const QueryResult result = session->Await();
+      if (!result.status.ok()) ++failures;
+      total_rows += result.positions.size();
+    }
+    sm.Drain();
+    std::fprintf(stderr,
+                 "served %zu sessions over %zu workers (queue cap %zu): "
+                 "%zu queued, %zu in flight after drain\n",
+                 (size_t)sm.tickets_issued(), sm.options().max_sessions,
+                 sm.options().queue_capacity, sm.queued(), sm.in_flight());
+  } else {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const QueryResult result =
+          table.Execute(txn, queries[q], options.threads);
+      if (!result.status.ok()) ++failures;
+      total_rows += result.positions.size();
+    }
   }
   table.Commit(&txn);
   std::fprintf(stderr,
