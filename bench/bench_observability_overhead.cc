@@ -1,12 +1,15 @@
 // Overhead of the observability layer on the query fast path: the metrics
-// registry (HYTAP_METRICS), per-query tracing (HYTAP_TRACE), and the
-// workload monitor (HYTAP_WORKLOAD_MONITOR) on vs off, over a Fig. 9-style
-// tiered table (DRAM id column + width-10 tiered payload) driven end-to-end
-// through the executor and through the raw MRC scan kernel. Acceptance
-// targets: metrics <= 3 %, monitor <= 3 %, tracing <= 10 % on the executor
-// mix. Reps alternate configurations in-process (min-of-N, machine drift
-// cancels). Results go to BENCH_observability_overhead.json; a missed gate
-// fails the process (CI runs this with --small).
+// registry (HYTAP_METRICS), per-query tracing (HYTAP_TRACE), the workload
+// monitor (HYTAP_WORKLOAD_MONITOR), and the flight recorder
+// (HYTAP_FLIGHT_RECORDER) on vs off, over a Fig. 9-style tiered table
+// (DRAM id column + width-10 tiered payload) driven end-to-end through the
+// executor, through the raw MRC scan kernel, and through the serving front
+// end (whose admit/dispatch/complete path is the recorder's per-query hot
+// path). Acceptance targets: metrics <= 3 %, monitor <= 3 %, flight
+// recorder <= 3 %, tracing <= 10 % on the executor mix. Reps alternate
+// configurations in-process (min-of-N, machine drift cancels). Results go
+// to BENCH_observability_overhead.json; a missed gate fails the process
+// (CI runs this with --small).
 
 #include <algorithm>
 #include <cstdio>
@@ -14,10 +17,13 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/trace.h"
+#include "core/tiered_table.h"
 #include "query/executor.h"
+#include "serving/session_manager.h"
 #include "storage/sscg.h"
 #include "workload/workload_monitor.h"
 #include "storage/table.h"
@@ -31,6 +37,7 @@ namespace {
 
 constexpr double kMetricsGatePct = 3.0;
 constexpr double kMonitorGatePct = 3.0;
+constexpr double kFlightGatePct = 3.0;
 constexpr double kTraceGatePct = 10.0;
 /// Absolute slack added to each gate: sub-millisecond deltas on small CI
 /// runs are timer noise, not overhead.
@@ -38,10 +45,11 @@ constexpr double kNoiseFloorSeconds = 0.0005;
 
 struct Sample {
   const char* workload;
-  double baseline_seconds;  // metrics off, trace off, monitor off
+  double baseline_seconds;  // metrics off, trace off, monitor off, flight off
   double metrics_seconds;   // metrics on only
   double trace_seconds;     // trace on only
   double monitor_seconds;   // workload monitor on only
+  double flight_seconds;    // flight recorder on only
   double MetricsPct() const {
     return 100.0 * (metrics_seconds - baseline_seconds) / baseline_seconds;
   }
@@ -51,53 +59,64 @@ struct Sample {
   double MonitorPct() const {
     return 100.0 * (monitor_seconds - baseline_seconds) / baseline_seconds;
   }
+  double FlightPct() const {
+    return 100.0 * (flight_seconds - baseline_seconds) / baseline_seconds;
+  }
 };
 
 std::vector<Sample> g_samples;
 
-/// Runs `fn` under baseline/metrics-only/trace-only/monitor-only
+/// Runs `fn` under baseline/metrics-only/trace-only/monitor-only/flight-only
 /// configurations, alternating within each rep after one untimed warmup, and
 /// keeps the best time per configuration.
 template <typename Fn>
 Sample MeasureConfigs(const char* workload, int reps, Fn&& fn) {
-  auto configure = [](bool metrics, bool trace, bool monitor) {
+  auto configure = [](bool metrics, bool trace, bool monitor, bool flight) {
     SetMetricsEnabled(metrics);
     SetTraceEnabled(trace);
     SetWorkloadMonitorEnabled(monitor);
+    SetFlightRecorderEnabled(flight);
   };
-  configure(false, false, false);
+  configure(false, false, false, false);
   fn();
-  Sample sample{workload, 1e100, 1e100, 1e100, 1e100};
+  Sample sample{workload, 1e100, 1e100, 1e100, 1e100, 1e100};
   for (int r = 0; r < reps; ++r) {
-    configure(false, false, false);
+    configure(false, false, false, false);
     bench::Stopwatch base_watch;
     fn();
     sample.baseline_seconds = std::min(sample.baseline_seconds,
                                        base_watch.Seconds());
-    configure(true, false, false);
+    configure(true, false, false, false);
     bench::Stopwatch metrics_watch;
     fn();
     sample.metrics_seconds = std::min(sample.metrics_seconds,
                                       metrics_watch.Seconds());
-    configure(false, true, false);
+    configure(false, true, false, false);
     bench::Stopwatch trace_watch;
     fn();
     sample.trace_seconds = std::min(sample.trace_seconds,
                                     trace_watch.Seconds());
-    configure(false, false, true);
+    configure(false, false, true, false);
     bench::Stopwatch monitor_watch;
     fn();
     sample.monitor_seconds = std::min(sample.monitor_seconds,
                                       monitor_watch.Seconds());
+    configure(false, false, false, true);
+    bench::Stopwatch flight_watch;
+    fn();
+    sample.flight_seconds = std::min(sample.flight_seconds,
+                                     flight_watch.Seconds());
   }
-  configure(true, false, true);  // engine defaults
+  configure(true, false, true, true);  // engine defaults
   g_samples.push_back(sample);
   std::printf("  %-12s baseline: %9.2f ms   metrics: %9.2f ms (%+5.2f %%)   "
-              "trace: %9.2f ms (%+5.2f %%)   monitor: %9.2f ms (%+5.2f %%)\n",
+              "trace: %9.2f ms (%+5.2f %%)   monitor: %9.2f ms (%+5.2f %%)   "
+              "flight: %9.2f ms (%+5.2f %%)\n",
               workload, sample.baseline_seconds * 1e3,
               sample.metrics_seconds * 1e3, sample.MetricsPct(),
               sample.trace_seconds * 1e3, sample.TracePct(),
-              sample.monitor_seconds * 1e3, sample.MonitorPct());
+              sample.monitor_seconds * 1e3, sample.MonitorPct(),
+              sample.flight_seconds * 1e3, sample.FlightPct());
   return sample;
 }
 
@@ -120,11 +139,12 @@ void WriteJson(const char* path) {
         f,
         "  {\"workload\": \"%s\", \"baseline_seconds\": %.6f, "
         "\"metrics_seconds\": %.6f, \"trace_seconds\": %.6f, "
-        "\"monitor_seconds\": %.6f, \"metrics_overhead_pct\": %.3f, "
-        "\"trace_overhead_pct\": %.3f, \"monitor_overhead_pct\": %.3f}%s\n",
+        "\"monitor_seconds\": %.6f, \"flight_seconds\": %.6f, "
+        "\"metrics_overhead_pct\": %.3f, \"trace_overhead_pct\": %.3f, "
+        "\"monitor_overhead_pct\": %.3f, \"flight_overhead_pct\": %.3f}%s\n",
         s.workload, s.baseline_seconds, s.metrics_seconds, s.trace_seconds,
-        s.monitor_seconds, s.MetricsPct(), s.TracePct(), s.MonitorPct(),
-        i + 1 < g_samples.size() ? "," : "");
+        s.monitor_seconds, s.flight_seconds, s.MetricsPct(), s.TracePct(),
+        s.MonitorPct(), s.FlightPct(), i + 1 < g_samples.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -242,6 +262,42 @@ int main(int argc, char** argv) {
     });
   }
 
+  bench::PrintHeader("observability overhead: serving front end");
+  Sample serving_sample;
+  {
+    // The serving path is where the always-on recorder actually writes:
+    // admit + dispatch + terminal events per session, plus the ticket-order
+    // flush. Sessions re-submit the executor mix through the front end.
+    TieredTableOptions options;
+    options.device = DeviceKind::kCssd;
+    options.timing_seed = 42;
+    TieredTable table("fig9srv", TableSchema(), options);
+    table.Load(TableRows(small ? 20000 : 50000));
+    SessionOptions so;
+    so.max_sessions = 2;
+    so.default_threads = 1;
+    SessionManager& sm = table.EnableServing(so);
+    const std::vector<Query> queries = QueryMix(small ? 20000 : 50000);
+    serving_sample = MeasureConfigs("serving_mix", reps, [&] {
+      std::vector<SessionHandle> handles;
+      handles.reserve(queries.size() * 4);
+      for (size_t pass = 0; pass < 4; ++pass) {
+        for (const Query& query : queries) {
+          SubmitOptions sopts;
+          sopts.query_class = handles.size() % 2 == 0 ? QueryClass::kOltp
+                                                      : QueryClass::kOlap;
+          auto session = sm.Submit(query, sopts);
+          if (!session.ok()) std::abort();
+          handles.push_back(*session);
+        }
+      }
+      for (const SessionHandle& session : handles) {
+        if (!session->Await().status.ok()) std::abort();
+      }
+    });
+    sm.Drain();
+  }
+
   const bool metrics_ok =
       GatePasses(executor_sample, kMetricsGatePct,
                  executor_sample.metrics_seconds) &&
@@ -253,13 +309,23 @@ int main(int argc, char** argv) {
                                    executor_sample.trace_seconds);
   const bool monitor_ok = GatePasses(executor_sample, kMonitorGatePct,
                                      executor_sample.monitor_seconds);
+  // The recorder gate covers every workload: the fast paths only pay the
+  // enabled-check (executor / scan), the serving mix pays the per-event
+  // seqlock writes.
+  const bool flight_ok =
+      GatePasses(executor_sample, kFlightGatePct,
+                 executor_sample.flight_seconds) &&
+      GatePasses(scan_sample, kFlightGatePct, scan_sample.flight_seconds) &&
+      GatePasses(serving_sample, kFlightGatePct,
+                 serving_sample.flight_seconds);
   std::printf("\ntargets: metrics <= %.0f %% -> %s   trace <= %.0f %% -> %s   "
-              "monitor <= %.0f %% -> %s\n",
+              "monitor <= %.0f %% -> %s   flight <= %.0f %% -> %s\n",
               kMetricsGatePct, metrics_ok ? "PASS" : "MISS", kTraceGatePct,
               trace_ok ? "PASS" : "MISS", kMonitorGatePct,
-              monitor_ok ? "PASS" : "MISS");
+              monitor_ok ? "PASS" : "MISS", kFlightGatePct,
+              flight_ok ? "PASS" : "MISS");
 
   WriteJson("BENCH_observability_overhead.json");
   bench::MaybeWriteMetricsSnapshot("observability_overhead");
-  return metrics_ok && trace_ok && monitor_ok ? 0 : 1;
+  return metrics_ok && trace_ok && monitor_ok && flight_ok ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "core/migrator.h"
 
 #include "common/assert.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 
 namespace hytap {
@@ -120,7 +121,21 @@ StatusOr<MigrationReport> Migrator::ApplyStep(TieredTable* table,
   HYTAP_ASSERT(column < t.column_count(), "step column out of range");
   std::vector<bool> placement = t.placement();
   placement[column] = to_dram;
-  return Apply(table, placement);
+  // Per-column migration boundaries on the flight timeline. This path is
+  // serial (daemon tick / idle tick), so the monitor stamps are stable.
+  const uint64_t window = table->monitor().windows_started();
+  const uint64_t sim_ns = table->monitor().now_ns();
+  table->store().SetFlightStamp(window, sim_ns);
+  FlightRecorder::Global().Record(FlightEventType::kMigrationBegin,
+                                  to_dram ? 1 : 0, 0, window, sim_ns,
+                                  uint64_t(column));
+  StatusOr<MigrationReport> report = Apply(table, placement);
+  const bool failed = !report.ok() || !report->applied;
+  const uint64_t moved = report.ok() ? report->moved_bytes : 0;
+  FlightRecorder::Global().Record(FlightEventType::kMigrationEnd,
+                                  failed ? 1 : 0, 0, window, sim_ns,
+                                  uint64_t(column), moved);
+  return report;
 }
 
 }  // namespace hytap

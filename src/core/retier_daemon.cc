@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "selection/cost_model.h"
 
@@ -328,6 +329,7 @@ void RetierDaemon::ExecuteSteps(uint64_t window, RetierTickReport* report) {
     StatusOr<MigrationReport> moved =
         migrator_.ApplyStep(table_, step.column, step.to_dram);
     step.window = window;
+    const uint64_t sim_ns = table_->monitor().now_ns();
     if (moved.ok() && moved->applied) {
       step.outcome = RetierStepOutcome::kApplied;
       const uint64_t bytes =
@@ -338,6 +340,9 @@ void RetierDaemon::ExecuteSteps(uint64_t window, RetierTickReport* report) {
       ++report->steps_applied;
       metrics.steps_applied->Add();
       metrics.moved_bytes->Add(bytes);
+      FlightRecorder::Global().Record(FlightEventType::kRetierStep,
+                                      step.to_dram ? 1 : 0, plan_.id, window,
+                                      sim_ns, uint64_t(step.column), bytes);
       ++i;
     } else {
       // Verify-by-read-back failure: the table already recovered on its own
@@ -349,6 +354,12 @@ void RetierDaemon::ExecuteSteps(uint64_t window, RetierTickReport* report) {
       ++plan_.quarantined_steps;
       ++report->steps_quarantined;
       metrics.steps_quarantined->Add();
+      FlightRecorder::Global().Record(FlightEventType::kRetierQuarantine, 0,
+                                      plan_.id, window, sim_ns,
+                                      uint64_t(step.column), step.bytes);
+      FlightRecorder::Global().Anomaly(
+          AnomalyKind::kStickyQuarantine, "retier_quarantine", plan_.id,
+          window, sim_ns, uint64_t(step.column), step.bytes);
       window_bytes_ += step.bytes;  // the failed write spent the bandwidth
       RebuildQueue();
       i = 0;  // the queue changed; rescan (finished steps skip instantly)
@@ -365,6 +376,9 @@ void RetierDaemon::FinishPlan(uint64_t window, bool aborted,
   plan_.done = !aborted;
   plan_.aborted = aborted;
   state_ = RetierState::kIdle;
+  FlightRecorder::Global().Record(
+      FlightEventType::kRetierPlanDone, aborted ? 1 : 0, plan_.id, window,
+      table_->monitor().now_ns(), plan_.applied_steps, plan_.moved_bytes);
   if (aborted) {
     metrics.plans_aborted->Add();
     report->plan_aborted = true;
@@ -395,6 +409,13 @@ RetierTickReport RetierDaemon::Tick() {
         ++plan_.aborted_steps;
       }
     }
+    FlightRecorder::Global().Record(FlightEventType::kRetierAbort, 0,
+                                    plan_.id, window, monitor.now_ns(),
+                                    plan_.aborted_steps, plan_.applied_steps);
+    FlightRecorder::Global().Anomaly(AnomalyKind::kRetierAbort,
+                                     "retier_abort", plan_.id, window,
+                                     monitor.now_ns(), plan_.aborted_steps,
+                                     plan_.applied_steps);
     FinishPlan(window, /*aborted=*/true, &report);
     report.reason = "aborted";
   } else if (state_ == RetierState::kMigrating) {
@@ -411,6 +432,10 @@ RetierTickReport RetierDaemon::Tick() {
       if (Evaluate(window, &report)) {
         report.plan_started = true;
         report.reason = reason;
+        // Trigger event: code 1 = drift-triggered, 2 = periodic.
+        FlightRecorder::Global().Record(
+            FlightEventType::kRetierTrigger, reason == "drift" ? 1 : 2,
+            plan_.id, window, monitor.now_ns(), plan_.steps.size());
         // Start draining immediately within this window's budget.
         ExecuteSteps(window, &report);
       }

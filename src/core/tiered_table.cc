@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.h"
 #include "serving/session_manager.h"
 
 namespace hytap {
@@ -70,13 +71,29 @@ Status TieredTable::Delete(const Transaction& txn, RowId row) {
 }
 
 Status TieredTable::MergeDelta() {
+  const auto merge = [&] {
+    const uint64_t delta_rows = table_->delta_row_count();
+    const uint64_t window = monitor_->windows_started();
+    const uint64_t sim_ns = monitor_->now_ns();
+    FlightRecorder::Global().Record(FlightEventType::kMergeBegin, 0, 0,
+                                    window, sim_ns, delta_rows);
+    Status status = table_->MergeDelta();
+    FlightRecorder::Global().Record(FlightEventType::kMergeEnd,
+                                    uint16_t(status.code()), 0, window,
+                                    sim_ns, delta_rows);
+    return status;
+  };
   if (serving_ != nullptr) {
+    // A serving worker running the idle re-tier tick already holds the
+    // submit mutex and the write gate; re-entering Drain()/ExecuteWrite()
+    // would self-deadlock, and the quiescence they provide is already held.
+    if (SessionManager::InExclusiveWrite()) return merge();
     // Queued queries' delta bounds / snapshots do not shield them from the
     // merge restructuring main storage under them: quiesce first.
     serving_->Drain();
-    return serving_->ExecuteWrite([&] { return table_->MergeDelta(); });
+    return serving_->ExecuteWrite(merge);
   }
-  return table_->MergeDelta();
+  return merge();
 }
 
 SessionManager& TieredTable::EnableServing() {
@@ -103,6 +120,11 @@ QueryResult TieredTable::Await(const std::shared_ptr<QuerySession>& session) {
 StatusOr<uint64_t> TieredTable::ApplyPlacement(
     const std::vector<bool>& in_dram) {
   if (serving_ != nullptr) {
+    // Re-entrant from a serving worker's idle re-tier tick: the caller
+    // already holds the submit mutex and the write gate (see MergeDelta).
+    if (SessionManager::InExclusiveWrite()) {
+      return ApplyPlacementLocked(in_dram);
+    }
     serving_->Drain();
     StatusOr<uint64_t> migrated = uint64_t(0);
     Status status = serving_->ExecuteWrite([&] {

@@ -2,17 +2,25 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "common/assert.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/retier_daemon.h"
 #include "core/tiered_table.h"
+#include "serving/slo_monitor.h"
 #include "tiering/buffer_manager.h"
 
 namespace hytap {
 
 namespace {
+
+/// Set while a serving worker runs a structural write from its own exclusive
+/// section (idle re-tier tick); see SessionManager::InExclusiveWrite().
+thread_local bool t_in_exclusive_write = false;
 
 /// Registry handles resolved once; updates are gated on the HYTAP_METRICS
 /// knob.
@@ -72,6 +80,13 @@ size_t EnvSize(const char* name, size_t fallback) {
   return fallback;
 }
 
+bool EnvFlag(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0 || std::strcmp(env, "OFF") == 0);
+}
+
 /// Deadline-less queries sort after every deadline.
 uint64_t EffectiveDeadline(const QuerySession& s) {
   return s.deadline_ns() == 0 ? UINT64_MAX : s.deadline_ns();
@@ -88,6 +103,8 @@ SessionOptions SessionOptions::FromEnv() {
       EnvSize("HYTAP_SESSION_THREADS", options.default_threads));
   options.session_frames =
       EnvSize("HYTAP_SESSION_FRAMES", options.session_frames);
+  options.retier_on_idle =
+      EnvFlag("HYTAP_RETIER_ON_IDLE", options.retier_on_idle);
   return options;
 }
 
@@ -160,6 +177,10 @@ StatusOr<SessionHandle> SessionManager::Submit(const Query& query,
     std::lock_guard<std::mutex> lock(submit_mutex_);
     if (stopping_) {
       metrics.rejected->Add();
+      FlightRecorder::Global().Record(
+          FlightEventType::kSessionReject,
+          uint16_t(StatusCode::kFailedPrecondition), 0, 0, 0,
+          uint64_t(opts.query_class));
       return Status::FailedPrecondition("session manager is shutting down");
     }
     // Admission control: reject before a ticket is assigned, so the ticket
@@ -167,6 +188,10 @@ StatusOr<SessionHandle> SessionManager::Submit(const Query& query,
     // queries.
     if (queued_count_ >= options_.queue_capacity) {
       metrics.rejected->Add();
+      FlightRecorder::Global().Record(
+          FlightEventType::kSessionReject,
+          uint16_t(StatusCode::kResourceExhausted), 0, 0, 0,
+          uint64_t(opts.query_class));
       return Status::ResourceExhausted("session admission queue is full");
     }
     // Ticket, snapshot, and delta bound are captured atomically under the
@@ -179,6 +204,12 @@ StatusOr<SessionHandle> SessionManager::Submit(const Query& query,
     queues_[size_t(s->class_)].insert(s);
     ++queued_count_;
     metrics.queued->Set(int64_t(queued_count_));
+    // Admit events carry only submit-time-deterministic fields (ticket,
+    // class, deadline) — never queue depth or clocks — so flight dumps stay
+    // bit-identical across worker counts.
+    FlightRecorder::Global().Record(FlightEventType::kSessionAdmit, 0,
+                                    s->ticket_, 0, 0, uint64_t(s->class_),
+                                    s->deadline_ns_);
   }
   metrics.admitted->Add();
   dispatch_cv_.notify_one();
@@ -258,7 +289,8 @@ void SessionManager::WorkerLoop() {
       QueryResult result;
       result.status = Status::Cancelled("session cancelled while queued");
       metrics.cancelled->Add();
-      RecordInOrder(s->ticket_, false, s->query_, QueryObservation(), false);
+      RecordInOrder(s->ticket_, false, s->query_, QueryObservation(), false,
+                    s->class_, StatusCode::kCancelled);
       FinishSession(s, std::move(result), dispatch_index);
     } else if (s->deadline_ns_ != 0 && NowNs() > s->deadline_ns_) {
       // Late: shed instead of dispatched (EDF makes this the query that
@@ -267,18 +299,77 @@ void SessionManager::WorkerLoop() {
       result.status =
           Status::DeadlineExceeded("admission deadline passed before dispatch");
       metrics.shed_deadline->Add();
-      RecordInOrder(s->ticket_, false, s->query_, QueryObservation(), false);
+      RecordInOrder(s->ticket_, false, s->query_, QueryObservation(), false,
+                    s->class_, StatusCode::kDeadlineExceeded);
       FinishSession(s, std::move(result), dispatch_index);
     } else {
+      // Dispatch events, like admit events, carry only ticket + class: the
+      // dispatch *index* varies with worker interleaving and would break
+      // dump bit-identity.
+      FlightRecorder::Global().Record(FlightEventType::kSessionDispatch, 0,
+                                      s->ticket_, 0, 0, uint64_t(s->class_));
       RunSession(s, dispatch_index);
     }
+    bool idle = false;
     {
       std::lock_guard<std::mutex> lock(submit_mutex_);
       --in_flight_;
       metrics.inflight->Set(int64_t(in_flight_));
-      if (queued_count_ == 0 && in_flight_ == 0) drain_cv_.notify_all();
+      if (queued_count_ == 0 && in_flight_ == 0) {
+        drain_cv_.notify_all();
+        idle = true;
+      }
     }
+    // retier_ is re-checked under the submit mutex inside TryIdleTick.
+    if (idle && options_.retier_on_idle) TryIdleTick();
   }
+}
+
+void SessionManager::set_slo_monitor(SloMonitor* slo) {
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  slo_ = slo;
+}
+
+void SessionManager::set_retier_daemon(RetierDaemon* daemon) {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  retier_ = daemon;
+}
+
+bool SessionManager::InExclusiveWrite() { return t_in_exclusive_write; }
+
+void SessionManager::TryIdleTick() {
+  std::unique_lock<std::mutex> submit_lock(submit_mutex_, std::try_to_lock);
+  if (!submit_lock.owns_lock()) return;
+  if (stopping_ || queued_count_ != 0 || in_flight_ != 0 ||
+      retier_ == nullptr) {
+    return;
+  }
+  // At most one idle tick per workload-monitor window: the daemon's
+  // decisions are keyed to the window index (one evaluation per window,
+  // per-window byte budgets), so "ticked in window w" — not how many idle
+  // moments occurred or which worker saw them — determines re-tiering
+  // behavior. windows_started() is stable here: no query is running.
+  const uint64_t window = table_->monitor().windows_started();
+  if (window == last_idle_tick_window_) return;
+  last_idle_tick_window_ = window;
+  // With the submit mutex held and nothing in flight, no reader holds the
+  // gate (workers release it before decrementing in_flight_); take it
+  // exclusively so the tick's migration steps run write-isolated.
+  std::unique_lock<std::shared_mutex> gate(rw_gate_, std::try_to_lock);
+  if (!gate.owns_lock()) return;
+  // The daemon's migration steps call back into TieredTable::ApplyPlacement
+  // / MergeDelta, which normally Drain() + ExecuteWrite() — both self-
+  // deadlock here. The thread-local flag reroutes them to the locked
+  // variants directly.
+  t_in_exclusive_write = true;
+  retier_->Tick();
+  t_in_exclusive_write = false;
+  ++idle_ticks_;
+}
+
+uint64_t SessionManager::idle_ticks() const {
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  return idle_ticks_;
 }
 
 void SessionManager::RunSession(const SessionHandle& s,
@@ -326,7 +417,7 @@ void SessionManager::RunSession(const SessionHandle& s,
   // nothing — a serial replay without the cancel would observe different
   // work, so the monitor only ever sees completed executions.
   RecordInOrder(s->ticket_, !was_cancelled, s->query_, std::move(obs),
-                obs_filled);
+                obs_filled, s->class_, result.status.code());
   FinishSession(s, std::move(result), dispatch_index);
 }
 
@@ -343,7 +434,8 @@ void SessionManager::FinishSession(const SessionHandle& s, QueryResult result,
 
 void SessionManager::RecordInOrder(uint64_t ticket, bool record,
                                    const Query& query, QueryObservation obs,
-                                   bool obs_filled) {
+                                   bool obs_filled, QueryClass cls,
+                                   StatusCode status) {
   std::lock_guard<std::mutex> lock(record_mutex_);
   RecordItem item;
   item.record = record;
@@ -352,14 +444,43 @@ void SessionManager::RecordInOrder(uint64_t ticket, bool record,
     item.obs = std::move(obs);
     item.obs_filled = obs_filled;
   }
+  item.cls = cls;
+  item.status = status;
   record_buffer_.emplace(ticket, std::move(item));
-  // Flush the contiguous prefix: observations reach the monitor and the
-  // plan cache in ticket order, so their window series are deterministic.
+  // Flush the contiguous prefix: observations reach the monitor, the plan
+  // cache, the flight recorder, and the SLO monitor in ticket order, so
+  // their window series and burn-rate state are deterministic.
+  const bool stamp = FlightRecorderEnabled() || slo_ != nullptr;
   auto it = record_buffer_.find(next_record_ticket_);
   while (it != record_buffer_.end()) {
-    if (it->second.record) {
-      table_->RecordExecution(it->second.query, it->second.obs,
-                              it->second.obs_filled);
+    const RecordItem& flushed = it->second;
+    if (flushed.record) {
+      table_->RecordExecution(flushed.query, flushed.obs, flushed.obs_filled);
+    }
+    if (stamp) {
+      // Terminal events are stamped *here*, after the ticket-order record:
+      // the monitor's window index and simulated clock are deterministic at
+      // this point regardless of worker interleaving.
+      const uint64_t window = table_->monitor().windows_started();
+      const uint64_t sim_ns = table_->monitor().now_ns();
+      const uint64_t latency =
+          flushed.obs_filled ? flushed.obs.simulated_ns : 0;
+      FlightEventType type = FlightEventType::kSessionComplete;
+      if (flushed.status == StatusCode::kCancelled) {
+        type = FlightEventType::kSessionCancel;
+      } else if (!flushed.record) {
+        type = FlightEventType::kSessionShed;
+      }
+      FlightRecorder::Global().Record(type, uint16_t(flushed.status),
+                                      it->first, window, sim_ns,
+                                      uint64_t(flushed.cls), latency);
+      // Cancellation is caller-initiated, not a service failure: it does
+      // not burn SLO budget. Sheds and failed executions do.
+      if (slo_ != nullptr && flushed.status != StatusCode::kCancelled) {
+        slo_->Observe(flushed.cls, latency,
+                      flushed.status != StatusCode::kOk, window, sim_ns,
+                      it->first);
+      }
     }
     record_buffer_.erase(it);
     it = record_buffer_.find(++next_record_ticket_);

@@ -21,6 +21,8 @@
 namespace hytap {
 
 class TieredTable;
+class SloMonitor;
+class RetierDaemon;
 
 /// Priority class of a submitted query. OLTP dispatches before OLAP and its
 /// morsels preempt OLAP morsels at the thread-pool level (TaskPriority).
@@ -42,6 +44,10 @@ struct SessionOptions {
   /// default 64). Private cold caches are what make a query's IoStats a pure
   /// function of its ticket — see the determinism note on SessionManager.
   size_t session_frames = 64;
+  /// Drive the attached re-tiering daemon's Tick() from workers' idle
+  /// periods — at most once per workload-monitor window, so tick placement
+  /// is deterministic by window index (HYTAP_RETIER_ON_IDLE, default off).
+  bool retier_on_idle = false;
 
   static SessionOptions FromEnv();
 };
@@ -170,6 +176,20 @@ class SessionManager {
   /// Steady-clock nanoseconds — the domain of SubmitOptions::deadline_ns.
   static uint64_t NowNs();
 
+  /// Attaches an SLO monitor (not owned; null detaches). It is fed one
+  /// terminal outcome per ticket from the reorder-buffer flush, in ticket
+  /// order, so burn-rate state is deterministic across worker counts.
+  void set_slo_monitor(SloMonitor* slo);
+  /// Attaches a re-tiering daemon (not owned; null detaches) ticked from
+  /// workers' idle periods when options().retier_on_idle is set.
+  void set_retier_daemon(RetierDaemon* daemon);
+
+  /// True while the calling thread runs a structural write from inside the
+  /// serving layer's own exclusive section (the idle re-tier tick already
+  /// holds the submit mutex and the write gate). TieredTable consults it to
+  /// skip the re-entrant Drain()/ExecuteWrite() that would self-deadlock.
+  static bool InExclusiveWrite();
+
   const SessionOptions& options() const { return options_; }
 
   /// Introspection (tests, leak checks).
@@ -177,6 +197,10 @@ class SessionManager {
   size_t in_flight() const;
   /// Tickets issued so far.
   uint64_t tickets_issued() const;
+  /// Re-tier ticks fired from idle workers so far. Acquires the submit
+  /// mutex, so once a caller observes the count it also observes every
+  /// effect of those ticks.
+  uint64_t idle_ticks() const;
 
  private:
   struct EdfOrder {
@@ -191,11 +215,17 @@ class SessionManager {
   void FinishSession(const SessionHandle& s, QueryResult result,
                      uint64_t dispatch_index);
   /// Buffers one terminal ticket and flushes the reorder buffer: contiguous
-  /// tickets record into the table (monitor + plan cache) in ticket order.
-  /// `record` is false for sessions that never executed (shed / cancelled
-  /// while queued).
+  /// tickets record into the table (monitor + plan cache), emit terminal
+  /// flight events, and feed the SLO monitor in ticket order. `record` is
+  /// false for sessions that never executed (shed / cancelled while queued);
+  /// `status` is the session's terminal status code.
   void RecordInOrder(uint64_t ticket, bool record, const Query& query,
-                     QueryObservation obs, bool obs_filled);
+                     QueryObservation obs, bool obs_filled, QueryClass cls,
+                     StatusCode status);
+  /// Runs one re-tier tick if the table has been idle-eligible: takes the
+  /// submit mutex and the write gate itself (no queries queued or running),
+  /// at most once per workload-monitor window.
+  void TryIdleTick();
 
   TieredTable* table_;
   SessionOptions options_;
@@ -222,10 +252,22 @@ class SessionManager {
     Query query;
     QueryObservation obs;
     bool obs_filled = false;
+    QueryClass cls = QueryClass::kOlap;
+    StatusCode status = StatusCode::kOk;
   };
   std::mutex record_mutex_;
   std::map<uint64_t, RecordItem> record_buffer_;
   uint64_t next_record_ticket_ = 0;
+
+  /// Fed from the flush under record_mutex_ (null = detached).
+  SloMonitor* slo_ = nullptr;
+  /// Ticked from idle workers when options_.retier_on_idle (null = off).
+  RetierDaemon* retier_ = nullptr;
+  /// Monitor window of the last idle tick (guarded by submit_mutex_;
+  /// windows_started() starts at 1, so 0 = never ticked).
+  uint64_t last_idle_tick_window_ = 0;
+  /// Count of idle ticks fired (guarded by submit_mutex_).
+  uint64_t idle_ticks_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,114 @@
+#ifndef HYTAP_SERVING_SLO_MONITOR_H_
+#define HYTAP_SERVING_SLO_MONITOR_H_
+
+// Per-priority-class latency SLOs with multi-window burn-rate evaluation
+// (DESIGN.md §16).
+//
+// Each priority class has a latency objective (HYTAP_SLO_OLTP_NS /
+// HYTAP_SLO_OLAP_NS) and a shared availability target in good-query ppm
+// (HYTAP_SLO_TARGET_PPM). Terminal query outcomes are fed in ticket order
+// from the session manager's reorder-buffer flush, bucketed into the PR 5
+// workload-monitor window clock (window index = monitor windows_started()
+// at record time), so burn rates and breach transitions are deterministic
+// across worker counts.
+//
+// Burn rate follows the SRE multi-window pattern: the error budget is
+// (1e6 - target_ppm) / 1e6; a class breaches when BOTH the fast window span
+// (newest HYTAP_SLO_FAST_WINDOWS windows) and the slow span (newest
+// HYTAP_SLO_SLOW_WINDOWS windows) burn at >= HYTAP_SLO_BURN_THRESHOLD times
+// budget. Breach transitions fire kSloBreach flight events and an
+// anomaly-triggered dump; recovery fires kSloClear.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "serving/session_manager.h"
+
+namespace hytap {
+
+class SloMonitor {
+ public:
+  struct Options {
+    /// Latency objective per class (simulated ns). A query is "bad" when it
+    /// fails or its simulated latency exceeds its class objective.
+    uint64_t oltp_ns = 2'000'000;         // HYTAP_SLO_OLTP_NS, 2 ms
+    uint64_t olap_ns = 2'000'000'000;     // HYTAP_SLO_OLAP_NS, 2 s
+    /// Availability target in good-query ppm (HYTAP_SLO_TARGET_PPM,
+    /// default 999000 = 99.9%). Error budget = (1e6 - target) / 1e6.
+    uint64_t target_ppm = 999'000;
+    /// Breach when fast AND slow burn rates are >= this multiple of budget
+    /// (HYTAP_SLO_BURN_THRESHOLD, default 1.0).
+    double burn_threshold = 1.0;
+    /// Window spans of the two burn evaluations (HYTAP_SLO_FAST_WINDOWS /
+    /// HYTAP_SLO_SLOW_WINDOWS, defaults 1 and 8, min 1 each).
+    size_t fast_windows = 1;
+    size_t slow_windows = 8;
+
+    static Options FromEnv();
+  };
+
+  /// Per-class point-in-time state for tests/CLIs.
+  struct ClassSnapshot {
+    uint64_t observations = 0;
+    uint64_t violations = 0;  // bad queries (failed or over-objective)
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+    bool breached = false;
+    uint64_t breaches = 0;  // breach transitions so far
+    uint64_t clears = 0;    // recovery transitions so far
+  };
+
+  explicit SloMonitor(Options options = Options::FromEnv());
+
+  /// Feeds one terminal query outcome. `window` is the workload-monitor
+  /// window index at record time (windows_started()), `sim_ns` the simulated
+  /// clock, `ticket` the session ticket (both only stamp flight events).
+  /// Must be called in ticket order (the serving flush guarantees this);
+  /// internally serialized.
+  void Observe(QueryClass cls, uint64_t sim_latency_ns, bool failed,
+               uint64_t window, uint64_t sim_ns, uint64_t ticket);
+
+  ClassSnapshot Snapshot(QueryClass cls) const;
+  bool breached(QueryClass cls) const;
+
+  /// Pushes hytap_slo_* gauges (burn rates, breached flags) into the metrics
+  /// registry. Counters are updated inline by Observe().
+  void ExportGauges() const;
+
+  const Options& options() const { return options_; }
+
+  /// Clears all window state and breach latches.
+  void Reset();
+
+ private:
+  struct WindowBucket {
+    uint64_t index = 0;
+    uint64_t good = 0;
+    uint64_t bad = 0;
+  };
+  struct ClassState {
+    std::deque<WindowBucket> windows;  // oldest first, newest = back
+    uint64_t observations = 0;
+    uint64_t violations = 0;
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+    bool breached = false;
+    uint64_t breaches = 0;
+    uint64_t clears = 0;
+  };
+
+  double BurnOver(const ClassState& state, size_t span) const;
+  void EvaluateLocked(QueryClass cls, uint64_t window, uint64_t sim_ns,
+                      uint64_t ticket);
+
+  const Options options_;
+  const double budget_;  // error budget fraction, floored at 1e-9
+
+  mutable std::mutex mutex_;
+  ClassState classes_[kQueryClassCount];
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_SERVING_SLO_MONITOR_H_

@@ -53,9 +53,14 @@ void AccountFetch(const BufferManager::Fetch& fetch, IoStats* io) {
 
 /// Charges a failed fetch of store page `id`: if the page is (now)
 /// quarantined — newly declared dead/corrupt by this very read, or already
-/// dead and fast-failed — the operation records it in `quarantined_pages`.
-void AccountFetchError(PageId id, BufferManager* buffers, IoStats* io) {
-  if (io != nullptr && buffers->store()->IsQuarantined(id)) {
+/// dead and fast-failed — the operation records it in `quarantined_pages`,
+/// and a kDataLoss failure (stored bytes failing verification on every
+/// retry) additionally lands in `verify_failures`.
+void AccountFetchError(PageId id, const Status& status, BufferManager* buffers,
+                       IoStats* io) {
+  if (io == nullptr) return;
+  if (status.code() == StatusCode::kDataLoss) ++io->verify_failures;
+  if (buffers->store()->IsQuarantined(id)) {
     ++io->quarantined_pages;
   }
 }
@@ -96,7 +101,7 @@ StatusOr<const SecondaryStore::Page*> Sscg::FetchRowPage(
   const PageId global = page_ids_[local];
   auto fetch = buffers->FetchPage(global, pattern, queue_depth);
   if (!fetch.ok()) {
-    AccountFetchError(global, buffers, io);
+    AccountFetchError(global, fetch.status(), buffers, io);
     return fetch.status();
   }
   AccountFetch(*fetch, io);
@@ -164,7 +169,7 @@ Status Sscg::ScanSlotPages(size_t slot, const Value* lo, const Value* hi,
     auto fetch = buffers->FetchPage(page_ids_[local],
                                     AccessPattern::kSequential, threads);
     if (!fetch.ok()) {
-      AccountFetchError(page_ids_[local], buffers, io);
+      AccountFetchError(page_ids_[local], fetch.status(), buffers, io);
       return fetch.status();
     }
     AccountFetch(*fetch, io);

@@ -25,6 +25,8 @@ struct IoStats {
                                // range) — no fetch, no latency, no CRC
   uint64_t checksum_failures = 0;  // CRC mismatches detected (and retried)
                                    // by this operation's page reads
+  uint64_t verify_failures = 0;    // fetches whose stored bytes failed
+                                   // verification on every retry (kDataLoss)
   uint64_t quarantined_pages = 0;  // page fetches that failed on a
                                    // quarantined page (newly dead or
                                    // fast-failed)
@@ -58,6 +60,7 @@ struct IoStats {
     morsels_pruned += other.morsels_pruned;
     pages_pruned += other.pages_pruned;
     checksum_failures += other.checksum_failures;
+    verify_failures += other.verify_failures;
     quarantined_pages += other.quarantined_pages;
     return *this;
   }

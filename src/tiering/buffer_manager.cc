@@ -68,6 +68,7 @@ StatusOr<BufferManager::Fetch> BufferManager::FetchPage(
       store_->ReadPage(id, &frame.data, pattern, queue_depth, stream_,
                        &report);
   stats_.checksum_failures += report.checksum_failures;
+  stats_.verify_failures += report.verify_failures;
   stats_.quarantined_pages += report.quarantined ? 1 : 0;
   if (!read.ok()) {
     // The victim frame stays empty; the failed page is never installed, so

@@ -22,6 +22,9 @@ struct BufferStats {
   /// CRC mismatches the store detected during reads issued by this cache
   /// (recovered by retry unless the read also shows up in read_failures).
   uint64_t checksum_failures = 0;
+  /// Stored bytes that failed verification on every retry (kDataLoss) —
+  /// the cache's view of the store's verify_failures accounting.
+  uint64_t verify_failures = 0;
   /// Pages the store newly quarantined during reads issued by this cache —
   /// the per-cache view of SecondaryStore's PR 2 failure handling.
   uint64_t quarantined_pages = 0;

@@ -58,6 +58,8 @@ struct FaultStats {
   uint64_t dead_pages = 0;         // pages declared permanently failed
   uint64_t latency_spikes = 0;     // injected latency spikes
   uint64_t checksum_failures = 0;  // corruptions *detected* by checksum
+  uint64_t verify_failures = 0;    // VerifyPage checksum mismatches
+                                   // (migration read-back + bulk verify)
   uint64_t retries = 0;            // read attempts beyond the first
   uint64_t failed_reads = 0;       // ReadPage calls that returned non-OK
   uint64_t fast_fail_reads = 0;    // reads rejected on a quarantined page

@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "common/crc32.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 
 namespace hytap {
@@ -15,6 +16,11 @@ namespace {
 std::string PageMessage(const char* what, PageId id) {
   return std::string(what) + " (page " + std::to_string(id) + ")";
 }
+
+/// FlightEvent::code for kStoreFault events: 1-4 mirror
+/// FaultInjector::ReadFault (transient, page-dead, corrupt-bits,
+/// latency-spike); 5 marks a silent write corruption.
+constexpr uint16_t kFlightCodeCorruptWrite = 5;
 
 /// Registry handles resolved once; Add()/Observe() are gated on the
 /// HYTAP_METRICS knob.
@@ -30,6 +36,7 @@ struct StoreMetrics {
   Counter* transient_errors;
   Counter* page_writes;
   Counter* corrupted_writes;
+  Counter* verify_failures;
   HistogramMetric* read_latency_ns;
 
   static StoreMetrics& Get() {
@@ -55,6 +62,8 @@ struct StoreMetrics {
     page_writes = registry.GetCounter("hytap_store_page_writes_total");
     corrupted_writes =
         registry.GetCounter("hytap_store_corrupted_writes_total");
+    verify_failures =
+        registry.GetCounter("hytap_store_verify_failures_total");
     read_latency_ns = registry.GetHistogram("hytap_store_read_latency_ns",
                                             DurationNsBuckets());
   }
@@ -116,7 +125,15 @@ SecondaryStore::ReadStream SecondaryStore::MakeStream(uint64_t ticket) const {
   std::lock_guard<std::mutex> lock(mutex_);
   FaultConfig faults = fault_config_;
   faults.seed = MixSeed(faults.seed, ticket);
-  return ReadStream(MixSeed(timing_seed_, ticket), faults);
+  ReadStream stream(MixSeed(timing_seed_, ticket), faults);
+  stream.ticket_ = ticket;
+  return stream;
+}
+
+void SecondaryStore::SetFlightStamp(uint64_t window, uint64_t sim_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flight_window_ = window;
+  flight_sim_ns_ = sim_ns;
 }
 
 PageId SecondaryStore::AllocatePage() {
@@ -147,6 +164,16 @@ void SecondaryStore::WritePage(PageId id, const Page& data) {
     if (injector_->WritePage(data.data(), pages_[id]->data(), kPageSize)) {
       ++fault_stats_.corrupted_writes;
       StoreMetrics::Get().corrupted_writes->Add();
+      // Write corruption is silent at write time; the flight event is what
+      // lets a postmortem pin the later verify failure to its cause.
+      FlightEvent event{};
+      event.window = flight_window_;
+      event.sim_ns = flight_sim_ns_;
+      event.seq = flight_seq_++;
+      event.type = uint16_t(FlightEventType::kStoreFault);
+      event.code = kFlightCodeCorruptWrite;
+      event.a = id;
+      FlightRecorder::Global().Record(event);
     }
     return;
   }
@@ -178,6 +205,28 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
   FaultInjector* injector =
       stream != nullptr ? stream->injector_.get() : injector_.get();
 
+  // Flight events from streamed reads are identified by (ticket, stream
+  // sequence) — both pure functions of the session's ticket — while serial
+  // (non-streamed) reads use the store-wide sequence plus the stamps set by
+  // the migration path, so dumps stay bit-identical across worker counts.
+  auto flight = [&](FlightEventType type, uint16_t code, uint64_t b) {
+    if (!FlightRecorderEnabled()) return;
+    FlightEvent event{};
+    if (stream != nullptr) {
+      event.ticket = stream->ticket_;
+      event.seq = stream->event_seq_++;
+    } else {
+      event.window = flight_window_;
+      event.sim_ns = flight_sim_ns_;
+      event.seq = flight_seq_++;
+    }
+    event.type = uint16_t(type);
+    event.code = code;
+    event.a = id;
+    event.b = b;
+    FlightRecorder::Global().Record(event);
+  };
+
   auto quarantine_page = [&](StatusCode code) {
     ++fault_stats_.failed_reads;
     metrics.read_failures->Add();
@@ -185,6 +234,7 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
       ++fault_stats_.quarantined_pages;
       metrics.quarantined_pages->Add();
     }
+    flight(FlightEventType::kStoreQuarantine, uint16_t(code), 0);
     if (report != nullptr) report->quarantined = true;
   };
 
@@ -216,6 +266,9 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
     const FaultInjector::ReadFault fault =
         injector != nullptr ? injector->NextReadFault()
                             : FaultInjector::ReadFault::kNone;
+    if (fault != FaultInjector::ReadFault::kNone) {
+      flight(FlightEventType::kStoreFault, uint16_t(fault), attempt);
+    }
     if (fault == FaultInjector::ReadFault::kLatencySpike) {
       latency_ns = uint64_t(double(latency_ns) *
                             injector->config().latency_spike_multiplier);
@@ -254,6 +307,7 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
         // stored bytes fails every retry and is declared data loss below.
         ++fault_stats_.checksum_failures;
         metrics.checksum_failures->Add();
+        flight(FlightEventType::kStoreChecksumFail, 0, attempt);
         if (report != nullptr) ++report->checksum_failures;
         checksum_failed = true;
         continue;
@@ -266,7 +320,19 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
   }
   total_read_ns_ += outcome.latency_ns;
   if (checksum_failed) {
+    // The stored bytes themselves fail verification — the buffered-path
+    // twin of a VerifyPage read-back failure, counted under the same
+    // verify-failure statistics.
+    ++fault_stats_.verify_failures;
+    metrics.verify_failures->Add();
+    if (report != nullptr) ++report->verify_failures;
     quarantine_page(StatusCode::kDataLoss);
+    // Persistent corruption of the stored bytes is the postmortem trigger:
+    // transient in-transit flips clear on retry and only log events.
+    FlightRecorder::Global().Anomaly(
+        AnomalyKind::kChecksumFailure, "store_data_loss",
+        stream != nullptr ? stream->ticket_ : 0, flight_window_,
+        flight_sim_ns_, id);
     return Status::DataLoss(
         PageMessage("checksum mismatch persisted across retries", id));
   }
@@ -278,6 +344,25 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
 Status SecondaryStore::VerifyPage(PageId id) const {
   HYTAP_ASSERT(id < pages_.size(), "VerifyPage: page id out of range");
   if (Crc32c(pages_[id]->data(), kPageSize) != checksums_[id]) {
+    // PR 7 closed its eyes here: read-back failures aborted the migration
+    // but never counted anywhere. Every VerifyPage failure now lands in
+    // FaultStats::verify_failures + hytap_store_verify_failures_total and
+    // on the flight timeline.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++fault_stats_.verify_failures;
+    StoreMetrics::Get().verify_failures->Add();
+    if (FlightRecorderEnabled()) {
+      FlightEvent event{};
+      event.window = flight_window_;
+      event.sim_ns = flight_sim_ns_;
+      event.seq = flight_seq_++;
+      event.type = uint16_t(FlightEventType::kStoreVerifyFail);
+      event.a = id;
+      FlightRecorder::Global().Record(event);
+      FlightRecorder::Global().Anomaly(AnomalyKind::kChecksumFailure,
+                                       "verify_read_back", 0, flight_window_,
+                                       flight_sim_ns_, id);
+    }
     return Status::DataLoss(PageMessage("stored page fails checksum", id));
   }
   return Status::Ok();

@@ -60,6 +60,9 @@ class SecondaryStore {
   struct ReadFaultReport {
     uint32_t checksum_failures = 0;
     uint32_t retries = 0;
+    /// The stored bytes failed verification on every retry (kDataLoss) —
+    /// the buffered-path counterpart of a VerifyPage read-back failure.
+    uint32_t verify_failures = 0;
     /// This read quarantined its page (newly dead / persistently corrupt).
     bool quarantined = false;
   };
@@ -81,6 +84,11 @@ class SecondaryStore {
     friend class SecondaryStore;
     Rng timing_rng_;
     std::unique_ptr<FaultInjector> injector_;  // null = fault-free
+    /// Flight-event identity: the owning session's ticket and a per-stream
+    /// event sequence. Both are pure functions of the ticket, so fault
+    /// events recorded from concurrent sessions stay dump-deterministic.
+    uint64_t ticket_ = 0;
+    uint32_t event_seq_ = 0;
   };
 
   /// Derives the draw streams for session ticket `ticket`.
@@ -121,9 +129,19 @@ class SecondaryStore {
                                  ReadFaultReport* report = nullptr);
 
   /// Recomputes the stored page's checksum (timing-free, no fault
-  /// injection). Used by migration verify-after-write; returns kDataLoss on
-  /// mismatch.
+  /// injection). Used by migration verify-after-write and bulk verification;
+  /// returns kDataLoss on mismatch. Every failure counts into
+  /// FaultStats::verify_failures / hytap_store_verify_failures_total and
+  /// records a kStoreVerifyFail flight event.
   Status VerifyPage(PageId id) const;
+
+  /// Stamps subsequent non-streamed flight events (faults, quarantines,
+  /// verify failures on the serial migration/accounting paths) with a
+  /// monitor window index and simulated time, so they sort into the dump
+  /// timeline at the point of the operation that caused them. Streamed
+  /// (session) events ignore the stamp — they are identified by
+  /// (ticket, stream sequence) instead.
+  void SetFlightStamp(uint64_t window, uint64_t sim_ns);
 
   /// Direct (timing-free) access for verification and migration and for the
   /// parallel data passes, which only touch pages a serial accounting pass
@@ -184,7 +202,14 @@ class SecondaryStore {
   bool verify_checksums_ = true;
   uint64_t total_read_ns_ = 0;
   uint64_t reads_ = 0;
-  FaultStats fault_stats_;
+  /// Mutable: VerifyPage is logically const (it changes no page state) but
+  /// accounts its failures.
+  mutable FaultStats fault_stats_;
+  /// Flight-event sequence for non-streamed events and the stamps applied
+  /// to them (see SetFlightStamp). All guarded by mutex_.
+  mutable uint32_t flight_seq_ = 0;
+  uint64_t flight_window_ = 0;
+  uint64_t flight_sim_ns_ = 0;
   /// Serializes ReadPage/WritePage and stats against concurrent sessions.
   /// RawPage stays lock-free: pages are stable unique_ptrs and the serving
   /// layer excludes allocation/migration while queries are in flight.

@@ -2,7 +2,7 @@
 # promtool-style lint of the engine's Prometheus text exposition.
 #
 # Usage: check_prometheus.sh <metrics.txt> [--require-solver]
-#     [--require-retier] [--require-sessions]
+#     [--require-retier] [--require-sessions] [--require-slo]
 #
 # Validates (with plain grep -E, no promtool dependency) that:
 #   - every line is a `# TYPE` comment or a `name[{labels}] value` sample;
@@ -20,18 +20,23 @@
 #     `bench_retiering`);
 #   - with --require-sessions, the hytap_session_* families of the serving
 #     front end are present (snapshots from `stats_cli --sessions` or
-#     `bench_serving`).
+#     `bench_serving`);
+#   - with --require-slo, the hytap_slo_* families of the SLO burn-rate
+#     monitor plus the hytap_flight_* recorder counters are present
+#     (snapshots from `stats_cli --slo`).
 set -u
 
 require_solver=0
 require_retier=0
 require_sessions=0
+require_slo=0
 file=""
 for arg in "$@"; do
   case "$arg" in
     --require-solver) require_solver=1 ;;
     --require-retier) require_retier=1 ;;
     --require-sessions) require_sessions=1 ;;
+    --require-slo) require_slo=1 ;;
     -*)
       echo "check_prometheus: unknown flag '$arg'" >&2
       exit 2
@@ -41,7 +46,7 @@ for arg in "$@"; do
 done
 if [ -z "$file" ] || [ ! -r "$file" ]; then
   echo "usage: check_prometheus.sh <metrics.txt> [--require-solver]" \
-       "[--require-retier] [--require-sessions]" >&2
+       "[--require-retier] [--require-sessions] [--require-slo]" >&2
   exit 2
 fi
 status=0
@@ -160,6 +165,25 @@ if [ "$require_sessions" -eq 1 ]; then
     hytap_session_olap_queue_wait_ns; do
     grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
       || fail "expected serving metric family '$family' missing"
+  done
+fi
+
+# 8. Opt-in: SLO burn-rate monitor families plus the flight-recorder
+# counters (emitted once an SloMonitor observed sessions and exported its
+# gauges, e.g. `stats_cli --slo`).
+if [ "$require_slo" -eq 1 ]; then
+  for family in \
+    hytap_slo_observations_total \
+    hytap_slo_violations_total \
+    hytap_slo_breaches_total \
+    hytap_slo_clears_total \
+    hytap_slo_oltp_burn_milli \
+    hytap_slo_olap_burn_milli \
+    hytap_slo_oltp_breached \
+    hytap_slo_olap_breached \
+    hytap_flight_events_total; do
+    grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
+      || fail "expected SLO metric family '$family' missing"
   done
 fi
 

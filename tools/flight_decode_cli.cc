@@ -1,0 +1,229 @@
+// hytap-flight-decode: render a binary flight-recorder dump as a merged
+// human-readable or JSON timeline correlating serving, re-tiering, and
+// fault events.
+//
+// Usage:
+//   flight_decode_cli <dump.bin> [--format text|json] [--out <path>]
+//
+// Events are printed in the dump's canonical order (window, sim_ns, ticket,
+// type, code, seq, a, b) — the deterministic timeline the recorder sorted
+// them into — so two decoders over the same dump always agree byte for byte.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+
+using namespace hytap;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: flight_decode_cli <dump.bin> [--format text|json] "
+               "[--out <path>]\n");
+  return 2;
+}
+
+const char* QueryClassName(uint64_t cls) {
+  switch (cls) {
+    case 0:
+      return "oltp";
+    case 1:
+      return "olap";
+    default:
+      return "?";
+  }
+}
+
+const char* AnomalyKindName(uint16_t code) {
+  switch (AnomalyKind(code)) {
+    case AnomalyKind::kManual:
+      return "manual";
+    case AnomalyKind::kSloBreach:
+      return "slo_breach";
+    case AnomalyKind::kStickyQuarantine:
+      return "sticky_quarantine";
+    case AnomalyKind::kRetierAbort:
+      return "retier_abort";
+    case AnomalyKind::kChecksumFailure:
+      return "checksum_failure";
+  }
+  return "?";
+}
+
+/// One-line human reading of the type-specific operands.
+std::string Detail(const FlightEvent& e) {
+  char buf[160];
+  switch (FlightEventType(e.type)) {
+    case FlightEventType::kSessionAdmit:
+      std::snprintf(buf, sizeof buf, "class=%s deadline_ns=%" PRIu64,
+                    QueryClassName(e.a), e.b);
+      break;
+    case FlightEventType::kSessionReject:
+      std::snprintf(buf, sizeof buf, "class=%s status=%u",
+                    QueryClassName(e.a), unsigned(e.code));
+      break;
+    case FlightEventType::kSessionDispatch:
+    case FlightEventType::kSessionCancel:
+      std::snprintf(buf, sizeof buf, "class=%s", QueryClassName(e.a));
+      break;
+    case FlightEventType::kSessionShed:
+    case FlightEventType::kSessionComplete:
+      std::snprintf(buf, sizeof buf, "class=%s latency_ns=%" PRIu64
+                    " status=%u",
+                    QueryClassName(e.a), e.b, unsigned(e.code));
+      break;
+    case FlightEventType::kRetierTrigger:
+      std::snprintf(buf, sizeof buf, "plan=%" PRIu64 " steps=%" PRIu64
+                    " reason=%s",
+                    e.ticket, e.a, e.code == 1 ? "drift" : "periodic");
+      break;
+    case FlightEventType::kRetierStep:
+      std::snprintf(buf, sizeof buf, "plan=%" PRIu64 " column=%" PRIu64
+                    " bytes=%" PRIu64 " dir=%s",
+                    e.ticket, e.a, e.b, e.code == 1 ? "to_dram" : "to_disk");
+      break;
+    case FlightEventType::kRetierQuarantine:
+      std::snprintf(buf, sizeof buf, "plan=%" PRIu64 " column=%" PRIu64
+                    " bytes=%" PRIu64,
+                    e.ticket, e.a, e.b);
+      break;
+    case FlightEventType::kRetierAbort:
+      std::snprintf(buf, sizeof buf, "plan=%" PRIu64 " aborted_steps=%" PRIu64
+                    " applied_steps=%" PRIu64,
+                    e.ticket, e.a, e.b);
+      break;
+    case FlightEventType::kRetierPlanDone:
+      std::snprintf(buf, sizeof buf, "plan=%" PRIu64 " applied=%" PRIu64
+                    " moved_bytes=%" PRIu64 "%s",
+                    e.ticket, e.a, e.b, e.code == 1 ? " aborted" : "");
+      break;
+    case FlightEventType::kStoreFault:
+      std::snprintf(buf, sizeof buf, "page=%" PRIu64 " attempt=%" PRIu64
+                    " fault=%u",
+                    e.a, e.b, unsigned(e.code));
+      break;
+    case FlightEventType::kStoreChecksumFail:
+      std::snprintf(buf, sizeof buf, "page=%" PRIu64 " attempt=%" PRIu64,
+                    e.a, e.b);
+      break;
+    case FlightEventType::kStoreQuarantine:
+      std::snprintf(buf, sizeof buf, "page=%" PRIu64 " status=%u", e.a,
+                    unsigned(e.code));
+      break;
+    case FlightEventType::kStoreVerifyFail:
+      std::snprintf(buf, sizeof buf, "page=%" PRIu64, e.a);
+      break;
+    case FlightEventType::kMergeBegin:
+    case FlightEventType::kMergeEnd:
+      std::snprintf(buf, sizeof buf, "delta_rows=%" PRIu64 " status=%u", e.a,
+                    unsigned(e.code));
+      break;
+    case FlightEventType::kMigrationBegin:
+      std::snprintf(buf, sizeof buf, "column=%" PRIu64 " dir=%s", e.a,
+                    e.code == 1 ? "to_dram" : "to_disk");
+      break;
+    case FlightEventType::kMigrationEnd:
+      std::snprintf(buf, sizeof buf, "column=%" PRIu64 " moved_bytes=%" PRIu64
+                    "%s",
+                    e.a, e.b, e.code == 1 ? " failed" : "");
+      break;
+    case FlightEventType::kSloBreach:
+      std::snprintf(buf, sizeof buf, "class=%s burn_milli=%" PRIu64
+                    " window=%u",
+                    QueryClassName(e.a), e.b, unsigned(e.code));
+      break;
+    case FlightEventType::kSloClear:
+      std::snprintf(buf, sizeof buf, "class=%s", QueryClassName(e.a));
+      break;
+    case FlightEventType::kAnomaly:
+      std::snprintf(buf, sizeof buf, "kind=%s", AnomalyKindName(e.code));
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "a=%" PRIu64 " b=%" PRIu64, e.a, e.b);
+      break;
+  }
+  return buf;
+}
+
+void RenderText(FILE* out, const std::string& reason,
+                const std::vector<FlightEvent>& events) {
+  std::fprintf(out, "# flight dump: %zu events, trigger \"%s\"\n",
+               events.size(), reason.c_str());
+  std::fprintf(out, "%10s %15s %8s %4s %-18s %s\n", "window", "sim_ns",
+               "ticket", "seq", "event", "detail");
+  for (const FlightEvent& e : events) {
+    std::fprintf(out, "%10" PRIu64 " %15" PRIu64 " %8" PRIu64 " %4u %-18s %s\n",
+                 e.window, e.sim_ns, e.ticket, e.seq,
+                 FlightEventTypeName(e.type), Detail(e).c_str());
+  }
+}
+
+void RenderJson(FILE* out, const std::string& reason,
+                const std::vector<FlightEvent>& events) {
+  std::fprintf(out, "{\"reason\":\"%s\",\"event_count\":%zu,\"events\":[",
+               reason.c_str(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    std::fprintf(out,
+                 "%s{\"window\":%" PRIu64 ",\"sim_ns\":%" PRIu64
+                 ",\"ticket\":%" PRIu64 ",\"seq\":%u,\"type\":\"%s\""
+                 ",\"code\":%u,\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}",
+                 i == 0 ? "" : ",", e.window, e.sim_ns, e.ticket, e.seq,
+                 FlightEventTypeName(e.type), unsigned(e.code), e.a, e.b);
+  }
+  std::fprintf(out, "]}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string format = "text";
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format") {
+      if (i + 1 >= argc) return Usage();
+      format = argv[++i];
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return Usage();
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty() || (format != "text" && format != "json")) return Usage();
+
+  std::vector<FlightEvent> events;
+  std::string reason;
+  if (!ReadFlightDump(path, &events, &reason)) {
+    std::fprintf(stderr, "cannot decode %s (short read or bad header)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  if (format == "json") {
+    RenderJson(out, reason, events);
+  } else {
+    RenderText(out, reason, events);
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

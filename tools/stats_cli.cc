@@ -3,7 +3,7 @@
 //
 // Usage:
 //   stats_cli [--rows <n>] [--cols <n>] [--queries <n>] [--threads <n>]
-//       [--seed <n>] [--trace] [--doctor] [--solver] [--sessions]
+//       [--seed <n>] [--trace] [--doctor] [--solver] [--sessions] [--slo]
 //       [--format prom|json] [--out <path>]
 //
 // Builds a BSEG-shaped table (column 0 is a unique document number held in
@@ -19,6 +19,9 @@
 // the high-concurrency serving front end (EnableServing; worker count and
 // queue bound honor HYTAP_MAX_SESSIONS / HYTAP_SESSION_*) instead of the
 // synchronous path, so the hytap_session_* family lands in the snapshot.
+// With --slo (implies --sessions), an SLO burn-rate monitor (objectives from
+// HYTAP_SLO_*) observes every completed session, so the hytap_slo_* family
+// lands in the snapshot too.
 
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +35,7 @@
 #include "core/placement_doctor.h"
 #include "core/tiered_table.h"
 #include "serving/session_manager.h"
+#include "serving/slo_monitor.h"
 #include "workload/enterprise.h"
 
 using namespace hytap;
@@ -48,6 +52,7 @@ struct Options {
   bool doctor = false;
   bool solver = false;
   bool sessions = false;
+  bool slo = false;
   std::string format = "prom";
   std::string out;
 };
@@ -56,7 +61,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: stats_cli [--rows <n>] [--cols <n>] [--queries <n>] "
                "[--threads <n>] [--seed <n>] [--trace] [--doctor] [--solver] "
-               "[--sessions] [--format prom|json] [--out <path>]\n");
+               "[--sessions] [--slo] [--format prom|json] [--out <path>]\n");
   return 2;
 }
 
@@ -86,7 +91,7 @@ std::vector<Query> MakeQueries(const Options& options, Rng* rng) {
           0, Value(int32_t{0}), Value(int32_t(rows - rows / 8))));
     }
     query.aggregates = {Aggregate::Count()};
-    if (q % 3 == 0) query.projections = {0, payload};
+    if (q % 3 == 0) query.projections = {ColumnId(0), ColumnId(payload)};
     queries.push_back(std::move(query));
   }
   return queries;
@@ -125,6 +130,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--solver") {
       options.solver = true;
     } else if (arg == "--sessions") {
+      options.sessions = true;
+    } else if (arg == "--slo") {
+      options.slo = true;
       options.sessions = true;
     } else if (arg == "--format") {
       if (i + 1 >= argc) return Usage();
@@ -184,6 +192,8 @@ int main(int argc, char** argv) {
     // Serving path: admission-controlled concurrent sessions; alternate the
     // priority class so both per-class latency histograms populate.
     SessionManager& sm = table.EnableServing();
+    SloMonitor slo(SloMonitor::Options::FromEnv());
+    if (options.slo) sm.set_slo_monitor(&slo);
     std::vector<SessionHandle> handles;
     handles.reserve(queries.size());
     for (size_t q = 0; q < queries.size(); ++q) {
@@ -209,6 +219,21 @@ int main(int argc, char** argv) {
                  "%zu queued, %zu in flight after drain\n",
                  (size_t)sm.tickets_issued(), sm.options().max_sessions,
                  sm.options().queue_capacity, sm.queued(), sm.in_flight());
+    if (options.slo) {
+      slo.ExportGauges();
+      for (size_t cls = 0; cls < kQueryClassCount; ++cls) {
+        const SloMonitor::ClassSnapshot snap =
+            slo.Snapshot(QueryClass(cls));
+        std::fprintf(stderr,
+                     "slo[%s]: %llu observed, %llu violations, "
+                     "burn fast=%.3f slow=%.3f%s\n",
+                     cls == 0 ? "oltp" : "olap",
+                     (unsigned long long)snap.observations,
+                     (unsigned long long)snap.violations, snap.fast_burn,
+                     snap.slow_burn, snap.breached ? " BREACHED" : "");
+      }
+      sm.set_slo_monitor(nullptr);
+    }
   } else {
     for (size_t q = 0; q < queries.size(); ++q) {
       const QueryResult result =
