@@ -1,14 +1,16 @@
 // Overhead of the observability layer on the query fast path: the metrics
 // registry (HYTAP_METRICS), per-query tracing (HYTAP_TRACE), the workload
-// monitor (HYTAP_WORKLOAD_MONITOR), and the flight recorder
-// (HYTAP_FLIGHT_RECORDER) on vs off, over a Fig. 9-style tiered table
+// monitor (HYTAP_WORKLOAD_MONITOR), the flight recorder
+// (HYTAP_FLIGHT_RECORDER), and latency phase accounting
+// (HYTAP_PHASE_ACCOUNTING) on vs off, over a Fig. 9-style tiered table
 // (DRAM id column + width-10 tiered payload) driven end-to-end through the
 // executor, through the raw MRC scan kernel, and through the serving front
 // end (whose admit/dispatch/complete path is the recorder's per-query hot
 // path). Acceptance targets: metrics <= 3 %, monitor <= 3 %, flight
-// recorder <= 3 %, tracing <= 10 % on the executor mix. Reps alternate
-// configurations in-process (min-of-N, machine drift cancels). Results go
-// to BENCH_observability_overhead.json; a missed gate fails the process
+// recorder <= 3 %, phase accounting <= 3 %, tracing <= 10 % on the
+// executor mix. Reps alternate configurations in-process (min-of-N,
+// machine drift cancels). Results go to
+// BENCH_observability_overhead.json; a missed gate fails the process
 // (CI runs this with --small).
 
 #include <algorithm>
@@ -19,10 +21,12 @@
 #include "bench/bench_util.h"
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
+#include "common/phases.h"
 #include "common/random.h"
 #include "common/trace.h"
 #include "core/tiered_table.h"
 #include "query/executor.h"
+#include "serving/latency_profiler.h"
 #include "serving/session_manager.h"
 #include "storage/sscg.h"
 #include "workload/workload_monitor.h"
@@ -38,6 +42,7 @@ namespace {
 constexpr double kMetricsGatePct = 3.0;
 constexpr double kMonitorGatePct = 3.0;
 constexpr double kFlightGatePct = 3.0;
+constexpr double kPhaseGatePct = 3.0;
 constexpr double kTraceGatePct = 10.0;
 /// Absolute slack added to each gate: sub-millisecond deltas on small CI
 /// runs are timer noise, not overhead.
@@ -45,11 +50,12 @@ constexpr double kNoiseFloorSeconds = 0.0005;
 
 struct Sample {
   const char* workload;
-  double baseline_seconds;  // metrics off, trace off, monitor off, flight off
+  double baseline_seconds;  // every observability knob off
   double metrics_seconds;   // metrics on only
   double trace_seconds;     // trace on only
   double monitor_seconds;   // workload monitor on only
   double flight_seconds;    // flight recorder on only
+  double phases_seconds;    // phase accounting on only
   double MetricsPct() const {
     return 100.0 * (metrics_seconds - baseline_seconds) / baseline_seconds;
   }
@@ -62,61 +68,72 @@ struct Sample {
   double FlightPct() const {
     return 100.0 * (flight_seconds - baseline_seconds) / baseline_seconds;
   }
+  double PhasesPct() const {
+    return 100.0 * (phases_seconds - baseline_seconds) / baseline_seconds;
+  }
 };
 
 std::vector<Sample> g_samples;
 
-/// Runs `fn` under baseline/metrics-only/trace-only/monitor-only/flight-only
-/// configurations, alternating within each rep after one untimed warmup, and
-/// keeps the best time per configuration.
+/// Runs `fn` under baseline / metrics-only / trace-only / monitor-only /
+/// flight-only / phases-only configurations, alternating within each rep
+/// after one untimed warmup, and keeps the best time per configuration.
 template <typename Fn>
 Sample MeasureConfigs(const char* workload, int reps, Fn&& fn) {
-  auto configure = [](bool metrics, bool trace, bool monitor, bool flight) {
+  auto configure = [](bool metrics, bool trace, bool monitor, bool flight,
+                      bool phases) {
     SetMetricsEnabled(metrics);
     SetTraceEnabled(trace);
     SetWorkloadMonitorEnabled(monitor);
     SetFlightRecorderEnabled(flight);
+    SetPhaseAccountingEnabled(phases);
   };
-  configure(false, false, false, false);
+  configure(false, false, false, false, false);
   fn();
-  Sample sample{workload, 1e100, 1e100, 1e100, 1e100, 1e100};
+  Sample sample{workload, 1e100, 1e100, 1e100, 1e100, 1e100, 1e100};
   for (int r = 0; r < reps; ++r) {
-    configure(false, false, false, false);
+    configure(false, false, false, false, false);
     bench::Stopwatch base_watch;
     fn();
     sample.baseline_seconds = std::min(sample.baseline_seconds,
                                        base_watch.Seconds());
-    configure(true, false, false, false);
+    configure(true, false, false, false, false);
     bench::Stopwatch metrics_watch;
     fn();
     sample.metrics_seconds = std::min(sample.metrics_seconds,
                                       metrics_watch.Seconds());
-    configure(false, true, false, false);
+    configure(false, true, false, false, false);
     bench::Stopwatch trace_watch;
     fn();
     sample.trace_seconds = std::min(sample.trace_seconds,
                                     trace_watch.Seconds());
-    configure(false, false, true, false);
+    configure(false, false, true, false, false);
     bench::Stopwatch monitor_watch;
     fn();
     sample.monitor_seconds = std::min(sample.monitor_seconds,
                                       monitor_watch.Seconds());
-    configure(false, false, false, true);
+    configure(false, false, false, true, false);
     bench::Stopwatch flight_watch;
     fn();
     sample.flight_seconds = std::min(sample.flight_seconds,
                                      flight_watch.Seconds());
+    configure(false, false, false, false, true);
+    bench::Stopwatch phases_watch;
+    fn();
+    sample.phases_seconds = std::min(sample.phases_seconds,
+                                     phases_watch.Seconds());
   }
-  configure(true, false, true, true);  // engine defaults
+  configure(true, false, true, true, true);  // engine defaults
   g_samples.push_back(sample);
   std::printf("  %-12s baseline: %9.2f ms   metrics: %9.2f ms (%+5.2f %%)   "
               "trace: %9.2f ms (%+5.2f %%)   monitor: %9.2f ms (%+5.2f %%)   "
-              "flight: %9.2f ms (%+5.2f %%)\n",
+              "flight: %9.2f ms (%+5.2f %%)   phases: %9.2f ms (%+5.2f %%)\n",
               workload, sample.baseline_seconds * 1e3,
               sample.metrics_seconds * 1e3, sample.MetricsPct(),
               sample.trace_seconds * 1e3, sample.TracePct(),
               sample.monitor_seconds * 1e3, sample.MonitorPct(),
-              sample.flight_seconds * 1e3, sample.FlightPct());
+              sample.flight_seconds * 1e3, sample.FlightPct(),
+              sample.phases_seconds * 1e3, sample.PhasesPct());
   return sample;
 }
 
@@ -140,11 +157,14 @@ void WriteJson(const char* path) {
         "  {\"workload\": \"%s\", \"baseline_seconds\": %.6f, "
         "\"metrics_seconds\": %.6f, \"trace_seconds\": %.6f, "
         "\"monitor_seconds\": %.6f, \"flight_seconds\": %.6f, "
+        "\"phases_seconds\": %.6f, "
         "\"metrics_overhead_pct\": %.3f, \"trace_overhead_pct\": %.3f, "
-        "\"monitor_overhead_pct\": %.3f, \"flight_overhead_pct\": %.3f}%s\n",
+        "\"monitor_overhead_pct\": %.3f, \"flight_overhead_pct\": %.3f, "
+        "\"phases_overhead_pct\": %.3f}%s\n",
         s.workload, s.baseline_seconds, s.metrics_seconds, s.trace_seconds,
-        s.monitor_seconds, s.flight_seconds, s.MetricsPct(), s.TracePct(),
-        s.MonitorPct(), s.FlightPct(), i + 1 < g_samples.size() ? "," : "");
+        s.monitor_seconds, s.flight_seconds, s.phases_seconds,
+        s.MetricsPct(), s.TracePct(), s.MonitorPct(), s.FlightPct(),
+        s.PhasesPct(), i + 1 < g_samples.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -230,10 +250,17 @@ int main(int argc, char** argv) {
     executor.set_monitor(&monitor);
     Transaction txn = txns.Begin();
     const std::vector<Query> queries = QueryMix(rows);
+    // The phases config pays the stamping cost only when a caller asks for
+    // the decomposition, so the mix requests it the way a serving session
+    // would: a PhaseVector wired through ExecOptions.
+    PhaseVector phases;
+    ExecOptions eopts;
+    eopts.threads = 2;
+    eopts.phases = &phases;
     executor_sample = MeasureConfigs("query_mix", reps, [&] {
       buffers.Clear();
       for (const Query& query : queries) {
-        QueryResult result = executor.Execute(txn, query, 2);
+        QueryResult result = executor.Execute(txn, query, eopts);
         if (!result.status.ok()) std::abort();
       }
     });
@@ -277,6 +304,10 @@ int main(int argc, char** argv) {
     so.max_sessions = 2;
     so.default_threads = 1;
     SessionManager& sm = table.EnableServing(so);
+    // The phases config additionally pays the profiler fold at every
+    // ticket-order flush (histograms + tail test + attribution walk).
+    LatencyProfiler profiler;
+    sm.set_latency_profiler(&profiler);
     const std::vector<Query> queries = QueryMix(small ? 20000 : 50000);
     serving_sample = MeasureConfigs("serving_mix", reps, [&] {
       std::vector<SessionHandle> handles;
@@ -296,6 +327,7 @@ int main(int argc, char** argv) {
       }
     });
     sm.Drain();
+    sm.set_latency_profiler(nullptr);  // profiler dies before the table
   }
 
   const bool metrics_ok =
@@ -318,14 +350,26 @@ int main(int argc, char** argv) {
       GatePasses(scan_sample, kFlightGatePct, scan_sample.flight_seconds) &&
       GatePasses(serving_sample, kFlightGatePct,
                  serving_sample.flight_seconds);
+  // Phase accounting touches the executor's pass boundaries (four IoStats
+  // snapshots per query) and the serving flush (profiler fold per ticket);
+  // the raw scan kernel has no phase hook, so its gate covers those two.
+  const bool phases_ok =
+      GatePasses(executor_sample, kPhaseGatePct,
+                 executor_sample.phases_seconds) &&
+      GatePasses(serving_sample, kPhaseGatePct,
+                 serving_sample.phases_seconds);
   std::printf("\ntargets: metrics <= %.0f %% -> %s   trace <= %.0f %% -> %s   "
-              "monitor <= %.0f %% -> %s   flight <= %.0f %% -> %s\n",
+              "monitor <= %.0f %% -> %s   flight <= %.0f %% -> %s   "
+              "phases <= %.0f %% -> %s\n",
               kMetricsGatePct, metrics_ok ? "PASS" : "MISS", kTraceGatePct,
               trace_ok ? "PASS" : "MISS", kMonitorGatePct,
               monitor_ok ? "PASS" : "MISS", kFlightGatePct,
-              flight_ok ? "PASS" : "MISS");
+              flight_ok ? "PASS" : "MISS", kPhaseGatePct,
+              phases_ok ? "PASS" : "MISS");
 
   WriteJson("BENCH_observability_overhead.json");
   bench::MaybeWriteMetricsSnapshot("observability_overhead");
-  return metrics_ok && trace_ok && monitor_ok && flight_ok ? 0 : 1;
+  return metrics_ok && trace_ok && monitor_ok && flight_ok && phases_ok
+             ? 0
+             : 1;
 }

@@ -366,6 +366,7 @@ const char* FlightEventTypeName(uint16_t type) {
     case FlightEventType::kSloBreach: return "slo_breach";
     case FlightEventType::kSloClear: return "slo_clear";
     case FlightEventType::kAnomaly: return "anomaly";
+    case FlightEventType::kPhaseAttribution: return "phase_attribution";
   }
   return "unknown";
 }

@@ -36,9 +36,14 @@ enum class FlightEventType : uint16_t {
   kSessionAdmit = 1,     // a = query class, b = deadline_ns
   kSessionReject = 2,    // a = query class; code = StatusCode
   kSessionDispatch = 3,  // a = query class
-  kSessionShed = 4,      // a = query class, b = simulated latency ns
-  kSessionCancel = 5,    // a = query class
-  kSessionComplete = 6,  // a = query class, b = simulated latency ns
+  kSessionShed = 4,      // a = query class, b = simulated queue-wait ns —
+                         // shed queries never execute, so this is NOT a
+                         // latency; identically 0 on the simulated clock
+                         // (admission/queueing are instantaneous there)
+  kSessionCancel = 5,    // a = query class, b = simulated ns accrued before
+                         // the abort (0 when cancelled while still queued)
+  kSessionComplete = 6,  // a = query class, b = end-to-end simulated latency
+                         // ns (== the ticket's phase-vector sum)
   // Re-tiering daemon.
   kRetierTrigger = 7,     // a = plan id, b = step count; code = reason
   kRetierStep = 8,        // a = column, b = bytes; code = 1 if to DRAM
@@ -60,6 +65,10 @@ enum class FlightEventType : uint16_t {
   kSloClear = 21,   // a = query class
   // Anomaly marker recorded when a dump is triggered. code = trigger kind.
   kAnomaly = 22,
+  // Latency profiler tail attribution (one per attributed ticket).
+  // a = dominant QueryPhase, b = end-to-end simulated latency ns;
+  // code = query class << 2 | (p99-tail ? 2 : 0) | (SLO breach ? 1 : 0).
+  kPhaseAttribution = 23,
 };
 
 // Anomaly trigger kinds (FlightEvent::code on kAnomaly events).

@@ -169,6 +169,36 @@ void AppendF(std::string* out, const char* fmt, ...) {
 
 }  // namespace
 
+uint64_t MetricsSnapshot::HistogramData::Quantile(double q) const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) q = 1.0;
+  // Rank of the sample the quantile lands on, 1-based. The double product is
+  // evaluated from fixed literals on IEEE doubles, so it is deterministic.
+  uint64_t target = static_cast<uint64_t>(q * double(total));
+  if (double(target) < q * double(total)) ++target;  // ceil
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] < target) {
+      cumulative += counts[i];
+      continue;
+    }
+    const uint64_t lo = i == 0 ? 0 : bounds[i - 1];
+    // Overflow-bucket samples are only known to exceed the last bound;
+    // clamp to it rather than inventing an upper edge.
+    const uint64_t hi =
+        i < bounds.size() ? bounds[i] : (bounds.empty() ? 0 : bounds.back());
+    const uint64_t pos = target - cumulative;  // 1..counts[i]
+    return lo + uint64_t((unsigned __int128)(hi - lo) * pos / counts[i]);
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
   for (const auto& [name, value] : counters) {
@@ -192,6 +222,17 @@ std::string MetricsSnapshot::ToPrometheusText() const {
             cumulative);
     AppendF(&out, "%s_sum %" PRIu64 "\n", name.c_str(), h.sum);
     AppendF(&out, "%s_count %" PRIu64 "\n", name.c_str(), h.count);
+    // Interpolated quantile gauges derived from the fixed buckets. Each one
+    // is its own single-sample family, hence its own TYPE declaration.
+    static const struct {
+      const char* suffix;
+      double q;
+    } kQuantiles[] = {{"_p50", 0.50}, {"_p99", 0.99}, {"_p999", 0.999}};
+    for (const auto& quantile : kQuantiles) {
+      AppendF(&out, "# TYPE %s%s gauge\n", name.c_str(), quantile.suffix);
+      AppendF(&out, "%s%s %" PRIu64 "\n", name.c_str(), quantile.suffix,
+              h.Quantile(quantile.q));
+    }
   }
   return out;
 }
@@ -223,8 +264,11 @@ std::string MetricsSnapshot::ToJson() const {
     for (size_t i = 0; i < h.counts.size(); ++i) {
       AppendF(&out, "%s%" PRIu64, i == 0 ? "" : ", ", h.counts[i]);
     }
-    AppendF(&out, "], \"count\": %" PRIu64 ", \"sum\": %" PRIu64 "}", h.count,
-            h.sum);
+    AppendF(&out,
+            "], \"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"p50\": %" PRIu64
+            ", \"p99\": %" PRIu64 ", \"p999\": %" PRIu64 "}",
+            h.count, h.sum, h.Quantile(0.50), h.Quantile(0.99),
+            h.Quantile(0.999));
     first = false;
   }
   out += "\n  }\n}\n";

@@ -130,6 +130,12 @@ struct MetricsSnapshot {
     std::vector<uint64_t> counts;  // bounds.size() + 1 (overflow last)
     uint64_t count = 0;
     uint64_t sum = 0;
+
+    /// Deterministic interpolated quantile (`q` in [0, 1]) from the fixed
+    /// buckets: linear interpolation inside the bucket holding the rank,
+    /// integer math throughout. Overflow-bucket samples clamp to the last
+    /// bound; an empty histogram reports 0.
+    uint64_t Quantile(double q) const;
   };
 
   std::map<std::string, uint64_t> counters;

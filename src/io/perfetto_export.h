@@ -1,0 +1,44 @@
+#ifndef HYTAP_IO_PERFETTO_EXPORT_H_
+#define HYTAP_IO_PERFETTO_EXPORT_H_
+
+// Renders a flight-recorder timeline (and optionally an Explain trace tree)
+// as Chrome trace-event / Perfetto JSON, openable in ui.perfetto.dev
+// (DESIGN.md §17).
+//
+// Track layout:
+//   pid 1 "serving"         tid 1 "oltp", tid 2 "olap", tid 3 "slo"
+//   pid 2 "maintenance"     tid 1 "retier", tid 2 "structural"
+//   pid 3 "secondary_store" tid 1 "store"
+//   pid 4 "explain"         tid 1 "operator_tree" (only with a trace)
+//
+// Per ticket the exporter reconstructs the execute interval from its
+// terminal event (a complete/cancel event at simulated instant C carrying
+// its simulated cost b executes over [C - b, C]) and emits a ph:"X" slice on
+// its class lane plus s/t/f flow events (id = ticket + 1) linking
+// admit -> dispatch -> terminal. Store fault events recorded mid-execution
+// (deterministically stamped window=0/sim=0, keyed by ticket + seq) are
+// placed inside the owning ticket's execute slice at start + seq. Anomaly
+// events become global instants. All timestamps derive from the simulated
+// clock, so the rendered JSON is bit-identical across worker counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/trace.h"
+
+namespace hytap {
+
+/// Renders `events` (canonically sorted, as returned by Snapshot() or
+/// ReadFlightDump()) as a Chrome trace-event JSON object. `label` is stored
+/// as trace-level metadata (e.g. the dump's anomaly reason). `explain`,
+/// when non-null, adds the operator tree as nested slices on its own
+/// process.
+std::string RenderPerfettoJson(const std::vector<FlightEvent>& events,
+                               const std::string& label = "",
+                               const TraceSpan* explain = nullptr);
+
+}  // namespace hytap
+
+#endif  // HYTAP_IO_PERFETTO_EXPORT_H_

@@ -747,6 +747,15 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
     root->Annotate("predicate_order", std::move(order_names));
     wall_before = WallClockNs();
   }
+  // Phase accounting reads finished IoStats at the pass boundaries — like
+  // tracing, it never feeds back into execution. DRAM charges accrued by
+  // each pass land in its phase; device time splits into productive store
+  // IO vs retry waste at the end, so the vector partitions TotalNs exactly
+  // even on cancellation/fault paths with partial accrual.
+  PhaseVector* phases =
+      (opts.phases != nullptr && PhaseAccountingEnabled()) ? opts.phases
+                                                           : nullptr;
+  if (phases != nullptr) *phases = PhaseVector();
   {
     ScopedSpan main_span(root.get(), "main", &result.io);
     if (main_span.active()) {
@@ -756,12 +765,29 @@ QueryResult QueryExecutor::Execute(const Transaction& txn, const Query& query,
     result.status = ExecuteMain(txn, query, order, opts, &result,
                                 main_span.span(), obs);
   }
+  uint64_t phase_dram_mark = result.io.dram_ns;
+  if (phases != nullptr) {
+    (*phases)[QueryPhase::kScanProbe] = result.io.dram_ns;
+  }
   if (result.status.ok() && StopRequested(opts)) {
     result.status = Status::Cancelled("query cancelled before the delta scan");
   }
   if (result.status.ok()) {
     ExecuteDelta(txn, query, order, opts, &result, root.get());
+    if (phases != nullptr) {
+      (*phases)[QueryPhase::kDelta] = result.io.dram_ns - phase_dram_mark;
+      phase_dram_mark = result.io.dram_ns;
+    }
     result.status = Materialize(query, opts, &result, root.get());
+    if (phases != nullptr) {
+      (*phases)[QueryPhase::kMaterialize] =
+          result.io.dram_ns - phase_dram_mark;
+    }
+  }
+  if (phases != nullptr) {
+    (*phases)[QueryPhase::kStoreIo] =
+        result.io.device_ns - result.io.retry_backoff_ns;
+    (*phases)[QueryPhase::kRetryBackoff] = result.io.retry_backoff_ns;
   }
   if (!result.status.ok()) {
     // Degrade cleanly: no partial positions, rows or aggregates ever leave

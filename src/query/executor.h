@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/phases.h"
 #include "common/trace.h"
 #include "query/predicate.h"
 #include "storage/table.h"
@@ -64,6 +65,12 @@ struct ExecOptions {
   /// monitor's windows stay deterministic under concurrency.
   QueryObservation* observation = nullptr;
   bool* observation_filled = nullptr;
+  /// When non-null and `PhaseAccountingEnabled()`, Execute() fills the
+  /// per-phase decomposition of this query's simulated cost. The vector is
+  /// derived purely from `result.io` at the pass boundaries, so its sum
+  /// equals `result.io.TotalNs()` exactly — on success, cancellation, and
+  /// fault paths alike (see DESIGN.md §17).
+  PhaseVector* phases = nullptr;
 };
 
 /// Execute() plus rendered trace — what EXPLAIN ANALYZE returns.

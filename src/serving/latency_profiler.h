@@ -1,0 +1,150 @@
+#ifndef HYTAP_SERVING_LATENCY_PROFILER_H_
+#define HYTAP_SERVING_LATENCY_PROFILER_H_
+
+// Deterministic latency attribution for served queries (DESIGN.md §17).
+//
+// The session manager feeds one terminal observation per ticket — in ticket
+// order, from the reorder-buffer flush — carrying the ticket's phase vector
+// (common/phases.h) and, when tracing is on, its trace tree. The profiler
+// aggregates per-class phase histograms and, for tail tickets (over the
+// class SLO objective, failed, or at/above the running interpolated p99),
+// produces an *attribution*: phases ranked by charge plus a critical-path
+// walk down the trace tree (the child with the largest inclusive simulated
+// time at every level, with est-vs-actual selectivities along the path).
+// Everything is computed from simulated time in ticket order, so reports
+// are bit-identical across worker counts.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/phases.h"
+#include "common/trace.h"
+#include "serving/session_manager.h"
+
+namespace hytap {
+
+class LatencyProfiler {
+ public:
+  struct Options {
+    /// Latency objectives per class, shared with the SLO monitor
+    /// (HYTAP_SLO_OLTP_NS / HYTAP_SLO_OLAP_NS).
+    uint64_t oltp_slo_ns = 2'000'000;      // 2 ms
+    uint64_t olap_slo_ns = 2'000'000'000;  // 2 s
+    /// Executed samples a class needs before the running-p99 tail criterion
+    /// arms (HYTAP_PHASE_MIN_TAIL_SAMPLES). The SLO-breach criterion is
+    /// always armed.
+    uint64_t min_tail_samples = 16;
+    /// Retained attribution cap (HYTAP_PHASE_MAX_ATTRIBUTIONS); beyond it
+    /// attributions are counted as dropped, never silently discarded.
+    size_t max_attributions = 64;
+
+    static Options FromEnv();
+  };
+
+  /// One level of the critical-path walk over the trace tree.
+  struct CriticalStep {
+    std::string name;
+    uint64_t inclusive_ns = 0;  // span's simulated_ns
+    uint64_t exclusive_ns = 0;  // inclusive minus children's inclusive
+    std::string est_selectivity;     // empty when the span isn't annotated
+    std::string actual_selectivity;
+  };
+
+  /// Why a tail ticket was slow.
+  struct Attribution {
+    uint64_t ticket = 0;
+    QueryClass cls = QueryClass::kOltp;
+    StatusCode status = StatusCode::kOk;
+    uint64_t latency_ns = 0;
+    bool slo_breach = false;  // failed or over the class objective
+    bool p99_tail = false;    // >= running interpolated p99 at observation
+    PhaseVector phases;
+    QueryPhase dominant = QueryPhase::kScanProbe;
+    /// All phases ordered by descending charge (ties -> lower enum value).
+    std::vector<QueryPhase> ranked;
+    /// Root-to-leaf walk, empty when the ticket carried no trace.
+    std::vector<CriticalStep> critical_path;
+  };
+
+  /// Per-class point-in-time aggregate for tests/CLIs.
+  struct ClassSnapshot {
+    uint64_t observations = 0;  // all terminal tickets
+    uint64_t executed = 0;      // completed an execution (ok or failed)
+    uint64_t shed = 0;          // terminal without executing (shed or
+                                // cancelled while queued)
+    uint64_t cancelled = 0;     // cancelled mid-execution; their partial
+                                // accrual depends on stop-token timing, so
+                                // they are counted but excluded from the
+                                // deterministic phase/latency aggregates
+    uint64_t failed = 0;        // executed with non-OK status
+    uint64_t tail = 0;          // attributed tickets
+    uint64_t latency_sum_ns = 0;
+    PhaseVector phase_sum;
+    uint64_t latency_p50_ns = 0;
+    uint64_t latency_p99_ns = 0;
+    uint64_t latency_p999_ns = 0;
+  };
+
+  explicit LatencyProfiler(Options options = Options::FromEnv());
+
+  /// Feeds one terminal ticket. Must be called in ticket order (the serving
+  /// flush guarantees this); internally serialized. `executed` is false for
+  /// tickets shed or cancelled while still queued — their phase vector is
+  /// all-zero and their latency 0. `window`/`sim_ns` stamp flight events.
+  /// No-op when `PhaseAccountingEnabled()` is off.
+  void Observe(uint64_t ticket, QueryClass cls, StatusCode status,
+               bool executed, uint64_t latency_ns, const PhaseVector& phases,
+               const TraceSpan* trace, uint64_t window, uint64_t sim_ns);
+
+  ClassSnapshot Snapshot(QueryClass cls) const;
+  std::vector<Attribution> Attributions() const;
+  uint64_t attributions_dropped() const;
+
+  /// Deterministic human-readable report (per-class phase breakdown +
+  /// retained tail attributions).
+  std::string ReportText() const;
+  /// Same content as a single JSON object.
+  std::string ReportJson() const;
+
+  /// Pushes hytap_phase_* dominant/share gauges into the metrics registry.
+  /// Histograms and counters are updated inline by Observe().
+  void ExportMetrics() const;
+
+  const Options& options() const { return options_; }
+
+  void Reset();
+
+ private:
+  struct ClassState {
+    uint64_t observations = 0;
+    uint64_t executed = 0;
+    uint64_t shed = 0;
+    uint64_t cancelled = 0;
+    uint64_t failed = 0;
+    uint64_t tail = 0;
+    uint64_t latency_sum_ns = 0;
+    PhaseVector phase_sum;
+    /// Executed-ticket latencies in fixed duration buckets; drives the
+    /// running-p99 tail criterion and the report quantiles.
+    MetricsSnapshot::HistogramData latencies;
+  };
+
+  uint64_t ObjectiveNs(QueryClass cls) const {
+    return cls == QueryClass::kOltp ? options_.oltp_slo_ns
+                                    : options_.olap_slo_ns;
+  }
+
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  ClassState classes_[kQueryClassCount];
+  std::vector<Attribution> attributions_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace hytap
+
+#endif  // HYTAP_SERVING_LATENCY_PROFILER_H_

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/retier_daemon.h"
 #include "core/tiered_table.h"
+#include "serving/latency_profiler.h"
 #include "serving/slo_monitor.h"
 #include "tiering/buffer_manager.h"
 
@@ -289,8 +290,9 @@ void SessionManager::WorkerLoop() {
       QueryResult result;
       result.status = Status::Cancelled("session cancelled while queued");
       metrics.cancelled->Add();
-      RecordInOrder(s->ticket_, false, s->query_, QueryObservation(), false,
-                    s->class_, StatusCode::kCancelled);
+      RecordInOrder(s->ticket_, false, false, s->query_, QueryObservation(),
+                    false, s->class_, StatusCode::kCancelled, PhaseVector(),
+                    0, nullptr);
       FinishSession(s, std::move(result), dispatch_index);
     } else if (s->deadline_ns_ != 0 && NowNs() > s->deadline_ns_) {
       // Late: shed instead of dispatched (EDF makes this the query that
@@ -299,8 +301,9 @@ void SessionManager::WorkerLoop() {
       result.status =
           Status::DeadlineExceeded("admission deadline passed before dispatch");
       metrics.shed_deadline->Add();
-      RecordInOrder(s->ticket_, false, s->query_, QueryObservation(), false,
-                    s->class_, StatusCode::kDeadlineExceeded);
+      RecordInOrder(s->ticket_, false, false, s->query_, QueryObservation(),
+                    false, s->class_, StatusCode::kDeadlineExceeded,
+                    PhaseVector(), 0, nullptr);
       FinishSession(s, std::move(result), dispatch_index);
     } else {
       // Dispatch events, like admit events, carry only ticket + class: the
@@ -328,6 +331,11 @@ void SessionManager::WorkerLoop() {
 void SessionManager::set_slo_monitor(SloMonitor* slo) {
   std::lock_guard<std::mutex> lock(record_mutex_);
   slo_ = slo;
+}
+
+void SessionManager::set_latency_profiler(LatencyProfiler* profiler) {
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  profiler_ = profiler;
 }
 
 void SessionManager::set_retier_daemon(RetierDaemon* daemon) {
@@ -394,6 +402,10 @@ void SessionManager::RunSession(const SessionHandle& s,
   bool obs_filled = false;
   eopts.observation = &obs;
   eopts.observation_filled = &obs_filled;
+  // Phase decomposition of this execution; all-zero (and skipped by the
+  // executor) when HYTAP_PHASE_ACCOUNTING is off.
+  PhaseVector phases;
+  eopts.phases = &phases;
 
   QueryResult result;
   {
@@ -416,8 +428,9 @@ void SessionManager::RunSession(const SessionHandle& s,
   // replay their observation in ticket order; cancelled executions record
   // nothing — a serial replay without the cancel would observe different
   // work, so the monitor only ever sees completed executions.
-  RecordInOrder(s->ticket_, !was_cancelled, s->query_, std::move(obs),
-                obs_filled, s->class_, result.status.code());
+  RecordInOrder(s->ticket_, !was_cancelled, /*executed=*/true, s->query_,
+                std::move(obs), obs_filled, s->class_, result.status.code(),
+                phases, result.io.TotalNs(), result.trace);
   FinishSession(s, std::move(result), dispatch_index);
 }
 
@@ -432,13 +445,17 @@ void SessionManager::FinishSession(const SessionHandle& s, QueryResult result,
   s->cv_.notify_all();
 }
 
-void SessionManager::RecordInOrder(uint64_t ticket, bool record,
+void SessionManager::RecordInOrder(uint64_t ticket, bool record, bool executed,
                                    const Query& query, QueryObservation obs,
                                    bool obs_filled, QueryClass cls,
-                                   StatusCode status) {
+                                   StatusCode status,
+                                   const PhaseVector& phases,
+                                   uint64_t exec_sim_ns,
+                                   std::shared_ptr<const TraceSpan> trace) {
   std::lock_guard<std::mutex> lock(record_mutex_);
   RecordItem item;
   item.record = record;
+  item.executed = executed;
   if (record) {
     item.query = query;
     item.obs = std::move(obs);
@@ -446,11 +463,16 @@ void SessionManager::RecordInOrder(uint64_t ticket, bool record,
   }
   item.cls = cls;
   item.status = status;
+  item.phases = phases;
+  item.exec_sim_ns = exec_sim_ns;
+  item.trace = std::move(trace);
   record_buffer_.emplace(ticket, std::move(item));
   // Flush the contiguous prefix: observations reach the monitor, the plan
-  // cache, the flight recorder, and the SLO monitor in ticket order, so
-  // their window series and burn-rate state are deterministic.
-  const bool stamp = FlightRecorderEnabled() || slo_ != nullptr;
+  // cache, the flight recorder, the SLO monitor, and the latency profiler in
+  // ticket order, so their window series and aggregates are deterministic.
+  const bool phases_on = profiler_ != nullptr && PhaseAccountingEnabled();
+  const bool stamp =
+      FlightRecorderEnabled() || slo_ != nullptr || phases_on;
   auto it = record_buffer_.find(next_record_ticket_);
   while (it != record_buffer_.end()) {
     const RecordItem& flushed = it->second;
@@ -463,23 +485,35 @@ void SessionManager::RecordInOrder(uint64_t ticket, bool record,
       // this point regardless of worker interleaving.
       const uint64_t window = table_->monitor().windows_started();
       const uint64_t sim_ns = table_->monitor().now_ns();
-      const uint64_t latency =
-          flushed.obs_filled ? flushed.obs.simulated_ns : 0;
       FlightEventType type = FlightEventType::kSessionComplete;
+      // Event operand b by type: completes carry the end-to-end simulated
+      // latency, cancels the simulated ns accrued before the abort, sheds
+      // their simulated queue wait — identically 0, queueing is
+      // instantaneous on the simulated clock (never a latency).
+      uint64_t b = flushed.exec_sim_ns;
       if (flushed.status == StatusCode::kCancelled) {
         type = FlightEventType::kSessionCancel;
       } else if (!flushed.record) {
         type = FlightEventType::kSessionShed;
+        b = 0;
       }
       FlightRecorder::Global().Record(type, uint16_t(flushed.status),
                                       it->first, window, sim_ns,
-                                      uint64_t(flushed.cls), latency);
+                                      uint64_t(flushed.cls), b);
       // Cancellation is caller-initiated, not a service failure: it does
       // not burn SLO budget. Sheds and failed executions do.
       if (slo_ != nullptr && flushed.status != StatusCode::kCancelled) {
+        const uint64_t latency =
+            flushed.obs_filled ? flushed.obs.simulated_ns : 0;
         slo_->Observe(flushed.cls, latency,
                       flushed.status != StatusCode::kOk, window, sim_ns,
                       it->first);
+      }
+      if (phases_on) {
+        profiler_->Observe(it->first, flushed.cls, flushed.status,
+                           flushed.executed, flushed.exec_sim_ns,
+                           flushed.phases, flushed.trace.get(), window,
+                           sim_ns);
       }
     }
     record_buffer_.erase(it);

@@ -23,6 +23,7 @@ namespace hytap {
 class TieredTable;
 class SloMonitor;
 class RetierDaemon;
+class LatencyProfiler;
 
 /// Priority class of a submitted query. OLTP dispatches before OLAP and its
 /// morsels preempt OLAP morsels at the thread-pool level (TaskPriority).
@@ -180,6 +181,10 @@ class SessionManager {
   /// terminal outcome per ticket from the reorder-buffer flush, in ticket
   /// order, so burn-rate state is deterministic across worker counts.
   void set_slo_monitor(SloMonitor* slo);
+  /// Attaches a latency profiler (not owned; null detaches). Like the SLO
+  /// monitor it is fed from the flush in ticket order, carrying each
+  /// ticket's phase vector and trace tree (when tracing is on).
+  void set_latency_profiler(LatencyProfiler* profiler);
   /// Attaches a re-tiering daemon (not owned; null detaches) ticked from
   /// workers' idle periods when options().retier_on_idle is set.
   void set_retier_daemon(RetierDaemon* daemon);
@@ -219,9 +224,14 @@ class SessionManager {
   /// flight events, and feed the SLO monitor in ticket order. `record` is
   /// false for sessions that never executed (shed / cancelled while queued);
   /// `status` is the session's terminal status code.
-  void RecordInOrder(uint64_t ticket, bool record, const Query& query,
-                     QueryObservation obs, bool obs_filled, QueryClass cls,
-                     StatusCode status);
+  /// `executed` is true when the ticket reached the executor (even if the
+  /// execution was then cancelled or failed); `record` additionally requires
+  /// a non-cancelled outcome.
+  void RecordInOrder(uint64_t ticket, bool record, bool executed,
+                     const Query& query, QueryObservation obs, bool obs_filled,
+                     QueryClass cls, StatusCode status,
+                     const PhaseVector& phases, uint64_t exec_sim_ns,
+                     std::shared_ptr<const TraceSpan> trace);
   /// Runs one re-tier tick if the table has been idle-eligible: takes the
   /// submit mutex and the write gate itself (no queries queued or running),
   /// at most once per workload-monitor window.
@@ -254,6 +264,16 @@ class SessionManager {
     bool obs_filled = false;
     QueryClass cls = QueryClass::kOlap;
     StatusCode status = StatusCode::kOk;
+    /// True when the ticket reached the executor (record is false for
+    /// cancelled executions, which still carry their partial accrual here).
+    bool executed = false;
+    /// Phase decomposition of the execution (all-zero when it never ran or
+    /// phase accounting is off) and the execution's total simulated ns —
+    /// phases.Sum() == exec_sim_ns is the profiler's core invariant.
+    PhaseVector phases;
+    uint64_t exec_sim_ns = 0;
+    /// Trace tree for tail critical-path walks (null unless tracing is on).
+    std::shared_ptr<const TraceSpan> trace;
   };
   std::mutex record_mutex_;
   std::map<uint64_t, RecordItem> record_buffer_;
@@ -261,6 +281,8 @@ class SessionManager {
 
   /// Fed from the flush under record_mutex_ (null = detached).
   SloMonitor* slo_ = nullptr;
+  /// Fed from the flush under record_mutex_ (null = detached).
+  LatencyProfiler* profiler_ = nullptr;
   /// Ticked from idle workers when options_.retier_on_idle (null = off).
   RetierDaemon* retier_ = nullptr;
   /// Monitor window of the last idle tick (guarded by submit_mutex_;

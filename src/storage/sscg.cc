@@ -45,6 +45,7 @@ void AccountFetch(const BufferManager::Fetch& fetch, IoStats* io) {
     ++io->cache_hits;
   } else {
     io->device_ns += fetch.latency_ns;
+    io->retry_backoff_ns += fetch.retry_ns;
     ++io->page_reads;
     io->retries += fetch.retries;
     io->checksum_failures += fetch.checksum_failures;

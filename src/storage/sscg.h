@@ -17,6 +17,10 @@ namespace hytap {
 struct IoStats {
   uint64_t device_ns = 0;      // summed per-requester device time
   uint64_t dram_ns = 0;        // DRAM access cost (cache misses)
+  uint64_t retry_backoff_ns = 0;  // sub-account of device_ns: retry backoff
+                                  // charges plus failed-attempt latency that
+                                  // a successful re-read wrote off (NOT added
+                                  // to TotalNs — already inside device_ns)
   uint64_t page_reads = 0;     // secondary-storage page fetches (misses)
   uint64_t cache_hits = 0;     // buffer-manager hits
   uint64_t retries = 0;        // page-read attempts beyond the first
@@ -54,6 +58,7 @@ struct IoStats {
   IoStats& operator+=(const IoStats& other) {
     device_ns += other.device_ns;
     dram_ns += other.dram_ns;
+    retry_backoff_ns += other.retry_backoff_ns;
     page_reads += other.page_reads;
     cache_hits += other.cache_hits;
     retries += other.retries;

@@ -84,7 +84,7 @@ StatusOr<BufferManager::Fetch> BufferManager::FetchPage(
   frame.occupied = true;
   frame_of_[id] = victim;
   return Fetch{&frame.data, read->latency_ns, /*hit=*/false, read->retries,
-               report.checksum_failures};
+               report.checksum_failures, read->retry_ns};
 }
 
 void BufferManager::Pin(PageId id) {

@@ -58,6 +58,9 @@ class BufferManager {
     uint32_t retries = 0;
     /// CRC mismatches detected (and recovered by retry) during this fetch.
     uint32_t checksum_failures = 0;
+    /// Retry-waste slice of latency_ns on a miss (backoff + failed-attempt
+    /// device time); zero on hits.
+    uint64_t retry_ns = 0;
   };
 
   /// Fetches `id`, reading through to the store on a miss. The returned

@@ -316,6 +316,8 @@ StatusOr<SecondaryStore::ReadOutcome> SecondaryStore::ReadPage(
     }
     total_read_ns_ += outcome.latency_ns;
     metrics.read_latency_ns->Observe(outcome.latency_ns);
+    // Everything but the final attempt's own device time was retry waste.
+    outcome.retry_ns = outcome.latency_ns - latency_ns;
     return outcome;
   }
   total_read_ns_ += outcome.latency_ns;

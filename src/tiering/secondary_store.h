@@ -52,6 +52,10 @@ class SecondaryStore {
     uint64_t latency_ns = 0;
     /// Read attempts beyond the first.
     uint32_t retries = 0;
+    /// The retry-waste slice of latency_ns: backoff charges plus the device
+    /// latency of failed attempts. latency_ns - retry_ns is the final
+    /// successful attempt's productive device time.
+    uint64_t retry_ns = 0;
   };
 
   /// Fault activity of one ReadPage call, reported on success *and* failure

@@ -158,6 +158,59 @@ TEST(MetricsTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("test_prom_histogram_count 2\n"), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  MetricsSnapshot::HistogramData h;
+  h.bounds = {100, 200, 400};
+  h.counts = {0, 0, 0, 0};
+  EXPECT_EQ(h.Quantile(0.5), 0u);  // empty histogram reports 0
+
+  // 10 samples in (100, 200]: rank r maps to 100 + (200-100) * r / 10.
+  h.counts = {0, 10, 0, 0};
+  h.count = 10;
+  EXPECT_EQ(h.Quantile(0.0), 110u);   // rank 1 (ceil'd, never rank 0)
+  EXPECT_EQ(h.Quantile(0.5), 150u);   // rank 5
+  EXPECT_EQ(h.Quantile(1.0), 200u);   // rank 10 -> upper bound
+  // p99 of 10 samples is rank ceil(9.9) = 10.
+  EXPECT_EQ(h.Quantile(0.99), 200u);
+
+  // Mixed buckets: 4 in [0, 100], 4 in (100, 200], 2 in (200, 400].
+  h.counts = {4, 4, 2, 0};
+  h.count = 10;
+  EXPECT_EQ(h.Quantile(0.25), 75u);   // rank 3 of 4 in [0, 100]
+  EXPECT_EQ(h.Quantile(0.5), 125u);   // rank 5 -> 1st of 4 in (100, 200]
+  EXPECT_EQ(h.Quantile(0.9), 300u);   // rank 9 -> 1st of 2 in (200, 400]
+
+  // Overflow samples clamp to the last finite bound.
+  h.counts = {0, 0, 0, 3};
+  h.count = 3;
+  EXPECT_EQ(h.Quantile(0.99), 400u);
+}
+
+TEST(MetricsTest, PrometheusExportsInterpolatedQuantileGauges) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  HistogramMetric* histogram =
+      registry.GetHistogram("test_quantile_histogram", {10, 100});
+  histogram->Reset();
+  for (int i = 0; i < 10; ++i) histogram->Observe(50);
+
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  // Each quantile gauge is its own metric family with its own TYPE line.
+  for (const char* q : {"_p50", "_p99", "_p999"}) {
+    EXPECT_NE(text.find(std::string("# TYPE test_quantile_histogram") + q +
+                        " gauge\n"),
+              std::string::npos)
+        << q;
+  }
+  // All 10 samples sit in (10, 100]: p50 = 10 + 90 * 5 / 10.
+  EXPECT_NE(text.find("test_quantile_histogram_p50 55\n"), std::string::npos);
+  EXPECT_NE(text.find("test_quantile_histogram_p99 100\n"), std::string::npos);
+
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"p50\": 55"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\": 100"), std::string::npos);
+}
+
 TEST(MetricsTest, JsonExportContainsSections) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("test_json_counter")->Reset();

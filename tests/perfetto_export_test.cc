@@ -1,0 +1,345 @@
+#include "io/perfetto_export.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/trace.h"
+#include "core/tiered_table.h"
+#include "serving/session_manager.h"
+#include "workload/tpcc.h"
+
+namespace hytap {
+namespace {
+
+FlightEvent Make(FlightEventType type, uint16_t code, uint64_t ticket,
+                 uint64_t window, uint64_t sim_ns, uint64_t a, uint64_t b,
+                 uint32_t seq = 0) {
+  FlightEvent e{};
+  e.type = uint16_t(type);
+  e.code = code;
+  e.ticket = ticket;
+  e.window = window;
+  e.sim_ns = sim_ns;
+  e.a = a;
+  e.b = b;
+  e.seq = seq;
+  return e;
+}
+
+/// Canonical dump order (window, sim_ns, ticket, type, code, seq, a, b) —
+/// the contract RenderPerfettoJson expects from Snapshot()/ReadFlightDump().
+void CanonicalSort(std::vector<FlightEvent>* events) {
+  std::sort(events->begin(), events->end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              auto key = [](const FlightEvent& e) {
+                return std::make_tuple(e.window, e.sim_ns, e.ticket, e.type,
+                                       e.code, e.seq, e.a, e.b);
+              };
+              return key(x) < key(y);
+            });
+}
+
+/// Checks JSON bracket/brace balance outside string literals — a cheap
+/// validity scanner that catches every structural emission bug without a
+/// JSON parser dependency (CI additionally runs python3 -m json.tool).
+void ExpectBalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      ASSERT_GT(depth, 0) << "unbalanced close";
+      --depth;
+    }
+  }
+  EXPECT_FALSE(in_string) << "unterminated string";
+  EXPECT_EQ(depth, 0) << "unbalanced open";
+}
+
+/// Extracts the numeric value following `key` in a single-line event object,
+/// or dies. Works because the exporter emits one event per line.
+double NumField(const std::string& line, const std::string& key) {
+  const size_t pos = line.find(key);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << line;
+  if (pos == std::string::npos) return -1;
+  return std::strtod(line.c_str() + pos + key.size(), nullptr);
+}
+
+struct Slice {
+  double ts;
+  double dur;
+};
+
+/// Parses the per-line event stream into X slices per (pid, tid) and flow
+/// phase sets per id.
+void ParseTimeline(const std::string& json,
+                   std::map<std::pair<int, int>, std::vector<Slice>>* slices,
+                   std::map<int, std::set<char>>* flows) {
+  size_t start = 0;
+  while (start < json.size()) {
+    size_t end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    const std::string line = json.substr(start, end - start);
+    start = end + 1;
+    if (line.find("\"ph\": \"X\"") != std::string::npos) {
+      const int pid = int(NumField(line, "\"pid\": "));
+      const int tid = int(NumField(line, "\"tid\": "));
+      (*slices)[{pid, tid}].push_back(
+          {NumField(line, "\"ts\": "), NumField(line, "\"dur\": ")});
+    } else {
+      for (char ph : {'s', 't', 'f'}) {
+        const std::string tag =
+            std::string("\"ph\": \"") + ph + "\"";
+        if (line.find(tag) != std::string::npos) {
+          (*flows)[int(NumField(line, "\"id\": "))].insert(ph);
+        }
+      }
+    }
+  }
+}
+
+/// Every track's X slices must be emitted ts-sorted and either disjoint or
+/// properly nested (a slice never partially overlaps an enclosing one).
+void ExpectTracksMonotonic(
+    const std::map<std::pair<int, int>, std::vector<Slice>>& slices) {
+  for (const auto& [track, lane] : slices) {
+    double prev_ts = -1.0;
+    std::vector<double> stack;  // open enclosing slice ends
+    for (const Slice& s : lane) {
+      EXPECT_GE(s.dur, 0.0);
+      EXPECT_GE(s.ts, prev_ts)
+          << "track (" << track.first << "," << track.second
+          << ") not ts-sorted";
+      prev_ts = s.ts;
+      // Timestamps are 3-decimal microseconds; ts + dur re-accumulates
+      // rounding, so boundary checks get half a nanosecond of slack.
+      constexpr double kEps = 0.0005;
+      const double end = s.ts + s.dur;
+      while (!stack.empty() && s.ts >= stack.back() - kEps) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(end, stack.back() + kEps)
+            << "track (" << track.first << "," << track.second
+            << ") has a partially overlapping slice";
+      }
+      stack.push_back(end);
+    }
+  }
+}
+
+TEST(PerfettoExportTest, SyntheticTimelineIsStructurallyValid) {
+  std::vector<FlightEvent> events;
+  // Admits/dispatches are deliberately unstamped (window 0 / sim 0).
+  for (uint64_t t = 0; t < 4; ++t) {
+    events.push_back(Make(FlightEventType::kSessionAdmit, 0, t, 0, 0,
+                          t == 0 ? 0 : 1, 0));
+  }
+  events.push_back(
+      Make(FlightEventType::kSessionDispatch, 0, 0, 0, 0, 0, 0));
+  events.push_back(
+      Make(FlightEventType::kSessionDispatch, 0, 1, 0, 0, 1, 0));
+  // Terminals flushed in ticket order with the sim clock advancing there.
+  events.push_back(
+      Make(FlightEventType::kSessionComplete, 0, 0, 1, 1000, 0, 400));
+  events.push_back(
+      Make(FlightEventType::kSessionComplete, 0, 1, 1, 2000, 1, 1500));
+  events.push_back(
+      Make(FlightEventType::kSessionShed, 4, 2, 1, 2100, 1, 0));
+  // Cancel whose accrued time would start before the lane cursor: the
+  // exporter must clamp it instead of overlapping the shed instant.
+  events.push_back(
+      Make(FlightEventType::kSessionCancel, 1, 3, 1, 2100, 1, 50));
+  // Streamed store fault inside ticket 1's execute interval (keyed by seq).
+  events.push_back(
+      Make(FlightEventType::kStoreFault, 2, 1, 0, 0, 77, 1, /*seq=*/5));
+  events.push_back(
+      Make(FlightEventType::kRetierTrigger, 0, 9, 1, 1500, 3, 0));
+  events.push_back(Make(FlightEventType::kMergeBegin, 0, 0, 1, 1600, 12, 0));
+  events.push_back(Make(FlightEventType::kSloBreach, 2, 0, 1, 2000, 1, 4000));
+  events.push_back(Make(FlightEventType::kAnomaly, 1, 0, 1, 2050, 0, 0));
+  events.push_back(Make(FlightEventType::kPhaseAttribution, 0b001, 0, 1, 1000,
+                        3, 400));
+  CanonicalSort(&events);
+
+  const std::string json = RenderPerfettoJson(events, "unit \"test\"");
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(json.find("unit \\\"test\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"serving\""), std::string::npos);
+  EXPECT_NE(json.find("\"secondary_store\""), std::string::npos);
+
+  std::map<std::pair<int, int>, std::vector<Slice>> slices;
+  std::map<int, std::set<char>> flows;
+  ParseTimeline(json, &slices, &flows);
+  // One X slice per terminal: two on the oltp lane is wrong — t0 is oltp,
+  // t1..t3 olap.
+  ASSERT_EQ(slices[std::make_pair(1, 1)].size(), 1u);
+  ASSERT_EQ(slices[std::make_pair(1, 2)].size(), 3u);
+  ExpectTracksMonotonic(slices);
+  // Flow ids round-trip: every started flow finishes and vice versa.
+  ASSERT_EQ(flows.size(), 4u);
+  for (const auto& [id, phases] : flows) {
+    EXPECT_TRUE(phases.count('s')) << "flow " << id << " has no start";
+    EXPECT_TRUE(phases.count('f')) << "flow " << id << " has no finish";
+  }
+  // Dispatch step flows only exist for tickets 0 and 1.
+  EXPECT_TRUE(flows[1].count('t'));
+  EXPECT_TRUE(flows[2].count('t'));
+  EXPECT_FALSE(flows[3].count('t'));
+}
+
+TEST(PerfettoExportTest, TerminalWithoutAdmitEmitsNoDanglingFlow) {
+  std::vector<FlightEvent> events;
+  // Ring eviction scenario: the terminal survived, its admit did not.
+  events.push_back(
+      Make(FlightEventType::kSessionComplete, 0, 7, 1, 1000, 0, 400));
+  const std::string json = RenderPerfettoJson(events);
+  ExpectBalancedJson(json);
+  std::map<std::pair<int, int>, std::vector<Slice>> slices;
+  std::map<int, std::set<char>> flows;
+  ParseTimeline(json, &slices, &flows);
+  EXPECT_EQ(slices[std::make_pair(1, 1)].size(), 1u);  // the slice still renders
+  EXPECT_TRUE(flows.empty());            // but no half-open flow
+}
+
+TEST(PerfettoExportTest, ExplainTreeNestsOnItsOwnTrack) {
+  TraceSpan root;
+  root.name = "execute";
+  root.simulated_ns = 1000;
+  TraceSpan scan;
+  scan.name = "main_scan";
+  scan.simulated_ns = 700;
+  TraceSpan probe;
+  probe.name = "probe";
+  probe.simulated_ns = 300;
+  probe.Annotate("est_selectivity", "0.25");
+  scan.children.push_back(probe);
+  root.children.push_back(scan);
+  TraceSpan mat;
+  mat.name = "materialize";
+  mat.simulated_ns = 200;
+  root.children.push_back(mat);
+
+  std::vector<FlightEvent> events;
+  events.push_back(
+      Make(FlightEventType::kSessionComplete, 0, 0, 1, 1000, 0, 1000));
+  const std::string json = RenderPerfettoJson(events, "", &root);
+  ExpectBalancedJson(json);
+  EXPECT_NE(json.find("\"operator_tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"est_selectivity\": \"0.25\""), std::string::npos);
+
+  std::map<std::pair<int, int>, std::vector<Slice>> slices;
+  std::map<int, std::set<char>> flows;
+  ParseTimeline(json, &slices, &flows);
+  const auto& tree = slices[std::make_pair(4, 1)];
+  ASSERT_EQ(tree.size(), 4u);  // execute, main_scan, probe, materialize
+  ExpectTracksMonotonic(slices);
+  // materialize starts after main_scan's inclusive span ends.
+  EXPECT_EQ(tree[3].ts, 0.7);  // 700 ns -> 0.7 µs
+}
+
+TEST(PerfettoExportTest, RenderIsDeterministic) {
+  std::vector<FlightEvent> events;
+  events.push_back(Make(FlightEventType::kSessionAdmit, 0, 0, 0, 0, 0, 0));
+  events.push_back(
+      Make(FlightEventType::kSessionComplete, 0, 0, 1, 500, 0, 500));
+  CanonicalSort(&events);
+  EXPECT_EQ(RenderPerfettoJson(events, "x"), RenderPerfettoJson(events, "x"));
+}
+
+std::unique_ptr<TieredTable> MakeOrderline() {
+  OrderlineParams params;
+  params.warehouses = 2;
+  params.districts_per_warehouse = 2;
+  params.orders_per_district = 20;
+  TieredTableOptions options;
+  options.device = DeviceKind::kXpoint;
+  auto table = std::make_unique<TieredTable>("orderline", OrderlineSchema(),
+                                             options);
+  table->Load(GenerateOrderlineRows(params));
+  return table;
+}
+
+/// End-to-end: a served workload's flight snapshot renders to the same
+/// timeline bytes at 1/2/4 workers with a fault schedule armed — the
+/// trace-export leg of the determinism contract.
+TEST(PerfettoExportTest, ServedTimelineBitIdenticalAcrossWorkerCounts) {
+  SetFlightRecorderEnabled(true);
+  FaultConfig faults;
+  faults.seed = 7;
+  faults.read_error_rate = 0.02;
+  faults.read_corruption_rate = 0.01;
+  faults.latency_spike_rate = 0.01;
+
+  auto run = [&](size_t max_sessions) {
+    FlightRecorder::Global().Reset();
+    auto table = MakeOrderline();
+    std::vector<bool> placement(10, true);
+    for (ColumnId c : {kOlDeliveryD, kOlQuantity, kOlAmount, kOlDistInfo}) {
+      placement[c] = false;
+    }
+    EXPECT_TRUE(table->ApplyPlacement(placement).ok());
+    table->store().ConfigureFaults(faults);
+    SessionOptions so;
+    so.max_sessions = max_sessions;
+    SessionManager& sm = table->EnableServing(so);
+    std::vector<SessionHandle> handles;
+    for (size_t i = 0; i < 24; ++i) {
+      SubmitOptions opts;
+      opts.query_class = (i % 2 == 0) ? QueryClass::kOltp : QueryClass::kOlap;
+      auto s = sm.Submit(DeliveryQuery(1 + int32_t(i % 2), 1 + int32_t(i % 2),
+                                       int32_t(i % 18)),
+                         opts);
+      EXPECT_TRUE(s.ok());
+      handles.push_back(*s);
+    }
+    for (const SessionHandle& s : handles) s->Await();
+    sm.Drain();
+    return RenderPerfettoJson(FlightRecorder::Global().Snapshot(), "run");
+  };
+
+  const std::string one = run(1);
+  const std::string two = run(2);
+  const std::string four = run(4);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+
+  std::map<std::pair<int, int>, std::vector<Slice>> slices;
+  std::map<int, std::set<char>> flows;
+  ParseTimeline(one, &slices, &flows);
+  EXPECT_EQ(slices[std::make_pair(1, 1)].size() + slices[std::make_pair(1, 2)].size(), 24u);
+  ExpectTracksMonotonic(slices);
+  EXPECT_EQ(flows.size(), 24u);
+  for (const auto& [id, phases] : flows) {
+    EXPECT_TRUE(phases.count('s')) << "flow " << id;
+    EXPECT_TRUE(phases.count('f')) << "flow " << id;
+  }
+  FlightRecorder::Global().Reset();
+}
+
+}  // namespace
+}  // namespace hytap

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Sanity-check a Chrome trace-event / Perfetto JSON timeline.
+
+Usage: check_perfetto.py <timeline.json>
+
+Validates (stdlib only, no Perfetto dependency) that:
+  - the file is valid JSON with a `traceEvents` list;
+  - every event carries the required keys for its phase type;
+  - per (pid, tid) track, complete ("X") slices are sorted by start
+    timestamp and do not overlap (closed lanes: each lane is a serial
+    timeline of execute slices);
+  - every flow id seen has at least one start ("s") and one finish ("f")
+    event, i.e. admit -> dispatch -> terminal chains round-trip;
+  - process/thread metadata ("M") names the tracks used by slices.
+
+Exits non-zero with a diagnostic on the first class of violation found.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print("check_perfetto: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_perfetto.py <timeline.json>", file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail("invalid JSON: %s" % e)
+
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        fail("missing traceEvents list")
+    events = doc["traceEvents"]
+    if not events:
+        fail("empty traceEvents")
+
+    slices = defaultdict(list)  # (pid, tid) -> [(ts, dur)]
+    flows = defaultdict(set)  # flow id -> set of phases seen
+    named_tracks = set()  # (pid, tid) with thread_name metadata
+    named_pids = set()  # pid with process_name metadata
+
+    for i, e in enumerate(events):
+        if not isinstance(e, dict) or "ph" not in e:
+            fail("event %d has no ph" % i)
+        ph = e["ph"]
+        if ph == "M":
+            if e.get("name") == "process_name":
+                named_pids.add(e.get("pid"))
+            elif e.get("name") == "thread_name":
+                named_tracks.add((e.get("pid"), e.get("tid")))
+            continue
+        for key in ("ts", "pid", "tid", "name"):
+            if key not in e:
+                fail("event %d (ph=%s) missing %s" % (i, ph, key))
+        if ph == "X":
+            if "dur" not in e:
+                fail("X slice %d ('%s') has no dur" % (i, e["name"]))
+            slices[(e["pid"], e["tid"])].append(
+                (float(e["ts"]), float(e["dur"]), e["name"])
+            )
+        elif ph in ("s", "t", "f"):
+            if "id" not in e:
+                fail("flow event %d ('%s') has no id" % (i, e["name"]))
+            flows[e["id"]].add(ph)
+        elif ph == "i":
+            pass  # instants only need the common keys checked above
+        else:
+            fail("event %d has unexpected ph '%s'" % (i, ph))
+
+    if not slices:
+        fail("no complete (X) slices")
+
+    # Timestamps are microseconds rendered to 3 decimals (nanosecond grid);
+    # ts + dur re-accumulates rounding, so boundary comparisons get half a
+    # nanosecond of slack.
+    eps = 0.0005
+    for (pid, tid), lane in slices.items():
+        prev_ts = -1.0
+        stack = []  # ends of still-open enclosing slices (nesting allowed)
+        for ts, dur, name in lane:
+            if dur < 0:
+                fail("negative dur on (%s,%s) '%s'" % (pid, tid, name))
+            if ts < prev_ts:
+                fail(
+                    "track (%s,%s) not ts-sorted: '%s'@%s after ts %s"
+                    % (pid, tid, name, ts, prev_ts)
+                )
+            prev_ts = ts
+            end = ts + dur
+            while stack and ts >= stack[-1] - eps:
+                stack.pop()
+            if stack and end > stack[-1] + eps:
+                fail(
+                    "track (%s,%s) partial overlap: '%s' [%s, %s] crosses "
+                    "enclosing slice end %s"
+                    % (pid, tid, name, ts, end, stack[-1])
+                )
+            stack.append(end)
+        if (pid, tid) not in named_tracks:
+            fail("track (%s,%s) has slices but no thread_name" % (pid, tid))
+        if pid not in named_pids:
+            fail("pid %s has slices but no process_name" % pid)
+
+    for fid, phases in flows.items():
+        if "s" not in phases:
+            fail("flow id %s has no start (s) event" % fid)
+        if "f" not in phases:
+            fail("flow id %s has no finish (f) event" % fid)
+
+    print(
+        "check_perfetto: OK (%d events, %d tracks, %d flows)"
+        % (len(events), len(slices), len(flows))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

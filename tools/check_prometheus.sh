@@ -3,6 +3,7 @@
 #
 # Usage: check_prometheus.sh <metrics.txt> [--require-solver]
 #     [--require-retier] [--require-sessions] [--require-slo]
+#     [--require-phases]
 #
 # Validates (with plain grep -E, no promtool dependency) that:
 #   - every line is a `# TYPE` comment or a `name[{labels}] value` sample;
@@ -23,13 +24,18 @@
 #     `bench_serving`);
 #   - with --require-slo, the hytap_slo_* families of the SLO burn-rate
 #     monitor plus the hytap_flight_* recorder counters are present
-#     (snapshots from `stats_cli --slo`).
+#     (snapshots from `stats_cli --slo`);
+#   - with --require-phases, the hytap_phase_* families of the latency
+#     profiler (per-class phase histograms with interpolated quantile
+#     gauges, dominant-phase/share gauges, attribution counters) are
+#     present (snapshots from `stats_cli --phases`).
 set -u
 
 require_solver=0
 require_retier=0
 require_sessions=0
 require_slo=0
+require_phases=0
 file=""
 for arg in "$@"; do
   case "$arg" in
@@ -37,6 +43,7 @@ for arg in "$@"; do
     --require-retier) require_retier=1 ;;
     --require-sessions) require_sessions=1 ;;
     --require-slo) require_slo=1 ;;
+    --require-phases) require_phases=1 ;;
     -*)
       echo "check_prometheus: unknown flag '$arg'" >&2
       exit 2
@@ -46,7 +53,8 @@ for arg in "$@"; do
 done
 if [ -z "$file" ] || [ ! -r "$file" ]; then
   echo "usage: check_prometheus.sh <metrics.txt> [--require-solver]" \
-       "[--require-retier] [--require-sessions] [--require-slo]" >&2
+       "[--require-retier] [--require-sessions] [--require-slo]" \
+       "[--require-phases]" >&2
   exit 2
 fi
 status=0
@@ -184,6 +192,32 @@ if [ "$require_slo" -eq 1 ]; then
     hytap_flight_events_total; do
     grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
       || fail "expected SLO metric family '$family' missing"
+  done
+fi
+
+# 9. Opt-in: latency-profiler phase families (emitted once a LatencyProfiler
+# observed sessions and exported its gauges, e.g. `stats_cli --phases`).
+if [ "$require_phases" -eq 1 ]; then
+  for family in \
+    hytap_phase_observations_total \
+    hytap_phase_attributions_total \
+    hytap_phase_attributions_dropped_total \
+    hytap_phase_oltp_dominant \
+    hytap_phase_olap_dominant; do
+    grep -q -E "^# TYPE ${family} (counter|gauge|histogram)$" "$file" \
+      || fail "expected phase metric family '$family' missing"
+  done
+  for cls in oltp olap; do
+    for phase in scan_probe delta materialize store_io retry_backoff; do
+      family="hytap_phase_${cls}_${phase}_ns"
+      grep -q -E "^# TYPE ${family} histogram$" "$file" \
+        || fail "expected phase histogram family '$family' missing"
+      grep -q -E "^# TYPE ${family}_p99 gauge$" "$file" \
+        || fail "expected interpolated quantile gauge '${family}_p99' missing"
+      grep -q -E "^# TYPE hytap_phase_${cls}_${phase}_share_ppm gauge$" \
+        "$file" \
+        || fail "expected share gauge 'hytap_phase_${cls}_${phase}_share_ppm'"
+    done
   done
 fi
 

@@ -4,14 +4,18 @@
 //
 // Usage:
 //   flight_decode_cli <dump.bin> [--format text|json] [--out <path>]
+//                     [--ticket N] [--window N] [--type NAME]
 //
 // Events are printed in the dump's canonical order (window, sim_ns, ticket,
 // type, code, seq, a, b) — the deterministic timeline the recorder sorted
 // them into — so two decoders over the same dump always agree byte for byte.
+// The filter flags keep large dumps greppable without decoding everything:
+// each may be given once and they compose with AND.
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -24,7 +28,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: flight_decode_cli <dump.bin> [--format text|json] "
-               "[--out <path>]\n");
+               "[--out <path>] [--ticket N] [--window N] [--type NAME]\n");
   return 2;
 }
 
@@ -34,6 +38,23 @@ const char* QueryClassName(uint64_t cls) {
       return "oltp";
     case 1:
       return "olap";
+    default:
+      return "?";
+  }
+}
+
+const char* PhaseName(uint64_t phase) {
+  switch (phase) {
+    case 0:
+      return "scan_probe";
+    case 1:
+      return "delta";
+    case 2:
+      return "materialize";
+    case 3:
+      return "store_io";
+    case 4:
+      return "retry_backoff";
     default:
       return "?";
   }
@@ -68,10 +89,20 @@ std::string Detail(const FlightEvent& e) {
                     QueryClassName(e.a), unsigned(e.code));
       break;
     case FlightEventType::kSessionDispatch:
-    case FlightEventType::kSessionCancel:
       std::snprintf(buf, sizeof buf, "class=%s", QueryClassName(e.a));
       break;
+    case FlightEventType::kSessionCancel:
+      std::snprintf(buf, sizeof buf, "class=%s accrued_ns=%" PRIu64,
+                    QueryClassName(e.a), e.b);
+      break;
     case FlightEventType::kSessionShed:
+      // Shed queries never execute: b is their simulated queue wait
+      // (identically 0 — queueing is instantaneous on the simulated clock),
+      // never a latency.
+      std::snprintf(buf, sizeof buf, "class=%s queue_wait_ns=%" PRIu64
+                    " status=%u",
+                    QueryClassName(e.a), e.b, unsigned(e.code));
+      break;
     case FlightEventType::kSessionComplete:
       std::snprintf(buf, sizeof buf, "class=%s latency_ns=%" PRIu64
                     " status=%u",
@@ -143,6 +174,14 @@ std::string Detail(const FlightEvent& e) {
     case FlightEventType::kAnomaly:
       std::snprintf(buf, sizeof buf, "kind=%s", AnomalyKindName(e.code));
       break;
+    case FlightEventType::kPhaseAttribution:
+      std::snprintf(buf, sizeof buf,
+                    "class=%s dominant=%s latency_ns=%" PRIu64
+                    "%s%s",
+                    QueryClassName(e.code >> 2), PhaseName(e.a), e.b,
+                    (e.code & 1) != 0 ? " slo_breach" : "",
+                    (e.code & 2) != 0 ? " p99_tail" : "");
+      break;
     default:
       std::snprintf(buf, sizeof buf, "a=%" PRIu64 " b=%" PRIu64, e.a, e.b);
       break;
@@ -185,6 +224,9 @@ int main(int argc, char** argv) {
   std::string path;
   std::string format = "text";
   std::string out_path;
+  bool have_ticket = false, have_window = false;
+  uint64_t ticket_filter = 0, window_filter = 0;
+  std::string type_filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--format") {
@@ -193,6 +235,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       if (i + 1 >= argc) return Usage();
       out_path = argv[++i];
+    } else if (arg == "--ticket") {
+      if (i + 1 >= argc) return Usage();
+      ticket_filter = std::strtoull(argv[++i], nullptr, 10);
+      have_ticket = true;
+    } else if (arg == "--window") {
+      if (i + 1 >= argc) return Usage();
+      window_filter = std::strtoull(argv[++i], nullptr, 10);
+      have_window = true;
+    } else if (arg == "--type") {
+      if (i + 1 >= argc) return Usage();
+      type_filter = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage();
     } else if (path.empty()) {
@@ -209,6 +262,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot decode %s (short read or bad header)\n",
                  path.c_str());
     return 1;
+  }
+
+  if (have_ticket || have_window || !type_filter.empty()) {
+    std::vector<FlightEvent> kept;
+    kept.reserve(events.size());
+    for (const FlightEvent& e : events) {
+      if (have_ticket && e.ticket != ticket_filter) continue;
+      if (have_window && e.window != window_filter) continue;
+      if (!type_filter.empty() &&
+          std::strcmp(FlightEventTypeName(e.type), type_filter.c_str()) != 0) {
+        continue;
+      }
+      kept.push_back(e);
+    }
+    events.swap(kept);
   }
 
   FILE* out = stdout;

@@ -3,7 +3,8 @@
 //
 // Usage:
 //   stats_cli [--rows <n>] [--cols <n>] [--queries <n>] [--threads <n>]
-//       [--seed <n>] [--trace] [--doctor] [--solver] [--sessions] [--slo]
+//       [--seed <n>] [--trace] [--trace-out <path>] [--doctor] [--solver]
+//       [--sessions] [--slo] [--phases] [--phases-out <path>]
 //       [--format prom|json] [--out <path>]
 //
 // Builds a BSEG-shaped table (column 0 is a unique document number held in
@@ -21,7 +22,11 @@
 // synchronous path, so the hytap_session_* family lands in the snapshot.
 // With --slo (implies --sessions), an SLO burn-rate monitor (objectives from
 // HYTAP_SLO_*) observes every completed session, so the hytap_slo_* family
-// lands in the snapshot too.
+// lands in the snapshot too. With --phases (implies --sessions), a latency
+// profiler attaches to the serving front end and accounts every ticket's
+// simulated latency into lifecycle phases (DESIGN.md §17): the deterministic
+// per-class phase report (text or JSON per --format) is printed to stderr —
+// or to --phases-out — and the hytap_phase_* family lands in the snapshot.
 
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +39,7 @@
 #include "common/trace.h"
 #include "core/placement_doctor.h"
 #include "core/tiered_table.h"
+#include "serving/latency_profiler.h"
 #include "serving/session_manager.h"
 #include "serving/slo_monitor.h"
 #include "workload/enterprise.h"
@@ -53,15 +59,20 @@ struct Options {
   bool solver = false;
   bool sessions = false;
   bool slo = false;
+  bool phases = false;
   std::string format = "prom";
   std::string out;
+  std::string phases_out;
+  std::string trace_out;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: stats_cli [--rows <n>] [--cols <n>] [--queries <n>] "
-               "[--threads <n>] [--seed <n>] [--trace] [--doctor] [--solver] "
-               "[--sessions] [--slo] [--format prom|json] [--out <path>]\n");
+               "[--threads <n>] [--seed <n>] [--trace] [--trace-out <path>] "
+               "[--doctor] [--solver] "
+               "[--sessions] [--slo] [--phases] [--phases-out <path>] "
+               "[--format prom|json] [--out <path>]\n");
   return 2;
 }
 
@@ -125,6 +136,10 @@ int main(int argc, char** argv) {
       if (!next_u64(&options.seed)) return Usage();
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) return Usage();
+      options.trace = true;
+      options.trace_out = argv[++i];
     } else if (arg == "--doctor") {
       options.doctor = true;
     } else if (arg == "--solver") {
@@ -133,6 +148,14 @@ int main(int argc, char** argv) {
       options.sessions = true;
     } else if (arg == "--slo") {
       options.slo = true;
+      options.sessions = true;
+    } else if (arg == "--phases") {
+      options.phases = true;
+      options.sessions = true;
+    } else if (arg == "--phases-out") {
+      if (i + 1 >= argc) return Usage();
+      options.phases_out = argv[++i];
+      options.phases = true;
       options.sessions = true;
     } else if (arg == "--format") {
       if (i + 1 >= argc) return Usage();
@@ -186,6 +209,19 @@ int main(int argc, char** argv) {
       const ExplainResult explain =
           executor.Explain(txn, queries[q], options.threads);
       std::printf("--- EXPLAIN query %zu ---\n%s", q, explain.text.c_str());
+      // The first traced tree doubles as the machine-readable span input
+      // for trace_export_cli --trace (RenderTraceJson schema).
+      if (q == 0 && !options.trace_out.empty()) {
+        std::FILE* f = std::fopen(options.trace_out.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot write %s\n", options.trace_out.c_str());
+          return 1;
+        }
+        std::fputs(explain.json.c_str(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "explain json written to %s\n",
+                     options.trace_out.c_str());
+      }
     }
   }
   if (options.sessions) {
@@ -194,6 +230,8 @@ int main(int argc, char** argv) {
     SessionManager& sm = table.EnableServing();
     SloMonitor slo(SloMonitor::Options::FromEnv());
     if (options.slo) sm.set_slo_monitor(&slo);
+    LatencyProfiler profiler(LatencyProfiler::Options::FromEnv());
+    if (options.phases) sm.set_latency_profiler(&profiler);
     std::vector<SessionHandle> handles;
     handles.reserve(queries.size());
     for (size_t q = 0; q < queries.size(); ++q) {
@@ -233,6 +271,27 @@ int main(int argc, char** argv) {
                      snap.slow_burn, snap.breached ? " BREACHED" : "");
       }
       sm.set_slo_monitor(nullptr);
+    }
+    if (options.phases) {
+      profiler.ExportMetrics();
+      const std::string phase_report = options.format == "json"
+                                           ? profiler.ReportJson()
+                                           : profiler.ReportText();
+      if (options.phases_out.empty()) {
+        std::fputs(phase_report.c_str(), stderr);
+      } else {
+        FILE* pf = std::fopen(options.phases_out.c_str(), "w");
+        if (pf == nullptr) {
+          std::fprintf(stderr, "cannot write %s\n",
+                       options.phases_out.c_str());
+          return 1;
+        }
+        std::fputs(phase_report.c_str(), pf);
+        std::fclose(pf);
+        std::fprintf(stderr, "phase report written to %s\n",
+                     options.phases_out.c_str());
+      }
+      sm.set_latency_profiler(nullptr);
     }
   } else {
     for (size_t q = 0; q < queries.size(); ++q) {

@@ -1,0 +1,107 @@
+// Fuses a flight-recorder dump (and optionally an Explain trace JSON) into
+// Chrome trace-event / Perfetto JSON, openable in ui.perfetto.dev.
+//
+// Usage:
+//   trace_export_cli <flight_dump.bin> [--trace explain.json] [--out path]
+//
+// Without --out the timeline is written to stdout.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/trace.h"
+#include "io/perfetto_export.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <flight_dump.bin> [--trace explain.json] "
+               "[--out path]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dump_path;
+  std::string trace_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else if (dump_path.empty()) {
+      dump_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (dump_path.empty()) return Usage(argv[0]);
+
+  std::vector<hytap::FlightEvent> events;
+  std::string reason;
+  if (!hytap::ReadFlightDump(dump_path, &events, &reason)) {
+    std::fprintf(stderr, "failed to read flight dump: %s\n",
+                 dump_path.c_str());
+    return 1;
+  }
+
+  hytap::TraceSpan explain;
+  bool have_explain = false;
+  if (!trace_path.empty()) {
+    std::string trace_json;
+    if (!ReadFile(trace_path, &trace_json)) {
+      std::fprintf(stderr, "failed to read trace json: %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    if (!hytap::ParseTraceJson(trace_json, &explain)) {
+      std::fprintf(stderr, "failed to parse trace json: %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    have_explain = true;
+  }
+
+  const std::string timeline = hytap::RenderPerfettoJson(
+      events, reason, have_explain ? &explain : nullptr);
+
+  if (out_path.empty()) {
+    std::fwrite(timeline.data(), 1, timeline.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(timeline.data(), 1, timeline.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu bytes (%zu events) to %s\n",
+                 timeline.size(), events.size(), out_path.c_str());
+  }
+  return 0;
+}
